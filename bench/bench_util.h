@@ -1,0 +1,150 @@
+#pragma once
+// Shared plumbing for the experiment benches: config flags, cell sweeps run
+// in parallel (deterministic per-cell seeds), and fixed-width table output
+// matching the rows/series the paper reports.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "grid/grid_system.h"
+#include "sim/runner.h"
+#include "workload/workload.h"
+
+namespace pgrid::bench {
+
+/// Experiment scale, overridable from the command line. Defaults reproduce
+/// the paper's setup (1000 nodes, 5000 jobs, exp(100 s) service, Poisson
+/// 0.1 s inter-arrival); pass --nodes/--jobs/... to rescale.
+struct Scale {
+  std::size_t nodes = 1000;
+  std::size_t jobs = 5000;
+  double mean_runtime_sec = 100.0;
+  double mean_interarrival_sec = 0.1;
+  std::size_t replicates = 1;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  std::uint64_t seed = 1;
+
+  static Scale from_config(const Config& config) {
+    Scale s;
+    s.nodes = static_cast<std::size_t>(config.get_int("nodes", 1000));
+    s.jobs = static_cast<std::size_t>(config.get_int("jobs", 5000));
+    s.mean_runtime_sec = config.get_double("runtime", 100.0);
+    s.mean_interarrival_sec = config.get_double("interarrival", 0.1);
+    s.replicates = static_cast<std::size_t>(config.get_int("replicates", 1));
+    s.threads = static_cast<std::size_t>(config.get_int("threads", 0));
+    s.seed = static_cast<std::uint64_t>(config.get_int("seed", 1));
+    return s;
+  }
+};
+
+inline workload::WorkloadSpec make_spec(const Scale& scale,
+                                        workload::Mix node_mix,
+                                        workload::Mix job_mix,
+                                        double constraint_probability,
+                                        std::uint64_t seed) {
+  workload::WorkloadSpec spec;
+  spec.node_count = scale.nodes;
+  spec.job_count = scale.jobs;
+  spec.node_mix = node_mix;
+  spec.job_mix = job_mix;
+  spec.constraint_probability = constraint_probability;
+  spec.mean_runtime_sec = scale.mean_runtime_sec;
+  spec.mean_interarrival_sec = scale.mean_interarrival_sec;
+  spec.seed = seed;
+  return spec;
+}
+
+inline grid::GridConfig make_grid_config(grid::MatchmakerKind kind,
+                                         std::uint64_t seed) {
+  grid::GridConfig config;
+  config.kind = kind;
+  config.seed = seed;
+  config.light_maintenance = true;  // no churn in steady-state experiments
+  // The paper's steady-state experiments have no failures, so client
+  // resubmission is effectively disabled: every job runs exactly once and
+  // overloaded schemes show up as long waits, not duplicated work.
+  config.client.resubmit_base_sec = 1e9;
+  config.horizon_slack_sec = 150000.0;
+  return config;
+}
+
+/// One experiment cell result, averaged over replicates by the caller.
+struct CellResult {
+  double wait_avg = 0.0;
+  double wait_stdev = 0.0;
+  double match_hops_avg = 0.0;
+  double injection_hops_avg = 0.0;
+  double jobs_per_node_cv = 0.0;
+  double completed_fraction = 0.0;
+  double makespan_sec = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t resubmissions = 0;
+  std::uint64_t requeues = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t forwards = 0;
+};
+
+inline CellResult summarize(const grid::GridSystem& system) {
+  CellResult r;
+  const auto& c = system.collector();
+  const Samples waits = c.wait_times();
+  if (!waits.empty()) {
+    r.wait_avg = waits.mean();
+    r.wait_stdev = waits.stdev();
+  }
+  const Samples hops = c.matchmaking_hops();
+  if (!hops.empty()) r.match_hops_avg = hops.mean();
+  const Samples inj = c.injection_hops();
+  if (!inj.empty()) r.injection_hops_avg = inj.mean();
+  r.jobs_per_node_cv = c.jobs_per_node().cv();
+  r.completed_fraction = c.job_count() == 0
+                             ? 1.0
+                             : static_cast<double>(c.completed_count()) /
+                                   static_cast<double>(c.job_count());
+  r.makespan_sec = c.makespan_sec();
+  r.messages = system.net_stats().messages_sent;
+  r.resubmissions = c.total_resubmissions();
+  r.requeues = c.total_requeues();
+  const auto node_stats = system.aggregate_node_stats();
+  r.pushes = node_stats.can_pushes;
+  r.forwards = node_stats.can_forwards;
+  return r;
+}
+
+inline CellResult average(const std::vector<CellResult>& cells) {
+  CellResult avg;
+  if (cells.empty()) return avg;
+  for (const CellResult& c : cells) {
+    avg.wait_avg += c.wait_avg;
+    avg.wait_stdev += c.wait_stdev;
+    avg.match_hops_avg += c.match_hops_avg;
+    avg.injection_hops_avg += c.injection_hops_avg;
+    avg.jobs_per_node_cv += c.jobs_per_node_cv;
+    avg.completed_fraction += c.completed_fraction;
+    avg.makespan_sec += c.makespan_sec;
+    avg.messages += c.messages;
+    avg.resubmissions += c.resubmissions;
+    avg.requeues += c.requeues;
+    avg.pushes += c.pushes;
+    avg.forwards += c.forwards;
+  }
+  const auto n = static_cast<double>(cells.size());
+  avg.wait_avg /= n;
+  avg.wait_stdev /= n;
+  avg.match_hops_avg /= n;
+  avg.injection_hops_avg /= n;
+  avg.jobs_per_node_cv /= n;
+  avg.completed_fraction /= n;
+  avg.makespan_sec /= n;
+  avg.messages /= cells.size();
+  return avg;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s\n", std::string(title.size(), '-').c_str());
+}
+
+}  // namespace pgrid::bench

@@ -1,0 +1,96 @@
+// Regenerates the §2 robustness claims: the owner/run pair replicates the
+// job profile and heartbeats detect failures, so single failures are
+// absorbed without client involvement and only owner+run double failures
+// need client resubmission.
+//
+//   failure_recovery [--nodes=500] [--jobs=2000] ...
+//
+// Sweeps mean node lifetime (infinity, 3600 s, 1200 s, 600 s) for each
+// matchmaker and reports completion, recoveries, resubmissions, and the
+// wait-time degradation under churn.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace pgrid;
+  using namespace pgrid::bench;
+  using grid::MatchmakerKind;
+  using workload::Mix;
+
+  Config config;
+  config.parse_args(argc, argv);
+  Scale scale = Scale::from_config(config);
+  // Churn runs disable light maintenance (failure detection needs live
+  // overlay repair), so default below paper scale; --nodes/--jobs rescale.
+  if (!config.has("nodes")) scale.nodes = 300;
+  if (!config.has("jobs")) scale.jobs = 1200;
+
+  const std::vector<MatchmakerKind> kinds{MatchmakerKind::kCentralized,
+                                          MatchmakerKind::kRnTree,
+                                          MatchmakerKind::kCanBasic};
+  const std::vector<double> lifetimes{0.0, 3600.0, 1200.0, 600.0};  // 0 = none
+
+  struct Cell {
+    MatchmakerKind kind;
+    double lifetime;
+  };
+  std::vector<Cell> cells;
+  for (MatchmakerKind kind : kinds) {
+    for (double lifetime : lifetimes) cells.push_back(Cell{kind, lifetime});
+  }
+
+  std::printf("failure_recovery: %zu nodes, %zu jobs; exponential node "
+              "lifetimes, mean downtime 120 s, half the nodes churn\n",
+              scale.nodes, scale.jobs);
+
+  const auto results = sim::run_sweep<CellResult>(
+      cells.size(), scale.threads, [&](std::size_t i) {
+        const Cell& cell = cells[i];
+        const auto spec = make_spec(scale, Mix::kMixed, Mix::kMixed, 0.4,
+                                    scale.seed + 17);
+        grid::GridConfig gc = make_grid_config(cell.kind, scale.seed + 3);
+        // Churn experiments need live failure detection and real client
+        // resubmission deadlines (unlike the steady-state benches).
+        gc.light_maintenance = false;
+        gc.client.resubmit_base_sec = 300.0;
+        gc.client.resubmit_runtime_factor = 8.0;
+        gc.client.max_generations = 8;
+        gc.node.heartbeat_period = sim::SimTime::seconds(5.0);
+        gc.node.heartbeat_miss_threshold = 3;
+        grid::GridSystem system(gc, workload::generate(spec));
+        system.build();
+        if (cell.lifetime > 0.0) {
+          sim::ChurnModel churn;
+          churn.mean_lifetime_sec = cell.lifetime;
+          churn.mean_downtime_sec = 120.0;
+          churn.churn_fraction = 0.5;
+          system.enable_churn(churn);
+        }
+        system.run();
+        return summarize(system);
+      });
+
+  print_header("Job completion and recovery under churn");
+  std::printf("%-13s %-10s %10s %10s %10s %10s %10s\n", "matchmaker",
+              "lifetime", "completed", "wait-avg", "requeues", "resubmits",
+              "wait-sd");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const CellResult& r = results[i];
+    char lifetime[24];
+    if (cell.lifetime == 0.0) {
+      std::snprintf(lifetime, sizeof lifetime, "none");
+    } else {
+      std::snprintf(lifetime, sizeof lifetime, "%.0fs", cell.lifetime);
+    }
+    std::printf("%-13s %-10s %9.1f%% %10.1f %10llu %10llu %10.1f\n",
+                grid::matchmaker_name(cell.kind), lifetime,
+                100.0 * r.completed_fraction, r.wait_avg,
+                static_cast<unsigned long long>(r.requeues),
+                static_cast<unsigned long long>(r.resubmissions), r.wait_stdev);
+  }
+  std::printf("\nExpected shape: single failures are absorbed (requeues and\n"
+              "owner handoffs, near-100%% completion); resubmissions appear\n"
+              "only for owner+run double failures and stay small.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Regenerates the §5 future-work claims that this repository implements:
+//
+//  * Fairness: "the responsibility of the system to ... execute all
+//    submitted jobs in a fair manner, allocating resources to requests from
+//    both users submitting large numbers of jobs at once ... and from users
+//    with smaller resource requirements." Measured as per-client mean
+//    slowdown ((wait + run) / run) for a bulk submitter vs a small user,
+//    FIFO vs fair-share run queues.
+//
+//  * Quotas: "generalized quotas to limit overall job resource usage ...
+//    to minimize the effects of malicious or runaway jobs." Measured as the
+//    wait-time damage a fraction of runaway jobs inflicts on honest jobs,
+//    with and without the runaway kill factor.
+//
+//   fairness_quota [--nodes=100] [--jobs=1200] ...
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace pgrid;
+using namespace pgrid::bench;
+using grid::MatchmakerKind;
+using grid::QueuePolicy;
+
+/// Mean slowdown of the given client's completed jobs.
+double client_slowdown(const grid::GridSystem& system, std::uint32_t client) {
+  const auto& w = system.workload();
+  double total = 0.0;
+  std::size_t n = 0;
+  for (std::size_t j = 0; j < w.jobs.size(); ++j) {
+    if (w.jobs[j].client != client) continue;
+    const auto& o = system.collector().job(j);
+    if (!o.completed()) continue;
+    total += (o.completed_sec - o.submit_sec) / w.jobs[j].runtime_sec;
+    ++n;
+  }
+  return n ? total / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  config.parse_args(argc, argv);
+  Scale scale = Scale::from_config(config);
+  if (!config.has("nodes")) scale.nodes = 100;
+  if (!config.has("jobs")) scale.jobs = 1200;
+
+  // ---- fairness: a bulk sweep (client 0) vs a small user (client 1) ------
+  auto fairness_workload = [&] {
+    workload::WorkloadSpec spec;
+    spec.node_count = scale.nodes;
+    spec.job_count = scale.jobs;
+    spec.mean_runtime_sec = 60.0;
+    spec.constraint_probability = 0.0;
+    spec.client_count = 2;
+    spec.seed = scale.seed + 1;
+    workload::Workload w = workload::generate(spec);
+    // Client 0 dumps 90% of the jobs as one parameter sweep at t=0; client
+    // 1 trickles the rest in over the same period.
+    const std::size_t bulk = scale.jobs * 9 / 10;
+    for (std::size_t j = 0; j < w.jobs.size(); ++j) {
+      if (j < bulk) {
+        w.jobs[j].client = 0;
+        w.jobs[j].arrival_sec = 0.001 * static_cast<double>(j);
+      } else {
+        w.jobs[j].client = 1;
+        w.jobs[j].arrival_sec =
+            10.0 + 5.0 * static_cast<double>(j - bulk);
+      }
+    }
+    return w;
+  }();
+
+  print_header("Fairness: per-client mean slowdown ((wait+run)/run)");
+  std::printf("%-12s %14s %14s %14s\n", "queue", "bulk client",
+              "small client", "small/bulk");
+  for (QueuePolicy policy : {QueuePolicy::kFifo, QueuePolicy::kFairShare}) {
+    grid::GridConfig gc =
+        make_grid_config(MatchmakerKind::kCentralized, scale.seed);
+    gc.node.queue_policy = policy;
+    grid::GridSystem system(gc, fairness_workload);
+    system.run();
+    const double bulk = client_slowdown(system, 0);
+    const double small = client_slowdown(system, 1);
+    std::printf("%-12s %14.2f %14.2f %14.2f\n",
+                policy == QueuePolicy::kFifo ? "fifo" : "fair-share", bulk,
+                small, small / bulk);
+  }
+  std::printf("expected: fair-share pulls the small client's slowdown far\n"
+              "below the bulk client's, at little cost to the bulk sweep.\n");
+
+  // ---- quotas: runaway jobs with and without the kill factor --------------
+  auto quota_workload = [&](double runaway_fraction) {
+    workload::WorkloadSpec spec;
+    spec.node_count = scale.nodes;
+    spec.job_count = scale.jobs;
+    spec.mean_runtime_sec = 60.0;
+    spec.mean_interarrival_sec = scale.mean_interarrival_sec;
+    spec.constraint_probability = 0.0;
+    spec.seed = scale.seed + 2;
+    workload::Workload w = workload::generate(spec);
+    // The runaways arrive first — the worst case: they grab nodes while
+    // the honest work queues up behind them.
+    const auto runaways =
+        static_cast<std::size_t>(static_cast<double>(w.jobs.size()) *
+                                 runaway_fraction);
+    for (std::size_t j = 0; j < runaways; ++j) {
+      w.jobs[j].declared_runtime_sec = w.jobs[j].runtime_sec;
+      w.jobs[j].runtime_sec *= 25.0;  // runs 25x longer than declared
+    }
+    return w;
+  };
+
+  print_header("Quotas: 5% runaway jobs (25x declared runtime)");
+  std::printf("%-22s %12s %12s %12s %12s\n", "policy", "honest-wait",
+              "honest-done", "killed", "busy-cv");
+  for (double kill_factor : {0.0, 3.0}) {
+    grid::GridConfig gc =
+        make_grid_config(MatchmakerKind::kCentralized, scale.seed);
+    gc.node.runaway_kill_factor = kill_factor;
+    const workload::Workload w = quota_workload(0.05);
+    grid::GridSystem system(gc, w);
+    system.run();
+    // Honest jobs only.
+    double wait = 0.0;
+    std::size_t done = 0, honest = 0;
+    for (std::size_t j = 0; j < w.jobs.size(); ++j) {
+      if (w.jobs[j].declared_runtime_sec > 0.0) continue;  // runaway
+      ++honest;
+      const auto& o = system.collector().job(j);
+      if (o.completed()) {
+        ++done;
+        wait += o.wait_sec();
+      }
+    }
+    std::printf("%-22s %12.1f %11zu/%zu %12llu %12.2f\n",
+                kill_factor > 0.0 ? "kill at 3x declared" : "no quota",
+                done ? wait / static_cast<double>(done) : 0.0, done, honest,
+                static_cast<unsigned long long>(
+                    system.aggregate_node_stats().jobs_killed_quota),
+                system.collector().busy_per_node().cv());
+  }
+  std::printf("expected: without quotas, runaways occupy nodes 25x longer\n"
+              "and honest waits balloon; the kill factor caps the damage.\n");
+  return 0;
+}

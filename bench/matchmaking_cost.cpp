@@ -1,0 +1,117 @@
+// Regenerates the §3.3 claim shown only in prose: "both the CAN and RN can
+// find an appropriate run node for a job with a small number of hops
+// through the P2P overlay network."
+//
+// Reports, for every workload quadrant (clustered/mixed nodes x jobs) and
+// both constraint levels, the overlay hops per job split into injection
+// (routing the job to its owner, including the RN random walk / CAN pushes
+// and forwards) and matchmaking (the RN-Tree extended search; CAN decides
+// from local neighbor state, so its matchmaking hops are zero by
+// construction). Small here means O(log N).
+//
+//   matchmaking_cost [--nodes=1000] [--jobs=5000] [--sweep-k=0] ...
+//
+// --sweep-k=1 additionally sweeps the RN extended-search candidate target
+// k in {1, 2, 4, 8} (the DESIGN.md ablation).
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace pgrid;
+using namespace pgrid::bench;
+using grid::MatchmakerKind;
+using workload::Mix;
+using workload::paper_quadrants;
+
+struct Cell {
+  std::size_t quadrant;
+  double constraint;
+  MatchmakerKind kind;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  config.parse_args(argc, argv);
+  Scale scale = Scale::from_config(config);
+  // Default below paper scale: this bench runs 16 grid simulations (all
+  // four quadrants); pass --nodes=1000 --jobs=5000 for the full setup.
+  if (!config.has("nodes")) scale.nodes = 400;
+  if (!config.has("jobs")) scale.jobs = 2000;
+  const bool sweep_k = config.get_bool("sweep-k", false);
+
+  const std::vector<MatchmakerKind> kinds{MatchmakerKind::kCanBasic,
+                                          MatchmakerKind::kRnTree};
+  const std::array<double, 2> constraints{0.4, 0.8};
+
+  std::vector<Cell> cells;
+  for (std::size_t q = 0; q < paper_quadrants().size(); ++q) {
+    for (double p : constraints) {
+      for (MatchmakerKind kind : kinds) {
+        cells.push_back(Cell{q, p, kind});
+      }
+    }
+  }
+
+  std::printf("matchmaking_cost: %zu nodes, %zu jobs (log2 N = %.1f)\n",
+              scale.nodes, scale.jobs,
+              std::log2(static_cast<double>(scale.nodes)));
+
+  const auto results = sim::run_sweep<CellResult>(
+      cells.size(), scale.threads, [&](std::size_t i) {
+        const Cell& cell = cells[i];
+        const auto& quadrant = paper_quadrants()[cell.quadrant];
+        const std::uint64_t wl_seed = hash_combine(
+            scale.seed, mix64(cell.quadrant * 10 +
+                              (cell.constraint > 0.5 ? 1 : 0)));
+        const auto spec = make_spec(scale, quadrant.node_mix,
+                                    quadrant.job_mix, cell.constraint,
+                                    wl_seed);
+        grid::GridSystem system(make_grid_config(cell.kind, wl_seed ^ 0xB0B),
+                                workload::generate(spec));
+        system.run();
+        return summarize(system);
+      });
+
+  print_header("Overlay hops per job (injection + matchmaking)");
+  std::printf("%-36s %-7s %12s %12s %12s\n", "workload", "constr",
+              "inject-hops", "match-hops", "total");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const CellResult& r = results[i];
+    std::printf("%-28s (%s) %-7s %12.2f %12.2f %12.2f\n",
+                paper_quadrants()[cell.quadrant].label,
+                grid::matchmaker_name(cell.kind),
+                cell.constraint < 0.5 ? "light" : "heavy",
+                r.injection_hops_avg, r.match_hops_avg,
+                r.injection_hops_avg + r.match_hops_avg);
+  }
+
+  if (sweep_k) {
+    print_header("RN-Tree ablation: extended-search candidate target k");
+    std::printf("%-6s %12s %12s %12s %12s\n", "k", "wait-avg", "wait-stdev",
+                "match-hops", "load-cv");
+    const std::array<std::uint32_t, 4> ks{1, 2, 4, 8};
+    const auto k_results = sim::run_sweep<CellResult>(
+        ks.size(), scale.threads, [&](std::size_t i) {
+          const auto spec = make_spec(scale, Mix::kMixed, Mix::kMixed, 0.4,
+                                      scale.seed + 99);
+          grid::GridConfig gc =
+              make_grid_config(MatchmakerKind::kRnTree, scale.seed + 7);
+          gc.node.rn_search_k = ks[i];
+          grid::GridSystem system(gc, workload::generate(spec));
+          system.run();
+          return summarize(system);
+        });
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      std::printf("%-6u %12.1f %12.1f %12.2f %12.3f\n", ks[i],
+                  k_results[i].wait_avg, k_results[i].wait_stdev,
+                  k_results[i].match_hops_avg, k_results[i].jobs_per_node_cv);
+    }
+  }
+  return 0;
+}

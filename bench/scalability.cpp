@@ -1,0 +1,80 @@
+// Regenerates the §1/§2 scalability claim: matchmaking cost grows
+// logarithmically (Chord) / sub-linearly (CAN) with system size while wait
+// times stay flat when load is scaled proportionally.
+//
+//   scalability [--max-nodes=2048] ...
+//
+// Nodes sweep {128..max} with jobs = 5 x nodes (constant per-node load);
+// reports wait time, overlay hops, and messages per job for RN and CAN.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace pgrid;
+  using namespace pgrid::bench;
+  using grid::MatchmakerKind;
+  using workload::Mix;
+
+  Config config;
+  config.parse_args(argc, argv);
+  Scale base = Scale::from_config(config);
+  const auto max_nodes =
+      static_cast<std::size_t>(config.get_int("max-nodes", 2048));
+
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 128; n <= max_nodes; n *= 2) sizes.push_back(n);
+
+  const std::vector<MatchmakerKind> kinds{MatchmakerKind::kRnTree,
+                                          MatchmakerKind::kCanBasic,
+                                          MatchmakerKind::kCentralized};
+
+  struct Cell {
+    std::size_t nodes;
+    MatchmakerKind kind;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t n : sizes) {
+    for (MatchmakerKind kind : kinds) cells.push_back(Cell{n, kind});
+  }
+
+  std::printf("scalability: jobs = 5 x nodes, arrival rate scaled to keep "
+              "per-node load constant\n");
+
+  const auto results = sim::run_sweep<CellResult>(
+      cells.size(), base.threads, [&](std::size_t i) {
+        const Cell& cell = cells[i];
+        Scale scale = base;
+        scale.nodes = cell.nodes;
+        scale.jobs = cell.nodes * 5;
+        // Offered load ~ runtime / (interarrival * nodes); keep it constant
+        // (~0.8) across sizes.
+        scale.mean_interarrival_sec =
+            scale.mean_runtime_sec / (0.8 * static_cast<double>(cell.nodes));
+        const auto spec = make_spec(scale, Mix::kMixed, Mix::kMixed, 0.4,
+                                    base.seed + cell.nodes);
+        grid::GridSystem system(
+            make_grid_config(cell.kind, base.seed + 13),
+            workload::generate(spec));
+        system.run();
+        return summarize(system);
+      });
+
+  print_header("Scaling of wait time and overlay cost");
+  std::printf("%-8s %-13s %10s %10s %12s %12s %12s\n", "nodes", "matchmaker",
+              "wait-avg", "wait-sd", "hops/job", "msgs/job", "completed");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const CellResult& r = results[i];
+    std::printf("%-8zu %-13s %10.1f %10.1f %12.2f %12.0f %11.1f%%\n",
+                cell.nodes, grid::matchmaker_name(cell.kind), r.wait_avg,
+                r.wait_stdev, r.injection_hops_avg + r.match_hops_avg,
+                static_cast<double>(r.messages) /
+                    static_cast<double>(cell.nodes * 5),
+                100.0 * r.completed_fraction);
+  }
+  std::printf("\nExpected shape: hops/job grow ~log2(nodes) for RN and\n"
+              "~(d/4)N^(1/d) for CAN; wait stays roughly flat.\n");
+  return 0;
+}

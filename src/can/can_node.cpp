@@ -1,0 +1,545 @@
+#include "can/can_node.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace pgrid::can {
+
+namespace {
+constexpr int kMaxRouteHops = 256;
+
+bool contains_id(const std::vector<Guid>& ids, Guid id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+}  // namespace
+
+CanNode::CanNode(net::Network& network, net::NodeAddr self, Guid id,
+                 Point rep_point, CanConfig config, Rng rng)
+    : net_(network),
+      rpc_(network, self),
+      id_(id),
+      rep_point_(rep_point),
+      config_(config),
+      rng_(rng),
+      upstream_load_(config.dims, -1.0) {
+  PGRID_EXPECTS(rep_point.dims() == config.dims);
+}
+
+CanNode::~CanNode() = default;
+
+void CanNode::create() {
+  running_ = true;
+  zones_.assign(1, Zone::whole(config_.dims));
+  neighbors_.clear();
+  start_maintenance();
+}
+
+void CanNode::join(Peer bootstrap, std::function<void(bool ok)> done) {
+  PGRID_EXPECTS(bootstrap.valid());
+  running_ = true;
+  zones_.clear();
+  neighbors_.clear();
+
+  // Phase 1: route to the owner of our representative point, driving the
+  // greedy walk ourselves starting from the bootstrap node.
+  auto st = std::make_shared<RouteState>();
+  st->target = rep_point_;
+  st->retries_left = config_.route_retries;
+  st->cb = [this, done = std::move(done)](Peer owner, int /*hops*/) {
+    if (!running_) return;
+    if (!owner.valid()) {
+      if (done) done(false);
+      return;
+    }
+    // Phase 2: ask the owner to split its zone for us.
+    rpc_.call_retry(owner.addr,
+              [this] { return std::make_unique<JoinReq>(self_peer(), rep_point_); },
+              config_.rpc_timeout, config_.rpc_attempts,
+              [this, done](net::MessagePtr reply) {
+                if (!running_) return;
+                if (reply == nullptr) {
+                  if (done) done(false);
+                  return;
+                }
+                const auto* resp = net::msg_cast<JoinResp>(reply.get());
+                if (!resp->accepted) {
+                  if (done) done(false);
+                  return;
+                }
+                zones_.assign(1, resp->zone);
+                for (const NeighborInfo& c : resp->contacts) {
+                  if (c.peer.addr == addr()) continue;
+                  NeighborState ns;
+                  ns.id = c.peer.id;
+                  ns.zones = c.zones;
+                  ns.rep_point = c.rep_point;
+                  ns.load = c.load;
+                  ns.last_heard = net_.simulator().now();
+                  neighbors_.emplace(c.peer.addr, std::move(ns));
+                }
+                prune_neighbors();
+                start_maintenance();
+                broadcast_zone_update();
+                if (done) done(true);
+              });
+  };
+  route_ask(st, bootstrap);
+}
+
+void CanNode::crash() {
+  running_ = false;
+  update_task_.reset();
+  rpc_.cancel_all();
+  for (auto& [addr, timer] : takeover_timers_) {
+    net_.simulator().cancel(timer);
+  }
+  takeover_timers_.clear();
+  zones_.clear();
+  neighbors_.clear();
+  std::fill(upstream_load_.begin(), upstream_load_.end(), -1.0);
+}
+
+void CanNode::install_state(std::vector<Zone> zones,
+                            std::map<net::NodeAddr, NeighborState> neighbors) {
+  PGRID_EXPECTS(!zones.empty());
+  running_ = true;
+  zones_ = std::move(zones);
+  neighbors_ = std::move(neighbors);
+  for (auto& [addr, ns] : neighbors_) {
+    ns.last_heard = net_.simulator().now();
+  }
+  start_maintenance();
+}
+
+bool CanNode::owns(const Point& p) const noexcept {
+  for (const Zone& z : zones_) {
+    if (z.contains(p)) return true;
+  }
+  return false;
+}
+
+double CanNode::total_volume() const noexcept {
+  double v = 0.0;
+  for (const Zone& z : zones_) v += z.volume();
+  return v;
+}
+
+// --- routing -----------------------------------------------------------------
+
+void CanNode::route(Point target, RouteCallback cb) {
+  PGRID_EXPECTS(cb != nullptr);
+  PGRID_EXPECTS(target.dims() == config_.dims);
+  ++stats_.routes_started;
+  if (!running_ || zones_.empty()) {
+    ++stats_.routes_failed;
+    cb(kNoPeer, 0);
+    return;
+  }
+  auto st = std::make_shared<RouteState>();
+  st->target = target;
+  st->cb = std::move(cb);
+  st->retries_left = config_.route_retries;
+  route_restart(st);
+}
+
+void CanNode::route_restart(const std::shared_ptr<RouteState>& st) {
+  if (!running_ || zones_.empty()) {
+    route_failed(st);
+    return;
+  }
+  if (owns(st->target)) {
+    route_done(st, self_peer());
+    return;
+  }
+  const Peer next = best_next_hop(st->target, st->avoid);
+  if (!next.valid()) {
+    route_failed(st);
+    return;
+  }
+  route_ask(st, next);
+}
+
+void CanNode::route_ask(const std::shared_ptr<RouteState>& st, Peer target) {
+  if (st->hops >= kMaxRouteHops) {
+    route_failed(st);
+    return;
+  }
+  ++st->hops;
+  auto make = [t = st->target, avoid = st->avoid]() -> net::MessagePtr {
+    auto req = std::make_unique<RouteReq>(t);
+    req->avoid = avoid;
+    return req;
+  };
+  rpc_.call_retry(target.addr, std::move(make), config_.rpc_timeout,
+                  config_.rpc_attempts,
+                  [this, st, target](net::MessagePtr reply) {
+              if (!running_) return;
+              if (reply == nullptr) {
+                if (!contains_id(st->avoid, target.id)) {
+                  st->avoid.push_back(target.id);
+                }
+                // Suspect the dead hop locally so maintenance reclaims it.
+                for (auto it = neighbors_.begin(); it != neighbors_.end();
+                     ++it) {
+                  if (it->second.id == target.id) {
+                    schedule_takeover(it->first);
+                    break;
+                  }
+                }
+                if (--st->retries_left > 0) {
+                  route_restart(st);
+                } else {
+                  route_failed(st);
+                }
+                return;
+              }
+              const auto* resp = net::msg_cast<RouteResp>(reply.get());
+              if (resp->done) {
+                route_done(st, resp->node);
+              } else if (resp->node.valid()) {
+                // Mark the hop visited: equal-distance (plateau) moves are
+                // permitted, so revisits must be excluded for termination.
+                if (!contains_id(st->avoid, target.id)) {
+                  st->avoid.push_back(target.id);
+                }
+                route_ask(st, resp->node);
+              } else {
+                route_failed(st);  // greedy dead end at the responder
+              }
+            });
+}
+
+void CanNode::route_done(const std::shared_ptr<RouteState>& st, Peer owner) {
+  ++stats_.routes_ok;
+  stats_.route_hops.add(st->hops);
+  st->cb(owner, st->hops);
+}
+
+void CanNode::route_failed(const std::shared_ptr<RouteState>& st) {
+  ++stats_.routes_failed;
+  st->cb(kNoPeer, st->hops);
+}
+
+double CanNode::my_distance_to(const Point& p) const noexcept {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Zone& z : zones_) best = std::min(best, z.distance_to(p));
+  return best;
+}
+
+Peer CanNode::best_next_hop(const Point& p,
+                            const std::vector<Guid>& avoid) const {
+  // Equal-distance moves are allowed: a target point lying exactly on zone
+  // boundaries produces distance plateaus, and strict-descent greedy would
+  // dead-end there. The initiator records every visited hop in `avoid`, so
+  // plateau walks cannot cycle and the route still terminates.
+  const double mine = my_distance_to(p);
+  Peer best = kNoPeer;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const auto& [naddr, ns] : neighbors_) {
+    if (contains_id(avoid, ns.id)) continue;
+    double d = std::numeric_limits<double>::infinity();
+    for (const Zone& z : ns.zones) d = std::min(d, z.distance_to(p));
+    if (d > mine) continue;
+    if (d < best_dist || (d == best_dist && best.valid() && ns.id < best.id)) {
+      best = Peer{naddr, ns.id};
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+// --- message handling ----------------------------------------------------------
+
+bool CanNode::handle(net::NodeAddr from, net::MessagePtr& msg) {
+  PGRID_EXPECTS(msg != nullptr);
+  if (rpc_.consume_reply(msg)) return true;
+  if (!running_) {
+    const auto t = msg->type();
+    return t >= net::kTagCanBase && t < net::kTagCanBase + 0x100;
+  }
+  switch (msg->type()) {
+    case kRouteReq:
+      on_route(from, *net::msg_cast<RouteReq>(msg.get()));
+      return true;
+    case kJoinReq:
+      on_join(from, *net::msg_cast<JoinReq>(msg.get()));
+      return true;
+    case kZoneUpdate:
+      on_zone_update(from, *net::msg_cast<ZoneUpdate>(msg.get()));
+      return true;
+    case kDimLoadReport:
+      on_dim_load(*net::msg_cast<DimLoadReport>(msg.get()));
+      return true;
+    default:
+      return false;
+  }
+}
+
+void CanNode::on_route(net::NodeAddr from, const RouteReq& req) {
+  if (owns(req.target)) {
+    rpc_.reply(from, req, std::make_unique<RouteResp>(true, self_peer()));
+    return;
+  }
+  const Peer next = best_next_hop(req.target, req.avoid);
+  rpc_.reply(from, req, std::make_unique<RouteResp>(false, next));
+}
+
+void CanNode::on_join(net::NodeAddr from, const JoinReq& req) {
+  auto resp = std::make_unique<JoinResp>();
+  // Find our zone containing the joiner's point.
+  auto zit = std::find_if(zones_.begin(), zones_.end(), [&](const Zone& z) {
+    return z.contains(req.point);
+  });
+  if (zit == zones_.end() || req.joiner.addr == addr()) {
+    resp->accepted = false;  // we no longer own the point; joiner retries
+    rpc_.reply(from, req, std::move(resp));
+    return;
+  }
+
+  // Split so both parties keep their representative points where possible.
+  const Point keeper =
+      zit->contains(rep_point_) ? rep_point_ : zit->center();
+  const auto [mine, theirs] = zit->split_for(keeper, req.point);
+  *zit = mine;
+
+  resp->accepted = true;
+  resp->zone = theirs;
+  // Hand over everything the joiner needs to seed its neighbor table:
+  // ourselves plus all our current neighbors.
+  NeighborInfo me;
+  me.peer = self_peer();
+  me.zones = zones_;
+  me.rep_point = rep_point_;
+  me.load = load_;
+  resp->contacts.push_back(std::move(me));
+  for (const auto& [naddr, ns] : neighbors_) {
+    NeighborInfo info;
+    info.peer = Peer{naddr, ns.id};
+    info.zones = ns.zones;
+    info.rep_point = ns.rep_point;
+    info.load = ns.load;
+    resp->contacts.push_back(std::move(info));
+  }
+  rpc_.reply(from, req, std::move(resp));
+
+  // Track the joiner as a neighbor immediately (its zone abuts ours by
+  // construction) and tell everyone about our shrunken zone.
+  NeighborState ns;
+  ns.id = req.joiner.id;
+  ns.zones.assign(1, theirs);
+  ns.rep_point = req.point;
+  ns.load = 0.0;
+  ns.last_heard = net_.simulator().now();
+  neighbors_[req.joiner.addr] = std::move(ns);
+  broadcast_zone_update();
+  prune_neighbors();
+}
+
+void CanNode::on_zone_update(net::NodeAddr from, const ZoneUpdate& msg) {
+  if (from == addr()) return;
+  // A live update cancels any pending takeover of the sender...
+  if (auto it = takeover_timers_.find(from); it != takeover_timers_.end()) {
+    net_.simulator().cancel(it->second);
+    takeover_timers_.erase(it);
+  }
+  // ...and an update overlapping a suspect's zones means someone (possibly
+  // the sender) already took them over. Overlap, not equality: healthy
+  // zones are disjoint, so any overlap implies a claim.
+  for (auto it = takeover_timers_.begin(); it != takeover_timers_.end();) {
+    const auto suspect = neighbors_.find(it->first);
+    bool covered = false;
+    if (suspect != neighbors_.end()) {
+      for (const Zone& sz : suspect->second.zones) {
+        for (const Zone& mz : msg.zones) {
+          if (sz.overlaps(mz)) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) break;
+      }
+    }
+    if (covered) {
+      net_.simulator().cancel(it->second);
+      neighbors_.erase(it->first);
+      it = takeover_timers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Conflict resolution for the rare double-claim race: if the sender holds
+  // a zone identical to one of ours, the lower GUID keeps it.
+  if (msg.sender.id < id_) {
+    bool relinquished = false;
+    for (auto zit = zones_.begin(); zit != zones_.end();) {
+      const bool duplicate = std::find(msg.zones.begin(), msg.zones.end(),
+                                       *zit) != msg.zones.end();
+      if (duplicate && zones_.size() > 1) {
+        zit = zones_.erase(zit);
+        relinquished = true;
+      } else {
+        ++zit;
+      }
+    }
+    if (relinquished) {
+      prune_neighbors();
+      broadcast_zone_update();
+    }
+  }
+
+  // Refresh or create the neighbor entry.
+  bool abuts_me = false;
+  for (const Zone& mz : zones_) {
+    for (const Zone& oz : msg.zones) {
+      if (mz.abuts(oz)) {
+        abuts_me = true;
+        break;
+      }
+    }
+    if (abuts_me) break;
+  }
+  if (!abuts_me) {
+    neighbors_.erase(from);
+    return;
+  }
+  NeighborState& ns = neighbors_[from];
+  ns.id = msg.sender.id;
+  ns.zones = msg.zones;
+  ns.rep_point = msg.rep_point;
+  ns.load = msg.load;
+  ns.last_heard = net_.simulator().now();
+  ns.their_neighbors = msg.neighbor_addrs;
+}
+
+void CanNode::on_dim_load(const DimLoadReport& msg) {
+  if (msg.dim < upstream_load_.size()) {
+    upstream_load_[msg.dim] = msg.report;
+  }
+}
+
+// --- maintenance -----------------------------------------------------------
+
+void CanNode::start_maintenance() {
+  if (!config_.run_maintenance) return;
+  const auto phase =
+      sim::SimTime::nanos(rng_.range(0, config_.update_period.ns() - 1));
+  update_task_ = std::make_unique<sim::PeriodicTask>(
+      net_.simulator(), config_.update_period, [this] { do_update(); }, phase);
+}
+
+void CanNode::do_update() {
+  broadcast_zone_update();
+  send_dim_load_reports();
+  // Failure detection: schedule takeover for stale neighbors.
+  const auto now = net_.simulator().now();
+  for (const auto& [naddr, ns] : neighbors_) {
+    if (now - ns.last_heard > config_.neighbor_timeout) {
+      schedule_takeover(naddr);
+    }
+  }
+}
+
+void CanNode::send_zone_update(net::NodeAddr to) {
+  std::vector<net::NodeAddr> addrs;
+  addrs.reserve(neighbors_.size());
+  for (const auto& [naddr, ns] : neighbors_) addrs.push_back(naddr);
+  rpc_.send(to, std::make_unique<ZoneUpdate>(self_peer(), zones_, rep_point_,
+                                             load_, std::move(addrs)));
+}
+
+void CanNode::broadcast_zone_update(const std::vector<net::NodeAddr>& extra) {
+  for (const auto& [naddr, ns] : neighbors_) send_zone_update(naddr);
+  for (net::NodeAddr a : extra) {
+    if (neighbors_.find(a) == neighbors_.end() && a != addr()) {
+      send_zone_update(a);
+    }
+  }
+}
+
+void CanNode::send_dim_load_reports() {
+  // For each dimension: blend our load with the report heard from above and
+  // push the result to every neighbor strictly below us in that dimension.
+  for (std::size_t d = 0; d < config_.dims; ++d) {
+    const double above = upstream_load_[d];
+    const double report = above < 0.0
+                              ? load_
+                              : config_.push_alpha * load_ +
+                                    (1.0 - config_.push_alpha) * above;
+    for (const auto& [naddr, ns] : neighbors_) {
+      // "Below along d": some zone of theirs abuts some zone of ours with
+      // their high face touching our low face in dimension d.
+      bool below = false;
+      for (const Zone& mz : zones_) {
+        for (const Zone& oz : ns.zones) {
+          if (oz.hi()[d] == mz.lo()[d] && mz.abuts(oz)) {
+            below = true;
+            break;
+          }
+        }
+        if (below) break;
+      }
+      if (below) {
+        rpc_.send(naddr, std::make_unique<DimLoadReport>(
+                             static_cast<std::uint32_t>(d), report));
+      }
+    }
+  }
+}
+
+void CanNode::prune_neighbors() {
+  for (auto it = neighbors_.begin(); it != neighbors_.end();) {
+    bool abuts_me = false;
+    for (const Zone& mz : zones_) {
+      for (const Zone& oz : it->second.zones) {
+        if (mz.abuts(oz)) {
+          abuts_me = true;
+          break;
+        }
+      }
+      if (abuts_me) break;
+    }
+    it = abuts_me ? std::next(it) : neighbors_.erase(it);
+  }
+}
+
+void CanNode::schedule_takeover(net::NodeAddr dead) {
+  if (takeover_timers_.find(dead) != takeover_timers_.end()) return;
+  if (neighbors_.find(dead) == neighbors_.end()) return;
+  // Smaller claimants fire first; a deterministic GUID-derived stagger
+  // separates near-equal volumes by much more than one network latency,
+  // so the winner's announcement cancels the others' timers in time.
+  const double share = std::min(1.0, total_volume());
+  const auto stagger = static_cast<std::int64_t>(id_.value() % 1024) *
+                       sim::SimTime::millis(2).ns();
+  const auto delay = sim::SimTime::nanos(
+      config_.takeover_base_delay.ns() +
+      static_cast<std::int64_t>(share *
+                                static_cast<double>(
+                                    config_.takeover_base_delay.ns()) * 4.0) +
+      stagger);
+  takeover_timers_[dead] =
+      net_.simulator().schedule_in(delay, [this, dead] {
+        takeover_timers_.erase(dead);
+        execute_takeover(dead);
+      });
+}
+
+void CanNode::execute_takeover(net::NodeAddr dead) {
+  auto it = neighbors_.find(dead);
+  if (it == neighbors_.end() || !running_) return;
+  // Claim the dead node's zones and announce to everyone either of us knew.
+  // Claimed zones stay as distinct zone objects (no merging): claims are
+  // then always whole-zone, which keeps the double-claim conflict
+  // resolution in on_zone_update a simple equality test. (Classic CAN
+  // likewise defers zone coalescing to a background reassignment.)
+  std::vector<net::NodeAddr> to_notify = it->second.their_neighbors;
+  for (const Zone& z : it->second.zones) zones_.push_back(z);
+  neighbors_.erase(it);
+  ++stats_.takeovers;
+  prune_neighbors();
+  broadcast_zone_update(to_notify);
+}
+
+}  // namespace pgrid::can

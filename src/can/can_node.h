@@ -1,0 +1,172 @@
+#pragma once
+// CAN node: owns one or more zones of [0,1)^d, maintains the neighbor set,
+// routes greedily, splits on join, and takes over neighbors' zones on
+// failure (smallest-volume claimant first, per the CAN paper's takeover).
+//
+// Like ChordNode, a CanNode does not register itself on the network; its
+// host forwards messages to handle() so grid nodes can stack layers on one
+// address.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "can/geometry.h"
+#include "can/messages.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+
+namespace pgrid::can {
+
+struct CanConfig {
+  std::size_t dims = 4;
+  sim::SimTime update_period = sim::SimTime::seconds(2.0);
+  /// A neighbor unheard for this long is suspected dead.
+  sim::SimTime neighbor_timeout = sim::SimTime::seconds(7.0);
+  sim::SimTime rpc_timeout = sim::SimTime::seconds(2.0);
+  /// Transmissions per RPC before the peer is presumed dead.
+  int rpc_attempts = 2;
+  /// Takeover timers are this base scaled by the claimant's volume share,
+  /// so smaller nodes claim first (approximate CAN takeover ordering).
+  sim::SimTime takeover_base_delay = sim::SimTime::seconds(1.0);
+  int route_retries = 3;
+  bool run_maintenance = true;
+  /// Weight of a node's own load in the per-dimension upstream load report
+  /// (the remainder comes from the report received from above).
+  double push_alpha = 0.5;
+};
+
+struct CanStats {
+  std::uint64_t routes_started = 0;
+  std::uint64_t routes_ok = 0;
+  std::uint64_t routes_failed = 0;
+  std::uint64_t takeovers = 0;
+  RunningStats route_hops;
+};
+
+/// Everything a node knows about a neighbor.
+struct NeighborState {
+  Guid id;
+  std::vector<Zone> zones;
+  Point rep_point;  // the neighbor's coordinates (capabilities)
+  double load = 0.0;
+  sim::SimTime last_heard;
+  std::vector<net::NodeAddr> their_neighbors;
+};
+
+class CanNode {
+ public:
+  using RouteCallback = std::function<void(Peer owner, int hops)>;
+
+  CanNode(net::Network& network, net::NodeAddr self, Guid id, Point rep_point,
+          CanConfig config, Rng rng);
+  ~CanNode();
+
+  CanNode(const CanNode&) = delete;
+  CanNode& operator=(const CanNode&) = delete;
+
+  /// Become the first node: own the whole space.
+  void create();
+
+  /// Join via `bootstrap`: route to the owner of this node's representative
+  /// point and ask it to split its zone.
+  void join(Peer bootstrap, std::function<void(bool ok)> done);
+
+  void crash();
+
+  /// Resolve the owner of `target`, starting from this node.
+  void route(Point target, RouteCallback cb);
+
+  bool handle(net::NodeAddr from, net::MessagePtr& msg);
+
+  // --- observers used by the matchmaking layer --------------------------
+  [[nodiscard]] Guid id() const noexcept { return id_; }
+  [[nodiscard]] net::NodeAddr addr() const noexcept { return rpc_.self(); }
+  [[nodiscard]] Peer self_peer() const noexcept { return Peer{addr(), id_}; }
+  [[nodiscard]] const Point& rep_point() const noexcept { return rep_point_; }
+  [[nodiscard]] const std::vector<Zone>& zones() const noexcept {
+    return zones_;
+  }
+  [[nodiscard]] const std::map<net::NodeAddr, NeighborState>& neighbors()
+      const noexcept {
+    return neighbors_;
+  }
+  [[nodiscard]] bool owns(const Point& p) const noexcept;
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] const CanStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CanConfig& config() const noexcept { return config_; }
+
+  /// Load advertised to neighbors (the grid layer sets its queue length).
+  void set_load(double load) noexcept { load_ = load; }
+  [[nodiscard]] double load() const noexcept { return load_; }
+
+  /// Exponentially-weighted load of nodes above this one along `dim`
+  /// (negative if nothing has been heard yet).
+  [[nodiscard]] double upstream_load(std::size_t dim) const {
+    return upstream_load_.at(dim);
+  }
+
+  /// Instant bootstrap: install zones and neighbor table directly.
+  void install_state(std::vector<Zone> zones,
+                     std::map<net::NodeAddr, NeighborState> neighbors);
+
+ private:
+  struct RouteState {
+    Point target;
+    RouteCallback cb;
+    int hops = 0;
+    int retries_left = 0;
+    std::vector<Guid> avoid;
+  };
+
+  void route_restart(const std::shared_ptr<RouteState>& st);
+  void route_ask(const std::shared_ptr<RouteState>& st, Peer target);
+  void route_done(const std::shared_ptr<RouteState>& st, Peer owner);
+  void route_failed(const std::shared_ptr<RouteState>& st);
+
+  /// The neighbor whose zones are closest to `p` (strictly closer than our
+  /// own zones), skipping `avoid`; kNoPeer at a greedy dead end.
+  [[nodiscard]] Peer best_next_hop(const Point& p,
+                                   const std::vector<Guid>& avoid) const;
+  [[nodiscard]] double my_distance_to(const Point& p) const noexcept;
+
+  void on_route(net::NodeAddr from, const RouteReq& req);
+  void on_join(net::NodeAddr from, const JoinReq& req);
+  void on_zone_update(net::NodeAddr from, const ZoneUpdate& msg);
+  void on_dim_load(const DimLoadReport& msg);
+
+  void start_maintenance();
+  void do_update();
+  void send_zone_update(net::NodeAddr to);
+  void broadcast_zone_update(const std::vector<net::NodeAddr>& extra = {});
+  void send_dim_load_reports();
+  /// Drop neighbors that no longer abut any of our zones.
+  void prune_neighbors();
+  void schedule_takeover(net::NodeAddr dead);
+  void execute_takeover(net::NodeAddr dead);
+  [[nodiscard]] double total_volume() const noexcept;
+
+  net::Network& net_;
+  net::RpcEndpoint rpc_;
+  Guid id_;
+  Point rep_point_;
+  CanConfig config_;
+  Rng rng_;
+
+  bool running_ = false;
+  std::vector<Zone> zones_;
+  std::map<net::NodeAddr, NeighborState> neighbors_;
+  std::map<net::NodeAddr, sim::EventId> takeover_timers_;
+  double load_ = 0.0;
+  std::vector<double> upstream_load_;
+
+  std::unique_ptr<sim::PeriodicTask> update_task_;
+  CanStats stats_;
+};
+
+}  // namespace pgrid::can

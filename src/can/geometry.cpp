@@ -1,0 +1,184 @@
+#include "can/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pgrid::can {
+
+bool Point::dominates(const Point& other, std::size_t real_dims) const noexcept {
+  PGRID_ASSERT(dims_ == other.dims_);
+  const std::size_t limit = std::min(real_dims, dims_);
+  for (std::size_t d = 0; d < limit; ++d) {
+    if (coords_[d] < other.coords_[d]) return false;
+  }
+  return true;
+}
+
+bool Point::exceeds_somewhere(const Point& other,
+                              std::size_t real_dims) const noexcept {
+  PGRID_ASSERT(dims_ == other.dims_);
+  const std::size_t limit = std::min(real_dims, dims_);
+  for (std::size_t d = 0; d < limit; ++d) {
+    if (coords_[d] > other.coords_[d]) return true;
+  }
+  return false;
+}
+
+double Point::distance_to(const Point& other) const noexcept {
+  PGRID_ASSERT(dims_ == other.dims_);
+  double sum = 0.0;
+  for (std::size_t d = 0; d < dims_; ++d) {
+    const double diff = coords_[d] - other.coords_[d];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+std::string Point::str() const {
+  std::string out = "(";
+  char buf[32];
+  for (std::size_t d = 0; d < dims_; ++d) {
+    std::snprintf(buf, sizeof buf, "%s%.3f", d ? "," : "", coords_[d]);
+    out += buf;
+  }
+  return out + ")";
+}
+
+Zone Zone::whole(std::size_t dims) {
+  Point lo(dims), hi(dims);
+  for (std::size_t d = 0; d < dims; ++d) hi[d] = 1.0;
+  return Zone{lo, hi};
+}
+
+bool Zone::contains(const Point& p) const noexcept {
+  PGRID_ASSERT(p.dims() == dims());
+  for (std::size_t d = 0; d < dims(); ++d) {
+    if (p[d] < lo_[d] || p[d] >= hi_[d]) return false;
+  }
+  return true;
+}
+
+double Zone::volume() const noexcept {
+  double v = 1.0;
+  for (std::size_t d = 0; d < dims(); ++d) v *= extent(d);
+  return v;
+}
+
+Point Zone::center() const noexcept {
+  Point c(dims());
+  for (std::size_t d = 0; d < dims(); ++d) c[d] = (lo_[d] + hi_[d]) / 2.0;
+  return c;
+}
+
+double Zone::distance_to(const Point& p) const noexcept {
+  PGRID_ASSERT(p.dims() == dims());
+  double sum = 0.0;
+  for (std::size_t d = 0; d < dims(); ++d) {
+    double gap = 0.0;
+    if (p[d] < lo_[d]) {
+      gap = lo_[d] - p[d];
+    } else if (p[d] > hi_[d]) {
+      gap = p[d] - hi_[d];
+    }
+    sum += gap * gap;
+  }
+  return std::sqrt(sum);
+}
+
+bool Zone::abuts(const Zone& other) const noexcept {
+  PGRID_ASSERT(other.dims() == dims());
+  std::size_t touching = 0;
+  for (std::size_t d = 0; d < dims(); ++d) {
+    const bool touch = (hi_[d] == other.lo_[d]) || (other.hi_[d] == lo_[d]);
+    const bool overlap = (lo_[d] < other.hi_[d]) && (other.lo_[d] < hi_[d]);
+    if (touch) {
+      ++touching;
+    } else if (!overlap) {
+      return false;  // separated in this dimension
+    }
+  }
+  return touching == 1;
+}
+
+bool Zone::overlaps(const Zone& other) const noexcept {
+  PGRID_ASSERT(other.dims() == dims());
+  for (std::size_t d = 0; d < dims(); ++d) {
+    if (lo_[d] >= other.hi_[d] || other.lo_[d] >= hi_[d]) return false;
+  }
+  return true;
+}
+
+std::pair<Zone, Zone> Zone::split(std::size_t d) const {
+  PGRID_EXPECTS(d < dims());
+  const double mid = (lo_[d] + hi_[d]) / 2.0;
+  PGRID_ENSURES(mid > lo_[d] && mid < hi_[d]);  // FP underflow guard
+  Point lower_hi = hi_;
+  lower_hi[d] = mid;
+  Point upper_lo = lo_;
+  upper_lo[d] = mid;
+  return {Zone{lo_, lower_hi}, Zone{upper_lo, hi_}};
+}
+
+std::pair<Zone, Zone> Zone::split_for(const Point& keeper,
+                                      const Point& joiner) const {
+  PGRID_EXPECTS(contains(keeper));
+  PGRID_EXPECTS(contains(joiner));
+  // Candidate dimensions sorted by extent (largest first, index tie-break).
+  std::array<std::size_t, kMaxDims> order{};
+  for (std::size_t d = 0; d < dims(); ++d) order[d] = d;
+  std::sort(order.begin(), order.begin() + static_cast<long>(dims()),
+            [this](std::size_t a, std::size_t b) {
+              if (extent(a) != extent(b)) return extent(a) > extent(b);
+              return a < b;
+            });
+
+  // Split at the midpoint between the two points along the widest
+  // dimension that separates them: both parties keep their own point.
+  for (std::size_t i = 0; i < dims(); ++i) {
+    const std::size_t d = order[i];
+    if (keeper[d] == joiner[d]) continue;
+    const double cut = (keeper[d] + joiner[d]) / 2.0;
+    const double lo_side = std::min(keeper[d], joiner[d]);
+    const double hi_side = std::max(keeper[d], joiner[d]);
+    // FP guard: adjacent doubles can make the midpoint collapse onto one
+    // of the points; such a dimension cannot separate them cleanly.
+    if (!(lo_side < cut && cut <= hi_side)) continue;
+    Point lower_hi = hi_;
+    lower_hi[d] = cut;
+    Point upper_lo = lo_;
+    upper_lo[d] = cut;
+    const Zone low{lo_, lower_hi};
+    const Zone high{upper_lo, hi_};
+    return keeper[d] < cut ? std::pair{low, high} : std::pair{high, low};
+  }
+  // Inseparable (coincident points): split the largest dimension in half
+  // and give the joiner the half not containing the keeper.
+  const auto [low, high] = split(order[0]);
+  return low.contains(keeper) ? std::pair{low, high} : std::pair{high, low};
+}
+
+bool Zone::try_merge(const Zone& other, Zone* merged) const {
+  PGRID_ASSERT(other.dims() == dims());
+  PGRID_EXPECTS(merged != nullptr);
+  // Mergeable iff identical in all dimensions except one, where they touch.
+  std::size_t touch_dim = dims();
+  for (std::size_t d = 0; d < dims(); ++d) {
+    if (lo_[d] == other.lo_[d] && hi_[d] == other.hi_[d]) continue;
+    const bool touch = (hi_[d] == other.lo_[d]) || (other.hi_[d] == lo_[d]);
+    if (!touch || touch_dim != dims()) return false;
+    touch_dim = d;
+  }
+  if (touch_dim == dims()) return false;  // identical zones: not a merge
+  Point lo = lo_, hi = hi_;
+  lo[touch_dim] = std::min(lo_[touch_dim], other.lo()[touch_dim]);
+  hi[touch_dim] = std::max(hi_[touch_dim], other.hi()[touch_dim]);
+  *merged = Zone{lo, hi};
+  return true;
+}
+
+std::string Zone::str() const {
+  return lo_.str() + ".." + hi_.str();
+}
+
+}  // namespace pgrid::can

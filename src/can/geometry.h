@@ -1,0 +1,140 @@
+#pragma once
+// Geometry of the Content-Addressable Network (Ratnasamy et al.,
+// SIGCOMM'01): points in the d-dimensional unit cube and axis-aligned
+// rectangular zones that tile it.
+//
+// Non-torus variant: the paper's matchmaking treats coordinates as resource
+// quantities, where "greater" means "more capable", so the space does not
+// wrap (pushing a job "up" a dimension must not wrap around to the origin).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/expects.h"
+
+namespace pgrid::can {
+
+inline constexpr std::size_t kMaxDims = 8;
+
+/// A point in [0,1)^d.
+class Point {
+ public:
+  Point() noexcept : dims_(0) { coords_.fill(0.0); }
+
+  explicit Point(std::size_t dims) noexcept : dims_(dims) {
+    PGRID_EXPECTS(dims >= 1 && dims <= kMaxDims);
+    coords_.fill(0.0);
+  }
+
+  Point(std::initializer_list<double> coords) noexcept
+      : dims_(coords.size()) {
+    PGRID_EXPECTS(dims_ >= 1 && dims_ <= kMaxDims);
+    coords_.fill(0.0);
+    std::size_t i = 0;
+    for (double c : coords) coords_[i++] = c;
+  }
+
+  [[nodiscard]] std::size_t dims() const noexcept { return dims_; }
+  [[nodiscard]] double operator[](std::size_t d) const noexcept {
+    PGRID_ASSERT(d < dims_);
+    return coords_[d];
+  }
+  double& operator[](std::size_t d) noexcept {
+    PGRID_ASSERT(d < dims_);
+    return coords_[d];
+  }
+
+  /// True iff every coordinate of this point >= the other's ("at least as
+  /// capable in all dimensions" in matchmaking terms). Optionally restricted
+  /// to the first `real_dims` dimensions (excluding the virtual dimension).
+  [[nodiscard]] bool dominates(const Point& other,
+                               std::size_t real_dims) const noexcept;
+
+  /// Strictly greater in at least one of the first `real_dims` dimensions.
+  [[nodiscard]] bool exceeds_somewhere(const Point& other,
+                                       std::size_t real_dims) const noexcept;
+
+  [[nodiscard]] double distance_to(const Point& other) const noexcept;
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Point& a, const Point& b) noexcept {
+    if (a.dims_ != b.dims_) return false;
+    for (std::size_t d = 0; d < a.dims_; ++d) {
+      if (a.coords_[d] != b.coords_[d]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<double, kMaxDims> coords_;
+  std::size_t dims_;
+};
+
+/// An axis-aligned half-open box [lo, hi) in [0,1)^d.
+class Zone {
+ public:
+  Zone() noexcept = default;
+
+  Zone(Point lo, Point hi) noexcept : lo_(lo), hi_(hi) {
+    PGRID_EXPECTS(lo.dims() == hi.dims());
+    for (std::size_t d = 0; d < lo.dims(); ++d) {
+      PGRID_EXPECTS(lo[d] < hi[d]);
+    }
+  }
+
+  /// The whole unit cube.
+  [[nodiscard]] static Zone whole(std::size_t dims);
+
+  [[nodiscard]] std::size_t dims() const noexcept { return lo_.dims(); }
+  [[nodiscard]] const Point& lo() const noexcept { return lo_; }
+  [[nodiscard]] const Point& hi() const noexcept { return hi_; }
+  [[nodiscard]] bool valid() const noexcept { return lo_.dims() > 0; }
+
+  [[nodiscard]] bool contains(const Point& p) const noexcept;
+  [[nodiscard]] double volume() const noexcept;
+  [[nodiscard]] Point center() const noexcept;
+  [[nodiscard]] double extent(std::size_t d) const noexcept {
+    return hi_[d] - lo_[d];
+  }
+
+  /// Minimum Euclidean distance from `p` to this box (0 if contained).
+  [[nodiscard]] double distance_to(const Point& p) const noexcept;
+
+  /// True iff the two zones share a (d-1)-dimensional face: their intervals
+  /// touch in exactly one dimension and overlap with positive measure in
+  /// every other dimension. This is the CAN neighbor relation.
+  [[nodiscard]] bool abuts(const Zone& other) const noexcept;
+
+  /// Interval overlap (positive measure) in every dimension.
+  [[nodiscard]] bool overlaps(const Zone& other) const noexcept;
+
+  /// Split at the midpoint of dimension `d`; first = lower half.
+  [[nodiscard]] std::pair<Zone, Zone> split(std::size_t d) const;
+
+  /// Choose the split that separates `keeper` (stays with the current
+  /// owner) from `joiner` (goes to the joining node): splits at the
+  /// midpoint *between the two points* along the dimension of largest
+  /// extent in which they differ, so that each party keeps its own point
+  /// (the paper's "node coordinates = capabilities" property). Falls back
+  /// to a midpoint split of the largest dimension if the points coincide.
+  /// Returns {owner_zone, joiner_zone}.
+  [[nodiscard]] std::pair<Zone, Zone> split_for(const Point& keeper,
+                                                const Point& joiner) const;
+
+  /// True iff merging with `other` yields a box; if so `merged` is set.
+  [[nodiscard]] bool try_merge(const Zone& other, Zone* merged) const;
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Zone& a, const Zone& b) noexcept {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+}  // namespace pgrid::can

@@ -1,0 +1,141 @@
+#pragma once
+// CAN protocol messages: greedy routing (iterative, initiator-driven so the
+// matchmaking-cost hop counts accrue at the initiator), zone join/split,
+// periodic neighbor refresh doubling as failure detector, takeover claims,
+// and the per-dimension load reports used by the improved ("push")
+// matchmaking variant of §3.3.
+
+#include <cstdint>
+#include <vector>
+
+#include "can/geometry.h"
+#include "chord/peer.h"
+#include "net/message.h"
+
+namespace pgrid::can {
+
+using chord::Peer;  // same (addr, GUID) pair shape
+using chord::kNoPeer;
+
+enum MsgType : std::uint16_t {
+  kRouteReq = net::kTagCanBase + 0,
+  kRouteResp = net::kTagCanBase + 1,
+  kJoinReq = net::kTagCanBase + 2,
+  kJoinResp = net::kTagCanBase + 3,
+  kZoneUpdate = net::kTagCanBase + 4,
+  kDimLoadReport = net::kTagCanBase + 5,
+};
+
+/// Wire snapshot of a node's zone holdings, for join handoff.
+struct NeighborInfo {
+  Peer peer;
+  std::vector<Zone> zones;
+  Point rep_point;  // the node's coordinates (its capabilities)
+  double load = 0.0;
+};
+
+struct RouteReq final : net::Message {
+  static constexpr std::uint16_t kType = kRouteReq;
+
+  explicit RouteReq(Point t) : Message(kType), target(t) {}
+
+  Point target;
+  /// Dead nodes observed by the initiator during this route.
+  std::vector<Guid> avoid;
+
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return target.dims() * 8 + avoid.size() * 8;
+  }
+};
+
+struct RouteResp final : net::Message {
+  static constexpr std::uint16_t kType = kRouteResp;
+
+  RouteResp(bool d, Peer n) : Message(kType), done(d), node(n) {}
+
+  /// done: the responder owns the target point (node == responder).
+  /// !done: `node` is the responder's neighbor closest to the target;
+  ///        invalid node means the responder is a greedy dead end.
+  bool done;
+  Peer node;
+
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 13;
+  }
+};
+
+struct JoinReq final : net::Message {
+  static constexpr std::uint16_t kType = kJoinReq;
+
+  JoinReq(Peer j, Point p) : Message(kType), joiner(j), point(p) {}
+
+  Peer joiner;
+  Point point;
+
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 12 + point.dims() * 8;
+  }
+};
+
+struct JoinResp final : net::Message {
+  static constexpr std::uint16_t kType = kJoinResp;
+
+  JoinResp() : Message(kType) {}
+
+  bool accepted = false;
+  Zone zone;  // the joiner's new zone
+  /// The splitting owner and its neighbors: the joiner's initial contacts.
+  std::vector<NeighborInfo> contacts;
+
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    std::size_t s = 1 + 2 * kMaxDims * 8;
+    for (const auto& c : contacts) s += 12 + 8 + c.zones.size() * 2 * kMaxDims * 8;
+    return s;
+  }
+};
+
+/// Periodic neighbor refresh: zones + load + (for takeover) the sender's
+/// neighbor addresses. Absence of these for `neighbor_timeout` marks the
+/// sender suspect.
+struct ZoneUpdate final : net::Message {
+  static constexpr std::uint16_t kType = kZoneUpdate;
+
+  ZoneUpdate(Peer s, std::vector<Zone> z, Point rep, double l,
+             std::vector<net::NodeAddr> nbrs)
+      : Message(kType),
+        sender(s),
+        zones(std::move(z)),
+        rep_point(rep),
+        load(l),
+        neighbor_addrs(std::move(nbrs)) {}
+
+  Peer sender;
+  std::vector<Zone> zones;
+  Point rep_point;
+  double load;
+  std::vector<net::NodeAddr> neighbor_addrs;
+
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 12 + zones.size() * 2 * kMaxDims * 8 + 8 + neighbor_addrs.size() * 4;
+  }
+};
+
+/// Exponentially-weighted load of the region "above" the sender along one
+/// dimension, propagated hop-by-hop in the negative direction (the "fixed
+/// amount of current system load information ... propagated along each
+/// dimension" of §3.3).
+struct DimLoadReport final : net::Message {
+  static constexpr std::uint16_t kType = kDimLoadReport;
+
+  DimLoadReport(std::uint32_t d, double r)
+      : Message(kType), dim(d), report(r) {}
+
+  std::uint32_t dim;
+  double report;
+
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 12;
+  }
+};
+
+}  // namespace pgrid::can

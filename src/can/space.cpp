@@ -1,0 +1,131 @@
+#include "can/space.h"
+
+#include <algorithm>
+
+#include "common/expects.h"
+
+namespace pgrid::can {
+
+CanSpace::CanSpace(net::Network& network, CanConfig config, Rng rng)
+    : net_(network), config_(config), rng_(rng) {}
+
+CanHost& CanSpace::add_host(Guid id, Point rep_point) {
+  hosts_.push_back(std::make_unique<CanHost>(net_, id, rep_point, config_,
+                                             rng_.fork(hosts_.size())));
+  alive_.push_back(true);
+  return *hosts_.back();
+}
+
+void wire_space_instantly(const std::vector<CanNode*>& nodes,
+                          std::size_t dims) {
+  PGRID_EXPECTS(!nodes.empty());
+  // Logical replay of sequential joins: node i's zone is found by splitting
+  // the zone currently containing its representative point, with the same
+  // split_for rule the protocol uses.
+  std::vector<Zone> zone_of(nodes.size());
+  zone_of[0] = Zone::whole(dims);
+  for (std::size_t k = 1; k < nodes.size(); ++k) {
+    const Point& jp = nodes[k]->rep_point();
+    std::size_t owner = 0;
+    for (std::size_t m = 0; m < k; ++m) {
+      if (zone_of[m].contains(jp)) {
+        owner = m;
+        break;
+      }
+    }
+    const Point& op = nodes[owner]->rep_point();
+    const Point keeper =
+        zone_of[owner].contains(op) ? op : zone_of[owner].center();
+    const auto [mine, theirs] = zone_of[owner].split_for(keeper, jp);
+    zone_of[owner] = mine;
+    zone_of[k] = theirs;
+  }
+
+  // Exact neighbor tables (including neighbor-of-neighbor addresses, which
+  // the takeover protocol needs).
+  std::vector<std::vector<net::NodeAddr>> nbr_addrs(nodes.size());
+  for (std::size_t a = 0; a < nodes.size(); ++a) {
+    for (std::size_t b = 0; b < nodes.size(); ++b) {
+      if (a != b && zone_of[a].abuts(zone_of[b])) {
+        nbr_addrs[a].push_back(nodes[b]->addr());
+      }
+    }
+  }
+
+  for (std::size_t a = 0; a < nodes.size(); ++a) {
+    std::map<net::NodeAddr, NeighborState> table;
+    for (std::size_t b = 0; b < nodes.size(); ++b) {
+      if (a == b || !zone_of[a].abuts(zone_of[b])) continue;
+      NeighborState ns;
+      ns.id = nodes[b]->id();
+      ns.zones.assign(1, zone_of[b]);
+      ns.rep_point = nodes[b]->rep_point();
+      ns.load = 0.0;
+      ns.their_neighbors = nbr_addrs[b];
+      table.emplace(nodes[b]->addr(), std::move(ns));
+    }
+    nodes[a]->install_state({zone_of[a]}, std::move(table));
+  }
+}
+
+void CanSpace::wire_instantly() {
+  std::vector<CanNode*> live;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (alive_[i]) live.push_back(&hosts_[i]->node());
+  }
+  wire_space_instantly(live, config_.dims);
+}
+
+Peer CanSpace::oracle_owner(const Point& p) const {
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (!alive_[i]) continue;
+    if (hosts_[i]->node().owns(p)) {
+      return Peer{hosts_[i]->addr(), hosts_[i]->node().id()};
+    }
+  }
+  return kNoPeer;
+}
+
+void CanSpace::crash(std::size_t index) {
+  PGRID_EXPECTS(index < hosts_.size());
+  if (!alive_[index]) return;
+  alive_[index] = false;
+  net_.set_alive(hosts_[index]->addr(), false);
+  hosts_[index]->node().crash();
+}
+
+void CanSpace::restart(std::size_t index) {
+  PGRID_EXPECTS(index < hosts_.size());
+  if (alive_[index]) return;
+  alive_[index] = true;
+  net_.set_alive(hosts_[index]->addr(), true);
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (i != index && alive_[i]) {
+      const CanNode& boot = hosts_[i]->node();
+      hosts_[index]->node().join(Peer{boot.addr(), boot.id()}, nullptr);
+      return;
+    }
+  }
+  hosts_[index]->node().create();
+}
+
+bool CanSpace::zones_tile_space(double tolerance) const {
+  double total = 0.0;
+  std::vector<Zone> all;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (!alive_[i]) continue;
+    for (const Zone& z : hosts_[i]->node().zones()) {
+      total += z.volume();
+      all.push_back(z);
+    }
+  }
+  if (std::abs(total - 1.0) > tolerance) return false;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      if (all[i].overlaps(all[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pgrid::can

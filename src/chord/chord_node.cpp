@@ -1,0 +1,370 @@
+#include "chord/chord_node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace pgrid::chord {
+
+namespace {
+constexpr int kMaxLookupHops = 128;  // loop guard far above log2(N)
+
+bool contains_id(const std::vector<Guid>& ids, Guid id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+}  // namespace
+
+ChordNode::ChordNode(net::Network& network, net::NodeAddr self, Guid id,
+                     ChordConfig config, Rng rng)
+    : net_(network), rpc_(network, self), id_(id), config_(config), rng_(rng) {
+  PGRID_EXPECTS(config.successor_list_len >= 1);
+}
+
+ChordNode::~ChordNode() = default;
+
+void ChordNode::create() {
+  running_ = true;
+  predecessor_ = kNoPeer;
+  successors_.assign(1, self_peer());
+  fingers_.fill(kNoPeer);
+  start_maintenance();
+}
+
+void ChordNode::join(Peer bootstrap, std::function<void(bool ok)> done) {
+  PGRID_EXPECTS(bootstrap.valid());
+  running_ = true;
+  predecessor_ = kNoPeer;
+  successors_.clear();
+  fingers_.fill(kNoPeer);
+
+  // Resolve successor(id) through the bootstrap node: a one-off remote
+  // lookup driven by this node before it has any routing state.
+  auto st = std::make_shared<LookupState>();
+  st->key = id_;
+  st->retries_left = config_.lookup_retries;
+  st->cb = [this, done = std::move(done)](Peer succ, int /*hops*/) {
+    if (!running_) return;
+    if (!succ.valid()) {
+      if (done) done(false);
+      return;
+    }
+    // A singleton bootstrap may answer with the joiner itself once the
+    // joiner's GUID equals the key; guard against self-successorship.
+    if (succ.addr == addr()) succ = kNoPeer;
+    if (succ.valid()) {
+      successors_.assign(1, succ);
+      start_maintenance();
+      rpc_.send(succ.addr, std::make_unique<Notify>(self_peer()));
+      if (done) done(true);
+    } else if (done) {
+      done(false);
+    }
+  };
+  lookup_ask(st, bootstrap);
+}
+
+void ChordNode::crash() {
+  running_ = false;
+  stabilize_task_.reset();
+  fix_fingers_task_.reset();
+  check_pred_task_.reset();
+  rpc_.cancel_all();
+  predecessor_ = kNoPeer;
+  successors_.clear();
+  fingers_.fill(kNoPeer);
+}
+
+void ChordNode::install_state(Peer predecessor, std::vector<Peer> successor_list,
+                              std::array<Peer, kBits> fingers) {
+  running_ = true;
+  predecessor_ = predecessor;
+  successors_ = std::move(successor_list);
+  fingers_ = fingers;
+  PGRID_EXPECTS(!successors_.empty());
+  start_maintenance();
+}
+
+void ChordNode::start_maintenance() {
+  if (!config_.run_maintenance) return;
+  auto& simulator = net_.simulator();
+  // Desynchronize periodic work across nodes with a random initial phase.
+  const auto phase = [&](sim::SimTime period) {
+    return sim::SimTime::nanos(rng_.range(0, period.ns() - 1));
+  };
+  stabilize_task_ = std::make_unique<sim::PeriodicTask>(
+      simulator, config_.stabilize_period, [this] { do_stabilize(); },
+      phase(config_.stabilize_period));
+  fix_fingers_task_ = std::make_unique<sim::PeriodicTask>(
+      simulator, config_.fix_fingers_period, [this] { do_fix_fingers(); },
+      phase(config_.fix_fingers_period));
+  check_pred_task_ = std::make_unique<sim::PeriodicTask>(
+      simulator, config_.check_predecessor_period,
+      [this] { do_check_predecessor(); },
+      phase(config_.check_predecessor_period));
+}
+
+// --- lookups ---------------------------------------------------------------
+
+void ChordNode::lookup(Guid key, LookupCallback cb) {
+  PGRID_EXPECTS(cb != nullptr);
+  ++stats_.lookups_started;
+  if (!running_ || successors_.empty()) {
+    ++stats_.lookups_failed;
+    cb(kNoPeer, 0);
+    return;
+  }
+  auto st = std::make_shared<LookupState>();
+  st->key = key;
+  st->cb = std::move(cb);
+  st->retries_left = config_.lookup_retries;
+  lookup_restart(st);
+}
+
+void ChordNode::lookup_restart(const std::shared_ptr<LookupState>& st) {
+  if (!running_ || successors_.empty()) {
+    lookup_failed(st);
+    return;
+  }
+  // Local resolution: am I the owner, or is my immediate successor?
+  if (predecessor_.valid() && in_interval_oc(st->key, predecessor_.id, id_)) {
+    lookup_done(st, self_peer());
+    return;
+  }
+  const Peer succ = successor();
+  if (succ.addr == addr() || in_interval_oc(st->key, id_, succ.id)) {
+    lookup_done(st, succ);
+    return;
+  }
+  Peer target = closest_preceding(st->key, st->avoid);
+  if (!target.valid() || target.addr == addr()) target = succ;
+  lookup_ask(st, target);
+}
+
+void ChordNode::lookup_ask(const std::shared_ptr<LookupState>& st,
+                           Peer target) {
+  if (st->hops >= kMaxLookupHops) {
+    lookup_failed(st);
+    return;
+  }
+  ++st->hops;
+  auto make = [key = st->key, avoid = st->avoid]() -> net::MessagePtr {
+    auto req = std::make_unique<NextHopReq>(key);
+    req->avoid = avoid;
+    return req;
+  };
+  rpc_.call_retry(target.addr, std::move(make), config_.rpc_timeout,
+                  config_.rpc_attempts,
+                  [this, st, target](net::MessagePtr reply) {
+              if (!running_) return;
+              if (reply == nullptr) {
+                // Dead hop: scrub it, remember to route around it, retry.
+                remove_failed(target);
+                if (!contains_id(st->avoid, target.id)) {
+                  st->avoid.push_back(target.id);
+                }
+                if (--st->retries_left > 0) {
+                  lookup_restart(st);
+                } else {
+                  lookup_failed(st);
+                }
+                return;
+              }
+              const auto* resp = net::msg_cast<NextHopResp>(reply.get());
+              if (!resp->node.valid()) {
+                lookup_failed(st);
+                return;
+              }
+              if (resp->done) {
+                lookup_done(st, resp->node);
+              } else {
+                lookup_ask(st, resp->node);
+              }
+            });
+}
+
+void ChordNode::lookup_done(const std::shared_ptr<LookupState>& st,
+                            Peer result) {
+  ++stats_.lookups_ok;
+  stats_.lookup_hops.add(st->hops);
+  st->cb(result, st->hops);
+}
+
+void ChordNode::lookup_failed(const std::shared_ptr<LookupState>& st) {
+  ++stats_.lookups_failed;
+  st->cb(kNoPeer, st->hops);
+}
+
+Peer ChordNode::closest_preceding(Guid key,
+                                  const std::vector<Guid>& avoid) const {
+  // Scan fingers high-to-low, then the successor list, for the routing
+  // entry closest to (but strictly before) the key.
+  Peer best = kNoPeer;
+  auto consider = [&](Peer p) {
+    if (!p.valid() || p.addr == addr()) return;
+    if (contains_id(avoid, p.id)) return;
+    if (!in_interval_oo(p.id, id_, key)) return;
+    if (!best.valid() || in_interval_oo(best.id, id_, p.id)) best = p;
+  };
+  for (int i = kBits - 1; i >= 0; --i) {
+    consider(fingers_[static_cast<std::size_t>(i)]);
+  }
+  for (const Peer& p : successors_) consider(p);
+  return best;
+}
+
+// --- incoming messages -------------------------------------------------------
+
+bool ChordNode::handle(net::NodeAddr from, net::MessagePtr& msg) {
+  PGRID_EXPECTS(msg != nullptr);
+  if (rpc_.consume_reply(msg)) return true;
+  if (!running_) {
+    // Stale message for a crashed incarnation; consume Chord-tagged ones.
+    const auto t = msg->type();
+    return t >= net::kTagChordBase && t < net::kTagChordBase + 0x100;
+  }
+  switch (msg->type()) {
+    case kNextHopReq:
+      on_next_hop(from, *net::msg_cast<NextHopReq>(msg.get()));
+      return true;
+    case kStabilizeReq:
+      on_stabilize(from, *net::msg_cast<StabilizeReq>(msg.get()));
+      return true;
+    case kNotify:
+      on_notify(*net::msg_cast<Notify>(msg.get()));
+      return true;
+    case kPingReq:
+      on_ping(from, *net::msg_cast<PingReq>(msg.get()));
+      return true;
+    default:
+      return false;
+  }
+}
+
+void ChordNode::on_next_hop(net::NodeAddr from, const NextHopReq& req) {
+  const Peer succ = successor();
+  if (!succ.valid()) return;  // still joining; initiator will time out & retry
+  if (succ.addr == addr() || in_interval_oc(req.key, id_, succ.id)) {
+    rpc_.reply(from, req, std::make_unique<NextHopResp>(true, succ));
+    return;
+  }
+  Peer next = closest_preceding(req.key, req.avoid);
+  if (!next.valid() || next.addr == addr()) {
+    // No usable finger: hand back the successor as a linear-scan fallback.
+    rpc_.reply(from, req, std::make_unique<NextHopResp>(false, succ));
+    return;
+  }
+  rpc_.reply(from, req, std::make_unique<NextHopResp>(false, next));
+}
+
+void ChordNode::on_stabilize(net::NodeAddr from, const StabilizeReq& req) {
+  rpc_.reply(from, req,
+             std::make_unique<StabilizeResp>(predecessor_, successors_));
+}
+
+void ChordNode::on_notify(const Notify& msg) {
+  if (!msg.peer.valid() || msg.peer.addr == addr()) return;
+  if (!predecessor_.valid() ||
+      in_interval_oo(msg.peer.id, predecessor_.id, id_)) {
+    predecessor_ = msg.peer;
+  }
+}
+
+void ChordNode::on_ping(net::NodeAddr from, const PingReq& req) {
+  rpc_.reply(from, req, std::make_unique<PingResp>());
+}
+
+// --- maintenance -------------------------------------------------------------
+
+void ChordNode::do_stabilize() {
+  if (successors_.empty()) return;
+  const Peer succ = successor();
+  if (succ.addr == addr()) {
+    // Singleton ring: adopt the predecessor as successor once one appears.
+    if (predecessor_.valid() && predecessor_.addr != addr()) {
+      successors_.assign(1, predecessor_);
+    }
+    return;
+  }
+  rpc_.call_retry(succ.addr, [] { return std::make_unique<StabilizeReq>(); },
+                  config_.rpc_timeout, config_.rpc_attempts,
+                  [this, succ](net::MessagePtr reply) {
+              if (!running_) return;
+              if (reply == nullptr) {
+                remove_failed(succ);
+                if (successors_.empty()) successors_.assign(1, self_peer());
+                return;
+              }
+              const auto* resp = net::msg_cast<StabilizeResp>(reply.get());
+              Peer head = succ;
+              const Peer cand = resp->predecessor;
+              if (cand.valid() && cand.addr != addr() &&
+                  in_interval_oo(cand.id, id_, succ.id)) {
+                head = cand;  // a closer successor slipped in between
+              }
+              adopt_successor_list(head, resp->successors);
+              rpc_.send(successor().addr,
+                        std::make_unique<Notify>(self_peer()));
+            });
+}
+
+void ChordNode::adopt_successor_list(Peer head,
+                                     const std::vector<Peer>& tail) {
+  std::vector<Peer> fresh;
+  fresh.reserve(config_.successor_list_len);
+  fresh.push_back(head);
+  for (const Peer& p : tail) {
+    if (fresh.size() >= config_.successor_list_len) break;
+    if (!p.valid() || p.addr == addr()) continue;
+    if (std::find(fresh.begin(), fresh.end(), p) != fresh.end()) continue;
+    fresh.push_back(p);
+  }
+  successors_ = std::move(fresh);
+}
+
+void ChordNode::do_fix_fingers() {
+  const auto i = next_finger_;
+  next_finger_ = (next_finger_ + 1) % kBits;
+  const Guid start{id_.value() + (std::uint64_t{1} << i)};
+  lookup(start, [this, i](Peer result, int /*hops*/) {
+    if (!running_) return;
+    if (result.valid()) fingers_[static_cast<std::size_t>(i)] = result;
+  });
+}
+
+void ChordNode::do_check_predecessor() {
+  if (!predecessor_.valid()) return;
+  const Peer pred = predecessor_;
+  rpc_.call_retry(pred.addr, [] { return std::make_unique<PingReq>(); },
+                  config_.rpc_timeout, config_.rpc_attempts,
+                  [this, pred](net::MessagePtr reply) {
+              if (!running_) return;
+              if (reply == nullptr && predecessor_ == pred) {
+                predecessor_ = kNoPeer;
+              }
+            });
+}
+
+void ChordNode::remove_failed(Peer peer) {
+  successors_.erase(std::remove(successors_.begin(), successors_.end(), peer),
+                    successors_.end());
+  for (auto& f : fingers_) {
+    if (f == peer) f = kNoPeer;
+  }
+  if (predecessor_ == peer) predecessor_ = kNoPeer;
+}
+
+Peer ChordNode::random_peer(Rng& rng) const {
+  std::vector<Peer> candidates;
+  candidates.reserve(kBits + successors_.size());
+  for (const Peer& f : fingers_) {
+    if (f.valid() && f.addr != addr()) candidates.push_back(f);
+  }
+  for (const Peer& p : successors_) {
+    if (p.valid() && p.addr != addr()) candidates.push_back(p);
+  }
+  if (candidates.empty()) return kNoPeer;
+  return candidates[rng.index(candidates.size())];
+}
+
+}  // namespace pgrid::chord

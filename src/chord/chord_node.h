@@ -1,0 +1,161 @@
+#pragma once
+// Chord DHT node (Stoica et al., SIGCOMM'01): the underlying lookup service
+// the paper assumes for the RN-Tree framework and for mapping job GUIDs to
+// owner nodes (Fig. 1 steps 1-2).
+//
+// Iterative lookups (the initiator drives hop-by-hop), successor lists for
+// failure resilience, and the standard stabilize / fix-fingers / check-
+// predecessor maintenance trio, all driven by the discrete-event simulator.
+//
+// A ChordNode does not register itself on the network: its owner (a test
+// host or a grid node that stacks more protocols on the same address)
+// forwards incoming messages to handle().
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "chord/messages.h"
+#include "chord/peer.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+
+namespace pgrid::chord {
+
+struct ChordConfig {
+  sim::SimTime stabilize_period = sim::SimTime::seconds(1.0);
+  sim::SimTime fix_fingers_period = sim::SimTime::millis(500);
+  sim::SimTime check_predecessor_period = sim::SimTime::seconds(1.0);
+  sim::SimTime rpc_timeout = sim::SimTime::seconds(2.0);
+  /// Transmissions per RPC before the peer is presumed dead (retransmission
+  /// keeps one lost datagram from condemning a live node).
+  int rpc_attempts = 2;
+  std::size_t successor_list_len = 8;
+  /// Whole-lookup restarts after observing a dead hop.
+  int lookup_retries = 3;
+  /// Static-membership experiments can skip periodic maintenance entirely.
+  bool run_maintenance = true;
+};
+
+struct ChordStats {
+  std::uint64_t lookups_started = 0;
+  std::uint64_t lookups_ok = 0;
+  std::uint64_t lookups_failed = 0;
+  RunningStats lookup_hops;
+};
+
+class ChordNode {
+ public:
+  static constexpr int kBits = 64;
+
+  /// Lookup continuation: result is successor(key), or invalid on failure;
+  /// hops counts remote next-hop queries issued (0 if resolved locally).
+  using LookupCallback = std::function<void(Peer result, int hops)>;
+
+  ChordNode(net::Network& network, net::NodeAddr self, Guid id,
+            ChordConfig config, Rng rng);
+  ~ChordNode();
+
+  ChordNode(const ChordNode&) = delete;
+  ChordNode& operator=(const ChordNode&) = delete;
+
+  /// Start a new ring containing only this node.
+  void create();
+
+  /// Join an existing ring through `bootstrap`. `done(ok)` fires once the
+  /// successor is resolved; full table convergence happens via maintenance.
+  void join(Peer bootstrap, std::function<void(bool ok)> done);
+
+  /// Crash: stop timers, drop all protocol state and outstanding RPCs.
+  /// (The owner is responsible for marking the address dead on the network.)
+  void crash();
+
+  /// Resolve successor(key) starting from this node.
+  void lookup(Guid key, LookupCallback cb);
+
+  /// Offer an incoming message; returns true iff it was a Chord message.
+  bool handle(net::NodeAddr from, net::MessagePtr& msg);
+
+  [[nodiscard]] Guid id() const noexcept { return id_; }
+  [[nodiscard]] net::NodeAddr addr() const noexcept { return rpc_.self(); }
+  [[nodiscard]] Peer self_peer() const noexcept { return Peer{addr(), id_}; }
+  [[nodiscard]] Peer successor() const noexcept {
+    return successors_.empty() ? kNoPeer : successors_.front();
+  }
+  [[nodiscard]] Peer predecessor() const noexcept { return predecessor_; }
+  [[nodiscard]] const std::vector<Peer>& successor_list() const noexcept {
+    return successors_;
+  }
+  [[nodiscard]] Peer finger(int i) const {
+    return fingers_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] const ChordStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ChordConfig& config() const noexcept { return config_; }
+
+  /// A random routing-table entry (for the RN-Tree's limited random walk).
+  [[nodiscard]] Peer random_peer(Rng& rng) const;
+
+  /// Install exact routing state (instant bootstrap for experiments).
+  void install_state(Peer predecessor, std::vector<Peer> successor_list,
+                     std::array<Peer, kBits> fingers);
+
+ private:
+  // --- message handlers -----------------------------------------------
+  void on_next_hop(net::NodeAddr from, const NextHopReq& req);
+  void on_stabilize(net::NodeAddr from, const StabilizeReq& req);
+  void on_notify(const Notify& msg);
+  void on_ping(net::NodeAddr from, const PingReq& req);
+
+  // --- lookup machinery -------------------------------------------------
+  struct LookupState {
+    Guid key;
+    LookupCallback cb;
+    int hops = 0;
+    int retries_left = 0;
+    std::vector<Guid> avoid;
+  };
+  void lookup_restart(const std::shared_ptr<LookupState>& st);
+  void lookup_ask(const std::shared_ptr<LookupState>& st, Peer target);
+  void lookup_done(const std::shared_ptr<LookupState>& st, Peer result);
+  void lookup_failed(const std::shared_ptr<LookupState>& st);
+
+  /// Closest finger/successor strictly between this node and `key`,
+  /// skipping `avoid`.
+  [[nodiscard]] Peer closest_preceding(Guid key,
+                                       const std::vector<Guid>& avoid) const;
+
+  // --- maintenance -------------------------------------------------------
+  void start_maintenance();
+  void do_stabilize();
+  void do_fix_fingers();
+  void do_check_predecessor();
+  void adopt_successor_list(Peer head, const std::vector<Peer>& tail);
+  void remove_failed(Peer peer);
+
+  net::Network& net_;
+  net::RpcEndpoint rpc_;
+  Guid id_;
+  ChordConfig config_;
+  Rng rng_;
+
+  bool running_ = false;
+  Peer predecessor_ = kNoPeer;
+  std::vector<Peer> successors_;  // front() is the successor
+  std::array<Peer, kBits> fingers_{};
+  int next_finger_ = 0;
+
+  std::unique_ptr<sim::PeriodicTask> stabilize_task_;
+  std::unique_ptr<sim::PeriodicTask> fix_fingers_task_;
+  std::unique_ptr<sim::PeriodicTask> check_pred_task_;
+
+  ChordStats stats_;
+};
+
+}  // namespace pgrid::chord

@@ -1,0 +1,97 @@
+#pragma once
+// Chord protocol messages (Stoica et al., SIGCOMM'01), iterative style:
+// the lookup initiator drives routing hop by hop, so hop counts — the
+// paper's "matchmaking cost" denominator — are counted at the initiator.
+
+#include <cstdint>
+#include <vector>
+
+#include "chord/peer.h"
+#include "net/message.h"
+
+namespace pgrid::chord {
+
+enum MsgType : std::uint16_t {
+  kNextHopReq = net::kTagChordBase + 0,
+  kNextHopResp = net::kTagChordBase + 1,
+  kStabilizeReq = net::kTagChordBase + 2,
+  kStabilizeResp = net::kTagChordBase + 3,
+  kNotify = net::kTagChordBase + 4,
+  kPingReq = net::kTagChordBase + 5,
+  kPingResp = net::kTagChordBase + 6,
+};
+
+/// "Who is the next hop toward `key`?" The receiver answers with either its
+/// successor (done) or its closest preceding finger for the key.
+struct NextHopReq final : net::Message {
+  static constexpr std::uint16_t kType = kNextHopReq;
+
+  explicit NextHopReq(Guid k) : Message(kType), key(k) {}
+
+  Guid key;
+  /// Nodes the initiator has observed dead during this lookup; the receiver
+  /// skips them when picking the next hop (bounded fault-avoidance state).
+  std::vector<Guid> avoid;
+
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 8 + avoid.size() * 8;
+  }
+};
+
+struct NextHopResp final : net::Message {
+  static constexpr std::uint16_t kType = kNextHopResp;
+
+  NextHopResp(bool d, Peer n) : Message(kType), done(d), node(n) {}
+
+  /// True: `node` is successor(key). False: `node` is the next node to ask.
+  bool done;
+  Peer node;
+
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 1 + 12;
+  }
+};
+
+/// Stabilize: fetch the successor's predecessor and successor list in one
+/// round trip (the classic get-predecessor plus successor-list pull).
+struct StabilizeReq final : net::Message {
+  static constexpr std::uint16_t kType = kStabilizeReq;
+  StabilizeReq() : Message(kType) {}
+};
+
+struct StabilizeResp final : net::Message {
+  static constexpr std::uint16_t kType = kStabilizeResp;
+
+  StabilizeResp(Peer pred, std::vector<Peer> succs)
+      : Message(kType), predecessor(pred), successors(std::move(succs)) {}
+
+  Peer predecessor;
+  std::vector<Peer> successors;
+
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 12 + successors.size() * 12;
+  }
+};
+
+/// notify(n'): "I believe I might be your predecessor."
+struct Notify final : net::Message {
+  static constexpr std::uint16_t kType = kNotify;
+
+  explicit Notify(Peer p) : Message(kType), peer(p) {}
+
+  Peer peer;
+
+  [[nodiscard]] std::size_t payload_size() const noexcept override { return 12; }
+};
+
+struct PingReq final : net::Message {
+  static constexpr std::uint16_t kType = kPingReq;
+  PingReq() : Message(kType) {}
+};
+
+struct PingResp final : net::Message {
+  static constexpr std::uint16_t kType = kPingResp;
+  PingResp() : Message(kType) {}
+};
+
+}  // namespace pgrid::chord

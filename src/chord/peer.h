@@ -1,0 +1,20 @@
+#pragma once
+// A (network address, GUID) pair — how Chord nodes refer to each other.
+
+#include "common/guid.h"
+#include "net/message.h"
+
+namespace pgrid::chord {
+
+struct Peer {
+  net::NodeAddr addr = net::kNullAddr;
+  Guid id;
+
+  [[nodiscard]] bool valid() const noexcept { return addr != net::kNullAddr; }
+
+  friend bool operator==(const Peer&, const Peer&) noexcept = default;
+};
+
+inline constexpr Peer kNoPeer{};
+
+}  // namespace pgrid::chord

@@ -1,0 +1,112 @@
+#include "chord/ring.h"
+
+#include <algorithm>
+
+#include "common/expects.h"
+
+namespace pgrid::chord {
+
+ChordRing::ChordRing(net::Network& network, ChordConfig config, Rng rng)
+    : net_(network), config_(config), rng_(rng) {}
+
+ChordHost& ChordRing::add_host(Guid id) {
+  hosts_.push_back(
+      std::make_unique<ChordHost>(net_, id, config_, rng_.fork(hosts_.size())));
+  alive_.push_back(true);
+  return *hosts_.back();
+}
+
+Peer ring_oracle_successor(const std::vector<const ChordNode*>& nodes,
+                           Guid key) {
+  Peer best = kNoPeer;
+  std::uint64_t best_dist = 0;
+  for (const ChordNode* node : nodes) {
+    // successor(key): minimal clockwise distance from key to a node id,
+    // where distance 0 (the node exactly at the key) counts as owner.
+    const std::uint64_t dist = key.clockwise_to(node->id());
+    if (!best.valid() || dist < best_dist) {
+      best = Peer{node->addr(), node->id()};
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+void wire_ring_instantly(const std::vector<ChordNode*>& nodes) {
+  PGRID_EXPECTS(!nodes.empty());
+  const std::vector<const ChordNode*> view(nodes.begin(), nodes.end());
+  std::vector<std::size_t> order(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return nodes[a]->id() < nodes[b]->id();
+  });
+
+  const std::size_t n = order.size();
+  auto peer_at = [&](std::size_t ring_pos) {
+    ChordNode& node = *nodes[order[ring_pos % n]];
+    return Peer{node.addr(), node.id()};
+  };
+
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    ChordNode& node = *nodes[order[pos]];
+
+    const Peer pred = peer_at(pos + n - 1);
+    std::vector<Peer> succs;
+    const std::size_t list_len =
+        std::min(node.config().successor_list_len, n > 1 ? n - 1 : 1);
+    for (std::size_t k = 1; k <= std::max<std::size_t>(list_len, 1); ++k) {
+      succs.push_back(peer_at(pos + k));
+    }
+
+    std::array<Peer, ChordNode::kBits> fingers{};
+    // finger[i] = successor(id + 2^i) over the sorted ring.
+    for (int i = 0; i < ChordNode::kBits; ++i) {
+      const Guid start{node.id().value() + (std::uint64_t{1} << i)};
+      fingers[static_cast<std::size_t>(i)] =
+          ring_oracle_successor(view, start);
+    }
+    node.install_state(pred, std::move(succs), fingers);
+  }
+}
+
+void ChordRing::wire_instantly() {
+  std::vector<ChordNode*> live;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (alive_[i]) live.push_back(&hosts_[i]->node());
+  }
+  wire_ring_instantly(live);
+}
+
+Peer ChordRing::oracle_successor(Guid key) const {
+  std::vector<const ChordNode*> live;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (alive_[i]) live.push_back(&hosts_[i]->node());
+  }
+  return ring_oracle_successor(live, key);
+}
+
+void ChordRing::crash(std::size_t index) {
+  PGRID_EXPECTS(index < hosts_.size());
+  if (!alive_[index]) return;
+  alive_[index] = false;
+  net_.set_alive(hosts_[index]->addr(), false);
+  hosts_[index]->node().crash();
+}
+
+void ChordRing::restart(std::size_t index) {
+  PGRID_EXPECTS(index < hosts_.size());
+  if (alive_[index]) return;
+  alive_[index] = true;
+  net_.set_alive(hosts_[index]->addr(), true);
+  // Rejoin through the first live host.
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (i != index && alive_[i]) {
+      const ChordNode& boot = hosts_[i]->node();
+      hosts_[index]->node().join(Peer{boot.addr(), boot.id()}, nullptr);
+      return;
+    }
+  }
+  hosts_[index]->node().create();  // nobody else alive: new singleton ring
+}
+
+}  // namespace pgrid::chord

@@ -1,0 +1,84 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace pgrid {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+/// Split "key=value"; returns false if there is no '='.
+bool split_kv(const std::string& token, std::string& key, std::string& value) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos) return false;
+  key = trim(token.substr(0, eq));
+  value = trim(token.substr(eq + 1));
+  return !key.empty();
+}
+
+}  // namespace
+
+bool Config::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    std::string key, value;
+    if (split_kv(line, key, value)) values_[key] = value;
+  }
+  return true;
+}
+
+std::vector<std::string> Config::parse_args(int argc, const char* const* argv) {
+  std::vector<std::string> leftover;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) token.erase(0, 2);
+    std::string key, value;
+    if (split_kv(token, key, value)) {
+      values_[key] = value;
+    } else {
+      leftover.push_back(argv[i]);
+    }
+  }
+  return leftover;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace pgrid

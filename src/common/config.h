@@ -1,0 +1,48 @@
+#pragma once
+// Minimal key=value configuration store used by benches and examples so that
+// every experiment parameter in DESIGN.md §6 can be overridden from the
+// command line (--key=value) or a config file without recompiling.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pgrid {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" lines; '#' starts a comment. Returns false on I/O error.
+  bool load_file(const std::string& path);
+
+  /// Parse argv-style options: "--key=value" or bare "key=value".
+  /// Unrecognized tokens are returned for the caller to handle.
+  std::vector<std::string> parse_args(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value) {
+    values_[key] = value;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& items() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pgrid

@@ -1,0 +1,32 @@
+#pragma once
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (GSL). Violations abort with a source location; they are
+// programming errors, not recoverable conditions.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pgrid::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace pgrid::detail
+
+#define PGRID_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::pgrid::detail::contract_violation("Precondition", #cond,      \
+                                                __FILE__, __LINE__))
+
+#define PGRID_ENSURES(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::pgrid::detail::contract_violation("Postcondition", #cond,     \
+                                                __FILE__, __LINE__))
+
+#define PGRID_ASSERT(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::pgrid::detail::contract_violation("Invariant", #cond,         \
+                                                __FILE__, __LINE__))

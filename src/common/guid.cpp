@@ -1,0 +1,15 @@
+#include "common/guid.h"
+
+#include <array>
+#include <cstdio>
+
+namespace pgrid {
+
+std::string Guid::str() const {
+  std::array<char, 20> buf{};
+  std::snprintf(buf.data(), buf.size(), "%016llx",
+                static_cast<unsigned long long>(value_));
+  return std::string{buf.data()};
+}
+
+}  // namespace pgrid

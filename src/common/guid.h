@@ -1,0 +1,70 @@
+#pragma once
+// Globally Unique IDentifiers (GUIDs) for nodes and jobs.
+//
+// The paper's DHT maps both nodes and jobs into a single identifier space
+// via a secure hash (Fig. 1, step 2). We use a 64-bit key space: large
+// enough that collisions are negligible at simulated scales, small enough
+// for cheap circular arithmetic.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/hash.h"
+
+namespace pgrid {
+
+/// A point in the 64-bit circular identifier space.
+class Guid {
+ public:
+  constexpr Guid() noexcept = default;
+  constexpr explicit Guid(std::uint64_t v) noexcept : value_(v) {}
+
+  /// Derive a GUID from an arbitrary name (node address, job name, ...).
+  [[nodiscard]] static Guid of(std::string_view name) noexcept {
+    return Guid{hash_key(name)};
+  }
+
+  /// Derive a GUID from an integer seed (deterministic node IDs in tests).
+  [[nodiscard]] static constexpr Guid of(std::uint64_t seed) noexcept {
+    return Guid{mix64(seed)};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return value_; }
+
+  /// Distance travelled clockwise from `this` to `to` on the ring.
+  [[nodiscard]] constexpr std::uint64_t clockwise_to(Guid to) const noexcept {
+    return to.value_ - value_;  // modular arithmetic via unsigned wraparound
+  }
+
+  friend constexpr bool operator==(Guid, Guid) noexcept = default;
+  friend constexpr auto operator<=>(Guid, Guid) noexcept = default;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// True iff `x` lies in the circular half-open interval (a, b] of the ring.
+/// When a == b the interval is the whole ring (every x qualifies), matching
+/// the single-node Chord convention.
+[[nodiscard]] constexpr bool in_interval_oc(Guid x, Guid a, Guid b) noexcept {
+  return a.clockwise_to(x) != 0 &&
+         (a.clockwise_to(x) <= a.clockwise_to(b) || a == b);
+}
+
+/// True iff `x` lies in the circular open interval (a, b).
+[[nodiscard]] constexpr bool in_interval_oo(Guid x, Guid a, Guid b) noexcept {
+  if (a == b) return x != a;  // whole ring minus the endpoint
+  return a.clockwise_to(x) != 0 && a.clockwise_to(x) < a.clockwise_to(b);
+}
+
+}  // namespace pgrid
+
+template <>
+struct std::hash<pgrid::Guid> {
+  std::size_t operator()(pgrid::Guid g) const noexcept {
+    return static_cast<std::size_t>(g.value());
+  }
+};

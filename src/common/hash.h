@@ -1,0 +1,43 @@
+#pragma once
+// Non-cryptographic hashing used for GUID derivation and consistent hashing.
+//
+// The paper assumes "computationally secure hashes" (SHA-1) mapping arbitrary
+// identifiers to random points of the key space. For a simulation we only
+// need uniformity and determinism, so we use the splitmix64 finalizer and
+// FNV-1a; both are well distributed and reproducible across platforms.
+
+#include <cstdint>
+#include <string_view>
+
+namespace pgrid {
+
+/// splitmix64 finalizer: bijective 64-bit mixer with full avalanche.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a byte string.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Hash a string to a uniformly distributed 64-bit key.
+[[nodiscard]] constexpr std::uint64_t hash_key(std::string_view s) noexcept {
+  return mix64(fnv1a(s));
+}
+
+/// Combine two hashes (order-sensitive).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace pgrid

@@ -1,0 +1,58 @@
+#pragma once
+// Leveled logging. Off by default in benches (simulation hot paths must not
+// format strings); enable per-module for debugging protocol traces.
+
+#include <cstdio>
+#include <string>
+
+namespace pgrid {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance() noexcept;
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= level_;
+  }
+
+  void write(LogLevel level, const char* module, const std::string& msg);
+
+  /// Redirect output (tests capture logs); nullptr restores stderr.
+  void set_sink(std::FILE* sink) noexcept { sink_ = sink; }
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  std::FILE* sink_ = nullptr;
+};
+
+[[nodiscard]] const char* log_level_name(LogLevel level) noexcept;
+
+namespace detail {
+std::string log_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+}  // namespace pgrid
+
+#define PGRID_LOG(level, module, ...)                                  \
+  do {                                                                 \
+    if (::pgrid::Logger::instance().enabled(level)) {                  \
+      ::pgrid::Logger::instance().write(                               \
+          level, module, ::pgrid::detail::log_format(__VA_ARGS__));    \
+    }                                                                  \
+  } while (0)
+
+#define PGRID_TRACE(module, ...) \
+  PGRID_LOG(::pgrid::LogLevel::kTrace, module, __VA_ARGS__)
+#define PGRID_DEBUG(module, ...) \
+  PGRID_LOG(::pgrid::LogLevel::kDebug, module, __VA_ARGS__)
+#define PGRID_INFO(module, ...) \
+  PGRID_LOG(::pgrid::LogLevel::kInfo, module, __VA_ARGS__)
+#define PGRID_WARN(module, ...) \
+  PGRID_LOG(::pgrid::LogLevel::kWarn, module, __VA_ARGS__)
+#define PGRID_ERROR(module, ...) \
+  PGRID_LOG(::pgrid::LogLevel::kError, module, __VA_ARGS__)

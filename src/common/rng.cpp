@@ -1,0 +1,118 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace pgrid {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  PGRID_EXPECTS(n > 0);
+  // Lemire's multiply-shift with rejection of the biased region.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double mean) noexcept {
+  PGRID_EXPECTS(mean > 0.0);
+  double u = uniform();
+  // uniform() can return exactly 0; log(0) is -inf, so nudge.
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  PGRID_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 64.0) {
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double x = normal(mean, std::sqrt(mean));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+double Rng::normal(double mu, double sigma) noexcept {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mu + sigma * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return mu + sigma * u * factor;
+}
+
+namespace {
+
+std::size_t search_cdf(const std::vector<double>& cdf, double u) noexcept {
+  // First index whose cumulative mass exceeds u.
+  std::size_t lo = 0, hi = cdf.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf[mid] > u) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double skew) {
+  PGRID_EXPECTS(n > 0);
+  PGRID_EXPECTS(skew >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), skew);
+    cdf_[k - 1] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const noexcept {
+  return search_cdf(cdf_, rng.uniform()) + 1;  // ranks are 1-based
+}
+
+DiscreteDistribution::DiscreteDistribution(const std::vector<double>& weights) {
+  PGRID_EXPECTS(!weights.empty());
+  cdf_.resize(weights.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    PGRID_EXPECTS(weights[i] >= 0.0);
+    total += weights[i];
+    cdf_[i] = total;
+  }
+  PGRID_EXPECTS(total > 0.0);
+  for (auto& c : cdf_) c /= total;
+}
+
+std::size_t DiscreteDistribution::sample(Rng& rng) const noexcept {
+  return search_cdf(cdf_, rng.uniform());
+}
+
+}  // namespace pgrid

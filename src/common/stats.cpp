@@ -1,0 +1,143 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.h"
+
+namespace pgrid {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stdev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::cv() const noexcept {
+  return (n_ == 0 || mean_ == 0.0) ? 0.0 : stdev() / mean_;
+}
+
+double Samples::mean() const noexcept {
+  if (data_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s / static_cast<double>(data_.size());
+}
+
+double Samples::stdev() const noexcept {
+  if (data_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : data_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(data_.size()));
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::quantile(double q) const {
+  PGRID_EXPECTS(q >= 0.0 && q <= 1.0);
+  PGRID_EXPECTS(!data_.empty());
+  ensure_sorted();
+  if (data_.size() == 1) return data_[0];
+  const double pos = q * static_cast<double>(data_.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  if (i + 1 >= data_.size()) return data_.back();
+  return data_[i] * (1.0 - frac) + data_[i + 1] * frac;
+}
+
+double Samples::min() const {
+  PGRID_EXPECTS(!data_.empty());
+  ensure_sorted();
+  return data_.front();
+}
+
+double Samples::max() const {
+  PGRID_EXPECTS(!data_.empty());
+  ensure_sorted();
+  return data_.back();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  PGRID_EXPECTS(hi > lo);
+  PGRID_EXPECTS(buckets > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto i = static_cast<std::size_t>((x - lo_) / width);
+    if (i >= counts_.size()) i = counts_.size() - 1;  // FP edge guard
+    ++counts_[i];
+  }
+}
+
+double Histogram::bucket_lo(std::size_t i) const noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const noexcept {
+  return bucket_lo(i + 1);
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        static_cast<std::size_t>(counts_[i] * width / peak);
+    std::snprintf(line, sizeof line, "[%10.2f, %10.2f) %8llu |",
+                  bucket_lo(i), bucket_hi(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pgrid

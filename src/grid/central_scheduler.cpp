@@ -1,0 +1,74 @@
+#include "grid/central_scheduler.h"
+
+#include <algorithm>
+
+#include "common/expects.h"
+#include "grid/grid_node.h"
+
+namespace pgrid::grid {
+
+void CentralScheduler::register_node(GridNode* node) {
+  PGRID_EXPECTS(node != nullptr);
+  nodes_.push_back(node);
+  in_flight_.emplace_back();
+}
+
+void CentralScheduler::note_assignment(std::uint32_t node_index,
+                                       double runtime_sec,
+                                       double expiry_sec) {
+  if (node_index < in_flight_.size()) {
+    in_flight_[node_index].push_back(InFlight{runtime_sec, expiry_sec});
+  }
+}
+
+double CentralScheduler::in_flight_work(std::size_t index) const {
+  double total = 0.0;
+  for (const InFlight& f : in_flight_[index]) total += f.runtime_sec;
+  return total;
+}
+
+Peer CentralScheduler::pick_least_loaded(const Constraints& c,
+                                         double now_sec) const {
+  // Expired entries have certainly arrived in the node's queue (where
+  // queue_work_remaining counts them); prune lazily.
+  for (auto& entries : in_flight_) {
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [now_sec](const InFlight& f) {
+                                   return f.expiry_sec <= now_sec;
+                                 }),
+                  entries.end());
+  }
+  GridNode* best = nullptr;
+  double best_work = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    GridNode* node = nodes_[i];
+    if (!node->running() || !c.satisfied_by(node->caps())) continue;
+    const double work = node->queue_work_remaining() + in_flight_work(i);
+    if (best == nullptr || work < best_work ||
+        (work == best_work && node->id() < best->id())) {
+      best = node;
+      best_work = work;
+    }
+  }
+  return best ? best->self_peer() : kNoPeer;
+}
+
+Peer CentralScheduler::pick_random(const Constraints& c, Rng& rng) const {
+  std::vector<GridNode*> eligible;
+  for (GridNode* node : nodes_) {
+    if (node->running() && c.satisfied_by(node->caps())) {
+      eligible.push_back(node);
+    }
+  }
+  if (eligible.empty()) return kNoPeer;
+  return eligible[rng.index(eligible.size())]->self_peer();
+}
+
+bool CentralScheduler::any_satisfies(const Constraints& c) const {
+  for (GridNode* node : nodes_) {
+    if (node->running() && c.satisfied_by(node->caps())) return true;
+  }
+  return false;
+}
+
+}  // namespace pgrid::grid

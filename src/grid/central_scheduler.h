@@ -1,0 +1,57 @@
+#pragma once
+// The paper's comparison target: "a centralized scheme that uses knowledge
+// of the status of all nodes and jobs ... very expensive to implement in a
+// decentralized P2P system, but serves as a target for achieving the best
+// possible load balance" (§3.3). Reads node state directly (zero message
+// cost, zero staleness), plus a random-eligible baseline.
+
+#include <vector>
+
+#include "chord/peer.h"
+#include "common/rng.h"
+#include "grid/resources.h"
+
+namespace pgrid::grid {
+
+class GridNode;
+using chord::Peer;
+
+class CentralScheduler {
+ public:
+  void register_node(GridNode* node);
+
+  /// Record an assignment that is still in flight toward its run node, so
+  /// simultaneous placements do not all pick the same "idle" node. Entries
+  /// expire once the dispatch has certainly landed in the target's queue.
+  void note_assignment(std::uint32_t node_index, double runtime_sec,
+                       double expiry_sec);
+
+  /// The eligible live node with the least remaining work — queued plus
+  /// in-flight as of `now_sec` (best possible online placement); invalid if
+  /// nothing eligible.
+  [[nodiscard]] Peer pick_least_loaded(const Constraints& c,
+                                       double now_sec) const;
+
+  /// A uniformly random eligible live node.
+  [[nodiscard]] Peer pick_random(const Constraints& c, Rng& rng) const;
+
+  /// True iff some live node satisfies the constraints.
+  [[nodiscard]] bool any_satisfies(const Constraints& c) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+
+ private:
+  [[nodiscard]] double in_flight_work(std::size_t index) const;
+
+  struct InFlight {
+    double runtime_sec;
+    double expiry_sec;
+  };
+
+  std::vector<GridNode*> nodes_;
+  mutable std::vector<std::vector<InFlight>> in_flight_;
+};
+
+}  // namespace pgrid::grid

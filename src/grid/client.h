@@ -1,0 +1,93 @@
+#pragma once
+// A job-submitting user (Fig. 1 "Clients"). Submits jobs at their workload
+// arrival times through randomly chosen injection nodes, collects results,
+// and resubmits jobs that silently disappear (the §2 backstop: "if both the
+// owner and run node fail before the recovery protocol completes, the
+// client must resubmit the job").
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "grid/job.h"
+#include "grid/messages.h"
+#include "metrics/metrics.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+
+namespace pgrid::grid {
+
+struct ClientConfig {
+  sim::SimTime rpc_timeout = sim::SimTime::seconds(2.0);
+  /// Resubmission deadline = base + factor * expected runtime.
+  double resubmit_base_sec = 120.0;
+  double resubmit_runtime_factor = 6.0;
+  /// Give up after this many generations (terminal "abandoned" state).
+  std::uint32_t max_generations = 4;
+  int submit_retries = 5;
+};
+
+class Client final : public net::MessageHandler {
+ public:
+  Client(net::Network& network, ClientConfig config,
+         metrics::Collector* collector, Rng rng);
+
+  /// Nodes usable as injection points (any node in the system).
+  void set_injection_pool(std::vector<net::NodeAddr> pool);
+
+  /// Schedule a job submission at `arrival_sec` of simulated time.
+  /// `declared_runtime_sec` (0 = honest) and `output_kb` feed the §5 quota
+  /// machinery on run nodes.
+  void schedule_job(std::uint64_t seq, double arrival_sec,
+                    const Constraints& constraints, double runtime_sec,
+                    double declared_runtime_sec = 0.0, double output_kb = 2.0);
+
+  void on_message(net::NodeAddr from, net::MessagePtr msg) override;
+
+  /// Invoked whenever a job reaches a terminal state (completed/abandoned).
+  std::function<void()> on_terminal;
+
+  /// Invoked with the job's outcome on terminal state; used by the DAG
+  /// runner (§5 future work) to release dependent jobs.
+  std::function<void(std::uint64_t seq, bool completed_ok)> on_job_terminal;
+
+  [[nodiscard]] net::NodeAddr addr() const noexcept { return rpc_.self(); }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t abandoned() const noexcept { return abandoned_; }
+  [[nodiscard]] std::uint64_t scheduled() const noexcept { return scheduled_; }
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return pending_.size();
+  }
+
+ private:
+  struct PendingJob {
+    Constraints constraints;
+    double runtime_sec = 0.0;
+    double declared_runtime_sec = 0.0;
+    double output_kb = 2.0;
+    std::uint32_t generation = 0;
+    sim::EventId deadline_event = sim::kInvalidEvent;
+  };
+
+  void submit(std::uint64_t seq, int retries_left);
+  void arm_deadline(std::uint64_t seq);
+  void on_deadline(std::uint64_t seq);
+  void finish(std::uint64_t seq, bool completed_ok);
+  [[nodiscard]] JobProfile make_profile(std::uint64_t seq, PendingJob& job);
+
+  net::Network& net_;
+  net::RpcEndpoint rpc_;
+  ClientConfig config_;
+  metrics::Collector* collector_;
+  Rng rng_;
+  std::vector<net::NodeAddr> pool_;
+  std::map<std::uint64_t, PendingJob> pending_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t abandoned_ = 0;
+  std::uint64_t scheduled_ = 0;
+};
+
+}  // namespace pgrid::grid

@@ -1,0 +1,94 @@
+#include "grid/dag.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace pgrid::grid {
+
+DagRunner::DagRunner(GridSystem& system, std::vector<DagEdge> edges)
+    : system_(system), job_count_(system.workload().jobs.size()) {
+  PGRID_EXPECTS(system.config().manual_submission);
+  children_.resize(job_count_);
+  pending_parents_.assign(job_count_, 0);
+  depth_.assign(job_count_, 0);
+  terminal_.assign(job_count_, false);
+
+  for (const DagEdge& e : edges) {
+    PGRID_EXPECTS(e.parent < job_count_ && e.child < job_count_);
+    PGRID_EXPECTS(e.parent != e.child);
+    children_[e.parent].push_back(e.child);
+    ++pending_parents_[e.child];
+  }
+
+  // Kahn's algorithm: verifies acyclicity and computes depths in one pass.
+  std::vector<std::uint32_t> remaining = pending_parents_;
+  std::deque<std::uint64_t> ready;
+  for (std::uint64_t j = 0; j < job_count_; ++j) {
+    if (remaining[j] == 0) ready.push_back(j);
+  }
+  std::uint64_t visited = 0;
+  while (!ready.empty()) {
+    const std::uint64_t j = ready.front();
+    ready.pop_front();
+    ++visited;
+    for (std::uint64_t c : children_[j]) {
+      depth_[c] = std::max(depth_[c], depth_[j] + 1);
+      if (--remaining[c] == 0) ready.push_back(c);
+    }
+  }
+  PGRID_EXPECTS(visited == job_count_);  // otherwise the edge set has a cycle
+
+  // Hook every client's terminal notifications.
+  system_.build();
+  for (std::size_t c = 0; c < system_.client_count(); ++c) {
+    system_.client(c).on_job_terminal = [this](std::uint64_t seq, bool ok) {
+      on_terminal(seq, ok);
+    };
+  }
+}
+
+void DagRunner::start() {
+  PGRID_EXPECTS(!started_);
+  started_ = true;
+  for (std::uint64_t j = 0; j < job_count_; ++j) {
+    if (pending_parents_[j] == 0) {
+      ++released_;
+      system_.submit_job(j);
+    }
+  }
+}
+
+void DagRunner::on_terminal(std::uint64_t seq, bool ok) {
+  if (seq >= job_count_ || terminal_[seq]) return;
+  terminal_[seq] = true;
+  if (!ok) {
+    ++failed_;
+    cancel_descendants(seq);
+    return;
+  }
+  ++completed_;
+  for (std::uint64_t child : children_[seq]) {
+    if (terminal_[child] || pending_parents_[child] == 0) continue;
+    if (--pending_parents_[child] == 0) {
+      ++released_;
+      system_.submit_job(child);
+    }
+  }
+}
+
+void DagRunner::cancel_descendants(std::uint64_t seq) {
+  // BFS: everything reachable from the failed job will never run.
+  std::deque<std::uint64_t> frontier{children_[seq].begin(),
+                                     children_[seq].end()};
+  while (!frontier.empty()) {
+    const std::uint64_t j = frontier.front();
+    frontier.pop_front();
+    if (terminal_[j]) continue;
+    terminal_[j] = true;
+    ++cancelled_;
+    system_.mark_external_terminal();
+    for (std::uint64_t c : children_[j]) frontier.push_back(c);
+  }
+}
+
+}  // namespace pgrid::grid

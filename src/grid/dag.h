@@ -1,0 +1,68 @@
+#pragma once
+// Job dependencies (§5 future work): "if computational scientists also use
+// the system for data analysis of results, then the system will have to
+// distinguish between job types ... and perform the jobs in the correct
+// order (analysis after simulation ...). We will investigate using existing
+// software packages, such as Condor's DAGMan."
+//
+// DagRunner is that DAGMan analogue: it releases a workload's jobs in
+// dependency order — a job is submitted only once all its parents have
+// completed — and cancels the descendants of permanently failed jobs.
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid_system.h"
+
+namespace pgrid::grid {
+
+struct DagEdge {
+  std::uint64_t parent;
+  std::uint64_t child;
+};
+
+class DagRunner {
+ public:
+  /// Takes ownership of job release for `system` (which must be configured
+  /// with manual_submission = true). Edges refer to workload job indices;
+  /// the edge set must be acyclic (checked).
+  DagRunner(GridSystem& system, std::vector<DagEdge> edges);
+
+  /// Submit all root jobs (no parents). Subsequent releases happen
+  /// automatically as parents complete.
+  void start();
+
+  [[nodiscard]] std::uint64_t released() const noexcept { return released_; }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t failed() const noexcept { return failed_; }
+  /// Jobs never released because an ancestor failed.
+  [[nodiscard]] std::uint64_t cancelled() const noexcept { return cancelled_; }
+
+  /// True once every job is completed, failed, or cancelled.
+  [[nodiscard]] bool finished() const noexcept {
+    return completed_ + failed_ + cancelled_ == job_count_;
+  }
+
+  /// Topological depth of each job (roots = 0); useful for reporting.
+  [[nodiscard]] const std::vector<std::uint32_t>& depths() const noexcept {
+    return depth_;
+  }
+
+ private:
+  void on_terminal(std::uint64_t seq, bool ok);
+  void cancel_descendants(std::uint64_t seq);
+
+  GridSystem& system_;
+  std::uint64_t job_count_;
+  std::vector<std::vector<std::uint64_t>> children_;
+  std::vector<std::uint32_t> pending_parents_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<bool> terminal_;
+  std::uint64_t released_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace pgrid::grid

@@ -1,0 +1,177 @@
+#include "grid/grid_system.h"
+
+#include <algorithm>
+
+#include "can/space.h"
+#include "chord/ring.h"
+
+namespace pgrid::grid {
+
+void apply_light_maintenance(GridNodeConfig* config) {
+  PGRID_EXPECTS(config != nullptr);
+  config->chord.stabilize_period = sim::SimTime::seconds(10.0);
+  config->chord.fix_fingers_period = sim::SimTime::seconds(5.0);
+  config->chord.check_predecessor_period = sim::SimTime::seconds(10.0);
+  config->can.update_period = sim::SimTime::seconds(5.0);
+  config->can.neighbor_timeout = sim::SimTime::seconds(17.0);
+  config->rntree.aggregation_period = sim::SimTime::seconds(5.0);
+  config->rntree.child_expiry = sim::SimTime::seconds(17.0);
+}
+
+GridSystem::GridSystem(GridConfig config, workload::Workload workload)
+    : config_(config),
+      workload_(std::move(workload)),
+      collector_(workload_.jobs.size(), workload_.spec.node_count),
+      rng_(mix64(config.seed) ^ 0xA5A5A5A5A5A5A5A5ULL) {
+  PGRID_EXPECTS(workload_.node_caps.size() == workload_.spec.node_count);
+}
+
+GridSystem::~GridSystem() = default;
+
+void GridSystem::build() {
+  if (built_) return;
+  built_ = true;
+
+  net_ = std::make_unique<net::Network>(sim_, rng_.fork(1), config_.latency,
+                                        config_.loss_probability);
+
+  GridNodeConfig node_config = config_.node;
+  node_config.kind = config_.kind;
+  if (config_.light_maintenance) apply_light_maintenance(&node_config);
+
+  Rng node_rng = rng_.fork(2);
+  nodes_.reserve(workload_.spec.node_count);
+  for (std::size_t i = 0; i < workload_.spec.node_count; ++i) {
+    const Guid id = Guid::of(hash_combine(mix64(config_.seed), mix64(i)));
+    nodes_.push_back(std::make_unique<GridNode>(
+        *net_, static_cast<std::uint32_t>(i), id, workload_.node_caps[i],
+        node_rng.uniform(), node_config, &central_, &collector_,
+        node_rng.fork(i)));
+    // Metrics and the central scheduler address nodes by network address;
+    // registering nodes first makes address == index.
+    PGRID_ASSERT(nodes_.back()->addr() == i);
+    central_.register_node(nodes_.back().get());
+  }
+
+  // Wire the overlay the matchmaker needs (instant bootstrap: the paper's
+  // experiments measure steady-state matchmaking, not join cost).
+  if (uses_chord(config_.kind)) {
+    std::vector<chord::ChordNode*> ring;
+    ring.reserve(nodes_.size());
+    for (auto& n : nodes_) ring.push_back(n->chord());
+    chord::wire_ring_instantly(ring);
+  } else if (uses_can(config_.kind)) {
+    std::vector<can::CanNode*> space;
+    space.reserve(nodes_.size());
+    for (auto& n : nodes_) space.push_back(n->can());
+    can::wire_space_instantly(space, kCanDims);
+  }
+  for (auto& n : nodes_) n->start();
+
+  // Clients and the job schedule.
+  std::vector<net::NodeAddr> pool;
+  pool.reserve(nodes_.size());
+  for (auto& n : nodes_) pool.push_back(n->addr());
+
+  Rng client_rng = rng_.fork(3);
+  clients_.reserve(workload_.spec.client_count);
+  for (std::size_t c = 0; c < workload_.spec.client_count; ++c) {
+    clients_.push_back(std::make_unique<Client>(
+        *net_, config_.client, &collector_, client_rng.fork(c)));
+    clients_.back()->set_injection_pool(pool);
+    clients_.back()->on_terminal = [this] { ++terminal_jobs_; };
+  }
+  for (std::size_t j = 0; j < workload_.jobs.size(); ++j) {
+    const workload::JobSpec& job = workload_.jobs[j];
+    if (!config_.manual_submission) {
+      clients_[job.client % clients_.size()]->schedule_job(
+          j, job.arrival_sec, job.constraints, job.runtime_sec,
+          job.declared_runtime_sec, job.output_kb);
+    }
+    last_arrival_sec_ = std::max(last_arrival_sec_, job.arrival_sec);
+  }
+}
+
+void GridSystem::submit_job(std::uint64_t seq, double delay_sec) {
+  build();
+  PGRID_EXPECTS(seq < workload_.jobs.size());
+  const workload::JobSpec& job = workload_.jobs[seq];
+  const double at = sim_.now().sec() + delay_sec;
+  latest_release_sec_ = std::max(latest_release_sec_, at);
+  clients_[job.client % clients_.size()]->schedule_job(
+      seq, at, job.constraints, job.runtime_sec, job.declared_runtime_sec,
+      job.output_kb);
+}
+
+void GridSystem::run() {
+  build();
+  // The horizon trails the latest release time: DAG-style submissions can
+  // extend the schedule long past the workload's nominal last arrival.
+  while (!finished()) {
+    const double horizon = std::max(last_arrival_sec_, latest_release_sec_) +
+                           config_.horizon_slack_sec;
+    if (sim_.now().sec() >= horizon) break;
+    sim_.run_until(sim_.now() + sim::SimTime::seconds(60.0));
+  }
+}
+
+void GridSystem::run_for(double sec) {
+  build();
+  sim_.run_until(sim_.now() + sim::SimTime::seconds(sec));
+}
+
+Peer GridSystem::find_bootstrap(std::size_t excluding) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i != excluding && nodes_[i]->running()) {
+      return nodes_[i]->self_peer();
+    }
+  }
+  return kNoPeer;
+}
+
+void GridSystem::crash_node(std::size_t index) {
+  GridNode& n = node(index);
+  if (!n.running()) return;
+  net_->set_alive(n.addr(), false);
+  n.crash();
+}
+
+void GridSystem::restart_node(std::size_t index) {
+  GridNode& n = node(index);
+  if (n.running()) return;
+  net_->set_alive(n.addr(), true);
+  n.restart(find_bootstrap(index));
+}
+
+bool GridSystem::node_running(std::size_t index) const {
+  return nodes_.at(index)->running();
+}
+
+void GridSystem::enable_churn(const sim::ChurnModel& model) {
+  build();
+  churn_ = std::make_unique<sim::FailureInjector>(
+      sim_, rng_.fork(4), model, nodes_.size(),
+      [this](std::size_t i) { crash_node(i); },
+      [this](std::size_t i) { restart_node(i); });
+  churn_->start();
+}
+
+GridNodeStats GridSystem::aggregate_node_stats() const {
+  GridNodeStats total;
+  for (const auto& n : nodes_) {
+    const GridNodeStats& s = n->stats();
+    total.jobs_executed += s.jobs_executed;
+    total.jobs_killed_quota += s.jobs_killed_quota;
+    total.quota_rejects += s.quota_rejects;
+    total.dispatch_rejects += s.dispatch_rejects;
+    total.owner_recoveries += s.owner_recoveries;
+    total.run_recoveries += s.run_recoveries;
+    total.can_pushes += s.can_pushes;
+    total.can_forwards += s.can_forwards;
+    total.walks_started += s.walks_started;
+    total.walks_failed += s.walks_failed;
+  }
+  return total;
+}
+
+}  // namespace pgrid::grid

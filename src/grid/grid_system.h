@@ -1,0 +1,129 @@
+#pragma once
+// GridSystem: assembles a complete desktop grid experiment — simulator,
+// network, nodes (with the overlay the chosen matchmaker needs), clients,
+// workload schedule, optional churn — and runs it to completion.
+//
+// This is the library's main entry point: every bench and example builds a
+// GridConfig + Workload, runs a GridSystem, and reads the Collector.
+
+#include <memory>
+#include <vector>
+
+#include "grid/central_scheduler.h"
+#include "grid/client.h"
+#include "grid/grid_node.h"
+#include "metrics/metrics.h"
+#include "net/network.h"
+#include "sim/failure.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace pgrid::grid {
+
+struct GridConfig {
+  MatchmakerKind kind = MatchmakerKind::kCentralized;
+  net::LatencyModel latency{};
+  double loss_probability = 0.0;
+  GridNodeConfig node;
+  ClientConfig client;
+  std::uint64_t seed = 1;
+  /// Safety horizon past the last arrival (jobs that have not terminated by
+  /// then are counted as lost).
+  double horizon_slack_sec = 20000.0;
+  /// Slow down overlay maintenance (no-churn experiments): same behavior,
+  /// far fewer simulation events.
+  bool light_maintenance = false;
+  /// Skip the automatic arrival-time schedule: jobs are released through
+  /// submit_job() instead (used by the DAG runner, §5 future work).
+  bool manual_submission = false;
+};
+
+class GridSystem {
+ public:
+  GridSystem(GridConfig config, workload::Workload workload);
+  ~GridSystem();
+
+  GridSystem(const GridSystem&) = delete;
+  GridSystem& operator=(const GridSystem&) = delete;
+
+  /// Construct nodes and clients, wire overlays instantly, schedule jobs.
+  void build();
+
+  /// Run the experiment to completion (all jobs terminal) or the horizon.
+  void run();
+
+  /// Advance simulated time by `sec` (builds first if needed).
+  void run_for(double sec);
+
+  /// Release workload job `seq` for submission `delay_sec` from now
+  /// (manual_submission mode).
+  void submit_job(std::uint64_t seq, double delay_sec = 0.0);
+
+  /// Count a job that will never be submitted (e.g. cancelled by the DAG
+  /// runner after a parent failed) toward run() termination.
+  void mark_external_terminal() { ++terminal_jobs_; }
+
+  [[nodiscard]] bool finished() const noexcept {
+    return built_ && terminal_jobs_ >= workload_.jobs.size();
+  }
+
+  /// Crash / restart a grid node (overlays rejoin through a live peer).
+  void crash_node(std::size_t index);
+  void restart_node(std::size_t index);
+  [[nodiscard]] bool node_running(std::size_t index) const;
+
+  /// Attach continuous churn driven by the failure injector.
+  void enable_churn(const sim::ChurnModel& model);
+  [[nodiscard]] const sim::FailureInjector* churn() const noexcept {
+    return churn_.get();
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] metrics::Collector& collector() noexcept { return collector_; }
+  [[nodiscard]] const metrics::Collector& collector() const noexcept {
+    return collector_;
+  }
+  [[nodiscard]] const net::NetworkStats& net_stats() const {
+    return net_->stats();
+  }
+  [[nodiscard]] GridNode& node(std::size_t index) { return *nodes_.at(index); }
+  [[nodiscard]] Client& client(std::size_t index) {
+    return *clients_.at(index);
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t client_count() const noexcept {
+    return clients_.size();
+  }
+  [[nodiscard]] const workload::Workload& workload() const noexcept {
+    return workload_;
+  }
+  [[nodiscard]] const GridConfig& config() const noexcept { return config_; }
+
+  /// Aggregate grid-node statistics over all nodes.
+  [[nodiscard]] GridNodeStats aggregate_node_stats() const;
+
+ private:
+  [[nodiscard]] Peer find_bootstrap(std::size_t excluding) const;
+
+  GridConfig config_;
+  workload::Workload workload_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> net_;
+  metrics::Collector collector_;
+  CentralScheduler central_;
+  Rng rng_;
+  std::vector<std::unique_ptr<GridNode>> nodes_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<sim::FailureInjector> churn_;
+  std::uint64_t terminal_jobs_ = 0;
+  double last_arrival_sec_ = 0.0;
+  double latest_release_sec_ = 0.0;
+  bool built_ = false;
+};
+
+/// Reduce overlay maintenance rates for static-membership experiments.
+void apply_light_maintenance(GridNodeConfig* config);
+
+}  // namespace pgrid::grid

@@ -1,0 +1,66 @@
+#pragma once
+// Job model: "a job in our system is the data and associated profile that
+// describes a computation to be performed" (§2). The profile travels with
+// the job and is replicated on the owner and run nodes for recovery.
+
+#include <cstdint>
+#include <string>
+
+#include "can/geometry.h"
+#include "common/guid.h"
+#include "common/hash.h"
+#include "grid/resources.h"
+#include "net/message.h"
+
+namespace pgrid::grid {
+
+/// Matchmaking frameworks under evaluation (§3 + baselines).
+enum class MatchmakerKind {
+  kCentralized,  // omniscient least-loaded scheduler (the paper's target)
+  kRandom,       // random eligible node, global knowledge (extra baseline)
+  kRnTree,       // Rendezvous Node Tree over Chord (§3.1)
+  kCanBasic,     // CAN matchmaking, virtual dimension, no pushing (§3.2)
+  kCanPush,      // CAN + load-aware job pushing (§3.3 "improved")
+  kTtlWalk,      // TTL-bounded random walk (related-work baseline, §4)
+};
+
+[[nodiscard]] const char* matchmaker_name(MatchmakerKind kind) noexcept;
+
+/// True iff the matchmaker runs on the Chord overlay (the RN-Tree service
+/// is only instantiated for kRnTree).
+[[nodiscard]] constexpr bool uses_chord(MatchmakerKind k) noexcept {
+  return k == MatchmakerKind::kRnTree || k == MatchmakerKind::kTtlWalk;
+}
+/// True iff the matchmaker runs on the CAN overlay.
+[[nodiscard]] constexpr bool uses_can(MatchmakerKind k) noexcept {
+  return k == MatchmakerKind::kCanBasic || k == MatchmakerKind::kCanPush;
+}
+
+struct JobProfile {
+  std::uint64_t seq = 0;          // workload index; stable across retries
+  std::uint32_t generation = 0;   // client resubmission counter
+  Guid guid;                      // derived from (seq, generation)
+  net::NodeAddr client = net::kNullAddr;
+  Constraints constraints;
+  double runtime_sec = 0.0;  // actual compute demand
+  /// Runtime the submitter *declared* (0 = honest, i.e. == runtime_sec);
+  /// quota enforcement kills jobs exceeding declared x kill factor.
+  double declared_runtime_sec = 0.0;
+  /// Declared output size; nodes with an output quota reject beyond it.
+  double output_kb = 2.0;
+
+  [[nodiscard]] double declared_or_actual() const noexcept {
+    return declared_runtime_sec > 0.0 ? declared_runtime_sec : runtime_sec;
+  }
+  /// CAN coordinates (constraints + per-generation virtual coordinate);
+  /// only meaningful in CAN modes but always carried for simplicity.
+  can::Point can_coords;
+
+  /// GUID assignment as in Fig. 1 step 2: hash the job identity.
+  [[nodiscard]] static Guid derive_guid(std::uint64_t seq,
+                                        std::uint32_t generation) noexcept {
+    return Guid{hash_combine(mix64(seq), mix64(generation))};
+  }
+};
+
+}  // namespace pgrid::grid

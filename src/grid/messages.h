@@ -1,0 +1,199 @@
+#pragma once
+// Desktop-grid protocol messages, following Fig. 1:
+//   client --SubmitJob--> injection node --JobToOwner--> owner node
+//   owner --DispatchJob--> run node (FIFO queue)
+//   run --Heartbeat--> owner (soft state, both directions of failure
+//   detection), run --Result--> client, run --JobDone--> owner,
+//   run --OwnerHandoff--> new owner when the old owner dies.
+
+#include <cstdint>
+
+#include "chord/peer.h"
+#include "grid/job.h"
+#include "net/message.h"
+
+namespace pgrid::grid {
+
+using chord::Peer;
+using chord::kNoPeer;
+
+enum MsgType : std::uint16_t {
+  kSubmitJob = net::kTagGridBase + 0,
+  kSubmitAck = net::kTagGridBase + 1,
+  kJobToOwner = net::kTagGridBase + 2,
+  kJobToOwnerAck = net::kTagGridBase + 3,
+  kDispatchJob = net::kTagGridBase + 4,
+  kDispatchResp = net::kTagGridBase + 5,
+  kHeartbeat = net::kTagGridBase + 6,
+  kHeartbeatAck = net::kTagGridBase + 7,
+  kJobDone = net::kTagGridBase + 8,
+  kResult = net::kTagGridBase + 9,
+  kOwnerHandoff = net::kTagGridBase + 10,
+  kOwnerHandoffAck = net::kTagGridBase + 11,
+  kJobFailed = net::kTagGridBase + 12,
+  kWalkProbe = net::kTagGridBase + 13,
+  kWalkResult = net::kTagGridBase + 14,
+};
+
+inline constexpr std::size_t kProfileWireBytes = 96;
+
+struct SubmitJob final : net::Message {
+  static constexpr std::uint16_t kType = kSubmitJob;
+  explicit SubmitJob(JobProfile p) : Message(kType), profile(p) {}
+  JobProfile profile;
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return kProfileWireBytes;
+  }
+};
+
+struct SubmitAck final : net::Message {
+  static constexpr std::uint16_t kType = kSubmitAck;
+  SubmitAck() : Message(kType) {}
+};
+
+/// Job in flight toward (or between) owner nodes. Carries the remaining
+/// budget of the RN random walk / CAN pushes and the overlay hops so far,
+/// so the final owner can report injection cost.
+struct JobToOwner final : net::Message {
+  static constexpr std::uint16_t kType = kJobToOwner;
+  explicit JobToOwner(JobProfile p) : Message(kType), profile(p) {}
+  JobProfile profile;
+  std::uint32_t walk_remaining = 0;   // RN-Tree limited random walk budget
+  std::uint32_t push_remaining = 0;   // CAN-push budget
+  std::uint32_t forward_remaining = 0;  // CAN "no local candidate" budget
+  std::uint32_t hops = 0;
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return kProfileWireBytes + 16;
+  }
+};
+
+struct JobToOwnerAck final : net::Message {
+  static constexpr std::uint16_t kType = kJobToOwnerAck;
+  JobToOwnerAck() : Message(kType) {}
+};
+
+struct DispatchJob final : net::Message {
+  static constexpr std::uint16_t kType = kDispatchJob;
+  DispatchJob(JobProfile p, Peer o) : Message(kType), profile(p), owner(o) {}
+  JobProfile profile;
+  Peer owner;
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return kProfileWireBytes + 12;
+  }
+};
+
+struct DispatchResp final : net::Message {
+  static constexpr std::uint16_t kType = kDispatchResp;
+  DispatchResp(bool a, double q) : Message(kType), accepted(a), queue_len(q) {}
+  bool accepted;
+  double queue_len;
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 9;
+  }
+};
+
+/// Run node -> owner, periodically, for every job in the queue (§2: "the
+/// run node must generate heartbeat messages for every job in its job
+/// queue, including jobs that are not yet running").
+struct Heartbeat final : net::Message {
+  static constexpr std::uint16_t kType = kHeartbeat;
+  Heartbeat(Guid g, std::uint32_t gen) : Message(kType), guid(g), generation(gen) {}
+  Guid guid;
+  std::uint32_t generation;
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 12;
+  }
+};
+
+struct HeartbeatAck final : net::Message {
+  static constexpr std::uint16_t kType = kHeartbeatAck;
+  explicit HeartbeatAck(bool k) : Message(kType), known(k) {}
+  /// False: the owner has no record of this job (it must be re-handed off).
+  bool known;
+};
+
+struct JobDone final : net::Message {
+  static constexpr std::uint16_t kType = kJobDone;
+  JobDone(Guid g, std::uint32_t gen) : Message(kType), guid(g), generation(gen) {}
+  Guid guid;
+  std::uint32_t generation;
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 12;
+  }
+};
+
+/// Run node -> client: result pointer/payload (Fig. 1 step 6). Output data
+/// sizes are "correspondingly small" (KBs) per §2.
+struct Result final : net::Message {
+  static constexpr std::uint16_t kType = kResult;
+  Result(std::uint64_t s, std::uint32_t g) : Message(kType), seq(s), generation(g) {}
+  std::uint64_t seq;
+  std::uint32_t generation;
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 2048;  // a few KB of output data
+  }
+};
+
+/// Run node -> new owner after the previous owner died: re-replicate the
+/// job profile so monitoring can resume (§2 failure recovery).
+struct OwnerHandoff final : net::Message {
+  static constexpr std::uint16_t kType = kOwnerHandoff;
+  OwnerHandoff(JobProfile p, Peer r) : Message(kType), profile(p), run_node(r) {}
+  JobProfile profile;
+  Peer run_node;
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return kProfileWireBytes + 12;
+  }
+};
+
+struct OwnerHandoffAck final : net::Message {
+  static constexpr std::uint16_t kType = kOwnerHandoffAck;
+  OwnerHandoffAck() : Message(kType) {}
+};
+
+/// TTL-bounded random-walk resource probe (the related-work baseline of
+/// §4, e.g. Iamnitchi & Foster): forwarded to a random overlay neighbor
+/// until a node satisfying the constraints is found or the TTL expires.
+struct WalkProbe final : net::Message {
+  static constexpr std::uint16_t kType = kWalkProbe;
+  WalkProbe(std::uint64_t id, Peer init, Constraints c, std::uint32_t t)
+      : Message(kType), probe_id(id), initiator(init), constraints(c), ttl(t) {}
+  std::uint64_t probe_id;
+  Peer initiator;
+  Constraints constraints;
+  std::uint32_t ttl;
+  std::uint32_t hops = 0;
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 12 + 8 + 28 + 8;
+  }
+};
+
+struct WalkResult final : net::Message {
+  static constexpr std::uint16_t kType = kWalkResult;
+  WalkResult(std::uint64_t id, bool f, Peer n, double l, std::uint32_t h)
+      : Message(kType), probe_id(id), found(f), node(n), load(l), hops(h) {}
+  std::uint64_t probe_id;
+  bool found;
+  Peer node;
+  double load;
+  std::uint32_t hops;
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 33;
+  }
+};
+
+/// Owner -> client: matchmaking gave up on this generation. The client
+/// resubmits immediately (new GUID / virtual coordinate) instead of waiting
+/// for its deadline timer.
+struct JobFailed final : net::Message {
+  static constexpr std::uint16_t kType = kJobFailed;
+  JobFailed(std::uint64_t s, std::uint32_t g)
+      : Message(kType), seq(s), generation(g) {}
+  std::uint64_t seq;
+  std::uint32_t generation;
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 12;
+  }
+};
+
+}  // namespace pgrid::grid

@@ -1,0 +1,108 @@
+#include "grid/resources.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/expects.h"
+
+namespace pgrid::grid {
+
+std::string ResourceVector::str() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "{cpu=%.1fGHz mem=%.1fGB disk=%.0fGB}", v[0],
+                v[1], v[2]);
+  return buf;
+}
+
+std::string Constraints::str() const {
+  std::string out = "{";
+  const char* names[] = {"cpu", "mem", "disk"};
+  char buf[48];
+  bool first = true;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    if (!active[r]) continue;
+    std::snprintf(buf, sizeof buf, "%s%s>=%.1f", first ? "" : " ", names[r],
+                  min[r]);
+    out += buf;
+    first = false;
+  }
+  return out + "}";
+}
+
+const std::vector<double>& ResourceLadder::values(std::size_t r) {
+  PGRID_EXPECTS(r < kNumResources);
+  static const std::vector<double> cpu{1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+  static const std::vector<double> mem{0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+  static const std::vector<double> disk{20.0, 50.0, 100.0, 200.0, 500.0};
+  switch (static_cast<Resource>(r)) {
+    case Resource::kCpu: return cpu;
+    case Resource::kMemory: return mem;
+    case Resource::kDisk: return disk;
+  }
+  return cpu;  // unreachable
+}
+
+double ResourceLadder::to_unit(std::size_t r, double value) {
+  const auto& ladder = values(r);
+  // Rank of the largest step <= value; below the ladder maps near 0.
+  const auto it = std::upper_bound(ladder.begin(), ladder.end(), value);
+  const auto rank = static_cast<double>(it - ladder.begin());  // in [0, n]
+  const auto n = static_cast<double>(ladder.size());
+  // (rank - 0.5) / n for on-ladder values; clamp into [0, 1).
+  const double unit = (rank - 0.5) / n;
+  return std::clamp(unit, 0.0, 1.0 - 1e-9);
+}
+
+double ResourceLadder::from_unit(std::size_t r, double unit) {
+  const auto& ladder = values(r);
+  const auto n = static_cast<double>(ladder.size());
+  auto idx = static_cast<std::size_t>(unit * n);
+  if (idx >= ladder.size()) idx = ladder.size() - 1;
+  return ladder[idx];
+}
+
+rntree::Caps to_rn_caps(const ResourceVector& caps) noexcept {
+  rntree::Caps out{};
+  for (std::size_t r = 0; r < kNumResources; ++r) out[r] = caps.v[r];
+  return out;
+}
+
+rntree::Query to_rn_query(const Constraints& c) noexcept {
+  rntree::Query q;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    q.constrained[r] = c.active[r];
+    q.min[r] = c.min[r];
+  }
+  return q;
+}
+
+can::Point to_can_point(const ResourceVector& caps, double virtual_coord) {
+  PGRID_EXPECTS(virtual_coord >= 0.0 && virtual_coord < 1.0);
+  can::Point p(kCanDims);
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    p[r] = ResourceLadder::to_unit(r, caps.v[r]);
+  }
+  p[kVirtualDim] = virtual_coord;
+  return p;
+}
+
+can::Point to_can_point(const Constraints& c, double virtual_coord) {
+  PGRID_EXPECTS(virtual_coord >= 0.0 && virtual_coord < 1.0);
+  can::Point p(kCanDims);
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    p[r] = c.active[r] ? ResourceLadder::to_unit(r, c.min[r]) : 0.0;
+  }
+  p[kVirtualDim] = virtual_coord;
+  return p;
+}
+
+bool can_point_satisfies(const can::Point& node_point,
+                         const can::Point& job_point,
+                         const Constraints& c) noexcept {
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    if (c.active[r] && node_point[r] < job_point[r]) return false;
+  }
+  return true;
+}
+
+}  // namespace pgrid::grid

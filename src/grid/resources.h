@@ -1,0 +1,107 @@
+#pragma once
+// Resource model: node capabilities and job constraints (§2 "matchmaking").
+//
+// Three resource types (the paper's experiments constrain "out of the 3"):
+// CPU speed (GHz), memory (GB), disk (GB). Capabilities and constraint
+// values are drawn from fixed discrete ladders, which also provide the
+// monotone quantile normalization used for CAN coordinates: v >= c in real
+// units iff unit(v) >= unit(c) in [0,1), so constraint checks can be done in
+// either representation.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "can/geometry.h"
+#include "rntree/aggregate.h"
+
+namespace pgrid::grid {
+
+inline constexpr std::size_t kNumResources = 3;
+
+enum class Resource : std::size_t { kCpu = 0, kMemory = 1, kDisk = 2 };
+
+/// A node's capability in each resource.
+struct ResourceVector {
+  std::array<double, kNumResources> v{};
+
+  [[nodiscard]] double cpu() const noexcept { return v[0]; }
+  [[nodiscard]] double memory() const noexcept { return v[1]; }
+  [[nodiscard]] double disk() const noexcept { return v[2]; }
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const ResourceVector&,
+                         const ResourceVector&) noexcept = default;
+};
+
+/// A job's minimum resource requirements; each resource independently
+/// constrained or free (the paper's lightly/heavily-constrained axis).
+struct Constraints {
+  std::array<double, kNumResources> min{};
+  std::array<bool, kNumResources> active{};
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (bool a : active) n += a ? 1 : 0;
+    return n;
+  }
+
+  [[nodiscard]] bool satisfied_by(const ResourceVector& caps) const noexcept {
+    for (std::size_t r = 0; r < kNumResources; ++r) {
+      if (active[r] && caps.v[r] < min[r]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Constraints&, const Constraints&) noexcept =
+      default;
+};
+
+/// Fixed discrete capability ladders per resource.
+class ResourceLadder {
+ public:
+  /// Sorted distinct values a resource can take.
+  [[nodiscard]] static const std::vector<double>& values(std::size_t r);
+
+  /// Monotone map into [0,1): rank-based quantile ((i + 0.5) / n for the
+  /// i-th ladder step; values between steps interpolate by rank).
+  [[nodiscard]] static double to_unit(std::size_t r, double value);
+
+  /// Inverse of to_unit onto the ladder (nearest step).
+  [[nodiscard]] static double from_unit(std::size_t r, double unit);
+};
+
+// --- conversions to the overlay vocabularies --------------------------------
+
+/// RN-Tree capability slots (first kNumResources slots used).
+[[nodiscard]] rntree::Caps to_rn_caps(const ResourceVector& caps) noexcept;
+
+/// RN-Tree query from job constraints.
+[[nodiscard]] rntree::Query to_rn_query(const Constraints& c) noexcept;
+
+/// CAN point: normalized real coordinates plus a caller-supplied virtual
+/// coordinate (the paper's cluster-breaking virtual dimension).
+[[nodiscard]] can::Point to_can_point(const ResourceVector& caps,
+                                      double virtual_coord);
+
+/// CAN point for a job: unconstrained resources map to coordinate 0 (the
+/// origin corner, per §3.2's "jobs ... with no resource requirements at all
+/// ... mapped to the single node that owns the zone containing the origin").
+[[nodiscard]] can::Point to_can_point(const Constraints& c,
+                                      double virtual_coord);
+
+/// Constraint check in normalized CAN space (consistent with satisfied_by).
+[[nodiscard]] bool can_point_satisfies(const can::Point& node_point,
+                                       const can::Point& job_point,
+                                       const Constraints& c) noexcept;
+
+/// Number of CAN dimensions used by the grid: the real resources plus the
+/// virtual dimension.
+inline constexpr std::size_t kCanDims = kNumResources + 1;
+inline constexpr std::size_t kVirtualDim = kNumResources;
+
+}  // namespace pgrid::grid

@@ -1,0 +1,158 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/expects.h"
+
+namespace pgrid::metrics {
+
+Collector::Collector(std::size_t job_count, std::size_t node_count)
+    : jobs_(job_count), node_jobs_(node_count, 0), node_busy_(node_count, 0.0) {}
+
+void Collector::on_submit(std::uint64_t seq, sim::SimTime t) {
+  JobOutcome& j = jobs_.at(seq);
+  if (j.submit_sec == JobOutcome::kNever) j.submit_sec = t.sec();
+}
+
+void Collector::on_owner(std::uint64_t seq, sim::SimTime t,
+                         int injection_hops) {
+  JobOutcome& j = jobs_.at(seq);
+  j.owner_sec = t.sec();
+  j.injection_hops = injection_hops;
+}
+
+void Collector::on_matched(std::uint64_t seq, sim::SimTime t, int hops,
+                           std::uint32_t run_node) {
+  JobOutcome& j = jobs_.at(seq);
+  if (j.matched_sec == JobOutcome::kNever) {
+    j.matched_sec = t.sec();
+    j.match_hops = hops;
+  }
+  j.run_node = run_node;
+}
+
+void Collector::on_started(std::uint64_t seq, sim::SimTime t) {
+  JobOutcome& j = jobs_.at(seq);
+  if (j.started_sec == JobOutcome::kNever) {
+    j.started_sec = t.sec();
+    if (j.run_node < node_jobs_.size()) ++node_jobs_[j.run_node];
+  }
+}
+
+void Collector::on_completed(std::uint64_t seq, sim::SimTime t) {
+  JobOutcome& j = jobs_.at(seq);
+  if (j.completed_sec == JobOutcome::kNever) j.completed_sec = t.sec();
+}
+
+void Collector::on_resubmit(std::uint64_t seq) { ++jobs_.at(seq).resubmissions; }
+
+void Collector::on_requeue(std::uint64_t seq) { ++jobs_.at(seq).requeues; }
+
+void Collector::on_unmatched(std::uint64_t seq) {
+  jobs_.at(seq).unmatched = true;
+}
+
+void Collector::add_node_busy(std::uint32_t node, double seconds) {
+  if (node < node_busy_.size()) node_busy_[node] += seconds;
+}
+
+const JobOutcome& Collector::job(std::uint64_t seq) const {
+  return jobs_.at(seq);
+}
+
+std::size_t Collector::completed_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(),
+                    [](const JobOutcome& j) { return j.completed(); }));
+}
+
+std::size_t Collector::started_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(),
+                    [](const JobOutcome& j) { return j.started(); }));
+}
+
+std::size_t Collector::unmatched_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(),
+                    [](const JobOutcome& j) { return j.unmatched; }));
+}
+
+std::uint64_t Collector::total_resubmissions() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& j : jobs_) n += j.resubmissions;
+  return n;
+}
+
+std::uint64_t Collector::total_requeues() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& j : jobs_) n += j.requeues;
+  return n;
+}
+
+Samples Collector::wait_times() const {
+  Samples s;
+  s.reserve(jobs_.size());
+  for (const auto& j : jobs_) {
+    if (j.started()) s.add(j.wait_sec());
+  }
+  return s;
+}
+
+Samples Collector::matchmaking_hops() const {
+  Samples s;
+  for (const auto& j : jobs_) {
+    if (j.matched_sec != JobOutcome::kNever) {
+      s.add(static_cast<double>(j.match_hops));
+    }
+  }
+  return s;
+}
+
+Samples Collector::injection_hops() const {
+  Samples s;
+  for (const auto& j : jobs_) {
+    if (j.owner_sec != JobOutcome::kNever) {
+      s.add(static_cast<double>(j.injection_hops));
+    }
+  }
+  return s;
+}
+
+RunningStats Collector::jobs_per_node() const {
+  RunningStats stats;
+  for (auto n : node_jobs_) stats.add(static_cast<double>(n));
+  return stats;
+}
+
+RunningStats Collector::busy_per_node() const {
+  RunningStats stats;
+  for (double b : node_busy_) stats.add(b);
+  return stats;
+}
+
+double Collector::makespan_sec() const {
+  double latest = 0.0;
+  for (const auto& j : jobs_) {
+    if (j.completed()) latest = std::max(latest, j.completed_sec);
+  }
+  return latest;
+}
+
+std::string Collector::summary() const {
+  const Samples waits = wait_times();
+  const Samples hops = matchmaking_hops();
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "completed %zu/%zu  wait avg=%.1fs stdev=%.1fs  hops avg=%.2f  "
+      "requeues=%llu resubmits=%llu",
+      completed_count(), jobs_.size(), waits.empty() ? 0.0 : waits.mean(),
+      waits.empty() ? 0.0 : waits.stdev(), hops.empty() ? 0.0 : hops.mean(),
+      static_cast<unsigned long long>(total_requeues()),
+      static_cast<unsigned long long>(total_resubmissions()));
+  return buf;
+}
+
+}  // namespace pgrid::metrics

@@ -1,0 +1,89 @@
+#pragma once
+// Experiment metrics: per-job lifecycle timestamps, matchmaking cost,
+// per-node load, and the summary statistics the paper's figures report
+// (average and standard deviation of job wait time, Fig. 2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/time.h"
+
+namespace pgrid::metrics {
+
+/// Lifecycle record for one submitted job (indexed by its sequence number).
+struct JobOutcome {
+  static constexpr double kNever = -1.0;
+
+  double submit_sec = kNever;     // first client submission
+  double owner_sec = kNever;      // reached its (final) owner node
+  double matched_sec = kNever;    // run node chosen
+  double started_sec = kNever;    // execution began on the run node
+  double completed_sec = kNever;  // result returned to the client
+  int match_hops = 0;             // overlay hops spent on matchmaking
+  int injection_hops = 0;         // overlay hops routing job -> owner
+  std::uint32_t resubmissions = 0;
+  std::uint32_t requeues = 0;     // owner re-dispatched after a failure
+  std::uint32_t run_node = 0;
+  bool unmatched = false;         // matchmaking gave up
+
+  [[nodiscard]] bool completed() const noexcept {
+    return completed_sec != kNever;
+  }
+  [[nodiscard]] bool started() const noexcept { return started_sec != kNever; }
+  /// The paper's "job wait time": submission until execution start.
+  [[nodiscard]] double wait_sec() const noexcept {
+    return started() ? started_sec - submit_sec : kNever;
+  }
+};
+
+/// Central collector; one per experiment run. The grid layer writes events,
+/// the benches read summaries.
+class Collector {
+ public:
+  explicit Collector(std::size_t job_count, std::size_t node_count);
+
+  // --- event recording (called by the grid layer) -----------------------
+  void on_submit(std::uint64_t seq, sim::SimTime t);
+  void on_owner(std::uint64_t seq, sim::SimTime t, int injection_hops);
+  void on_matched(std::uint64_t seq, sim::SimTime t, int hops,
+                  std::uint32_t run_node);
+  void on_started(std::uint64_t seq, sim::SimTime t);
+  void on_completed(std::uint64_t seq, sim::SimTime t);
+  void on_resubmit(std::uint64_t seq);
+  void on_requeue(std::uint64_t seq);
+  void on_unmatched(std::uint64_t seq);
+  void add_node_busy(std::uint32_t node, double seconds);
+
+  // --- summaries ----------------------------------------------------------
+  [[nodiscard]] const JobOutcome& job(std::uint64_t seq) const;
+  [[nodiscard]] std::size_t job_count() const noexcept { return jobs_.size(); }
+  [[nodiscard]] std::size_t completed_count() const noexcept;
+  [[nodiscard]] std::size_t started_count() const noexcept;
+  [[nodiscard]] std::size_t unmatched_count() const noexcept;
+  [[nodiscard]] std::uint64_t total_resubmissions() const noexcept;
+  [[nodiscard]] std::uint64_t total_requeues() const noexcept;
+
+  /// Wait times of all started jobs (the Fig. 2 quantity).
+  [[nodiscard]] Samples wait_times() const;
+  /// Matchmaking hops of all matched jobs (the §3.3 "matchmaking cost").
+  [[nodiscard]] Samples matchmaking_hops() const;
+  [[nodiscard]] Samples injection_hops() const;
+  /// Jobs executed per node — load-balance dispersion across the system.
+  [[nodiscard]] RunningStats jobs_per_node() const;
+  /// Busy seconds per node.
+  [[nodiscard]] RunningStats busy_per_node() const;
+  /// Completion makespan (latest completion time).
+  [[nodiscard]] double makespan_sec() const;
+
+  /// Render a one-line summary (used by benches for per-cell rows).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<JobOutcome> jobs_;
+  std::vector<std::uint32_t> node_jobs_;
+  std::vector<double> node_busy_;
+};
+
+}  // namespace pgrid::metrics

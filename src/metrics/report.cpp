@@ -1,0 +1,44 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+namespace pgrid::metrics {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f) std::fclose(f);
+  }
+};
+}  // namespace
+
+bool write_job_csv(const Collector& collector, const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f{std::fopen(path.c_str(), "w")};
+  if (!f) return false;
+  std::fprintf(f.get(),
+               "seq,submit_sec,owner_sec,matched_sec,started_sec,"
+               "completed_sec,wait_sec,injection_hops,match_hops,run_node,"
+               "resubmissions,requeues,unmatched\n");
+  for (std::size_t seq = 0; seq < collector.job_count(); ++seq) {
+    const JobOutcome& j = collector.job(seq);
+    std::fprintf(f.get(), "%zu,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%d,%u,%u,%u,%d\n",
+                 seq, j.submit_sec, j.owner_sec, j.matched_sec, j.started_sec,
+                 j.completed_sec, j.wait_sec(), j.injection_hops,
+                 j.match_hops, j.run_node, j.resubmissions, j.requeues,
+                 j.unmatched ? 1 : 0);
+  }
+  return std::ferror(f.get()) == 0;
+}
+
+std::string wait_histogram(const Collector& collector, std::size_t buckets) {
+  const Samples waits = collector.wait_times();
+  if (waits.empty()) return "(no started jobs)\n";
+  const double hi = std::max(waits.max(), 1e-9);
+  Histogram h(0.0, hi * (1.0 + 1e-9), buckets);  // include the max itself
+  for (double w : waits.values()) h.add(w);
+  return h.ascii();
+}
+
+}  // namespace pgrid::metrics

@@ -1,0 +1,20 @@
+#pragma once
+// Result export: per-job CSV for external plotting, and an ASCII wait-time
+// histogram for terminal reports.
+
+#include <string>
+
+#include "metrics/metrics.h"
+
+namespace pgrid::metrics {
+
+/// Write one CSV row per job (seq, timestamps, hops, run node, flags).
+/// Returns false on I/O error.
+bool write_job_csv(const Collector& collector, const std::string& path);
+
+/// Render the wait-time distribution of started jobs as an ASCII histogram
+/// with `buckets` equal-width bins from 0 to the observed maximum.
+[[nodiscard]] std::string wait_histogram(const Collector& collector,
+                                         std::size_t buckets = 12);
+
+}  // namespace pgrid::metrics

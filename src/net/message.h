@@ -1,0 +1,71 @@
+#pragma once
+// Message base type for the simulated point-to-point network.
+//
+// Every protocol layer (Chord, CAN, RN-Tree, grid) defines message structs
+// deriving from Message, each with a unique 16-bit type tag used for
+// dispatch. Tags are partitioned per layer to catch cross-layer mixups.
+
+#include <cstdint>
+#include <memory>
+
+#include "common/expects.h"
+
+namespace pgrid::net {
+
+/// Dense node address (index into the network's handler table).
+using NodeAddr = std::uint32_t;
+inline constexpr NodeAddr kNullAddr = 0xffffffff;
+
+/// Type-tag ranges per protocol layer.
+inline constexpr std::uint16_t kTagChordBase = 0x100;
+inline constexpr std::uint16_t kTagCanBase = 0x200;
+inline constexpr std::uint16_t kTagRnTreeBase = 0x300;
+inline constexpr std::uint16_t kTagGridBase = 0x400;
+inline constexpr std::uint16_t kTagTestBase = 0x700;
+
+class Message {
+ public:
+  explicit Message(std::uint16_t type) noexcept : type_(type) {}
+  virtual ~Message() = default;
+
+  Message(const Message&) = delete;
+  Message& operator=(const Message&) = delete;
+
+  [[nodiscard]] std::uint16_t type() const noexcept { return type_; }
+
+  /// Approximate wire size in bytes, for traffic accounting. Headers are
+  /// charged by the network; subclasses add payload.
+  [[nodiscard]] virtual std::size_t payload_size() const noexcept { return 0; }
+
+  /// RPC correlation id; 0 means "not part of an RPC exchange".
+  std::uint64_t rpc_id = 0;
+  /// True for RPC replies (routed to the caller's continuation).
+  bool is_reply = false;
+
+ private:
+  std::uint16_t type_;
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+/// Checked downcast by type tag.
+template <typename T>
+[[nodiscard]] T* msg_cast(Message* m) noexcept {
+  PGRID_ASSERT(m != nullptr && m->type() == T::kType);
+  return static_cast<T*>(m);
+}
+
+template <typename T>
+[[nodiscard]] const T* msg_cast(const Message* m) noexcept {
+  PGRID_ASSERT(m != nullptr && m->type() == T::kType);
+  return static_cast<const T*>(m);
+}
+
+/// Interface implemented by every addressable entity on the network.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  virtual void on_message(NodeAddr from, MessagePtr msg) = 0;
+};
+
+}  // namespace pgrid::net

@@ -1,0 +1,69 @@
+#include "net/network.h"
+
+#include <utility>
+
+namespace pgrid::net {
+
+Network::Network(sim::Simulator& simulator, Rng rng, LatencyModel latency,
+                 double loss_probability)
+    : sim_(simulator),
+      rng_(rng),
+      latency_(latency),
+      loss_probability_(loss_probability) {
+  PGRID_EXPECTS(loss_probability >= 0.0 && loss_probability < 1.0);
+  PGRID_EXPECTS(latency.min <= latency.max);
+}
+
+NodeAddr Network::add_handler(MessageHandler* handler) {
+  PGRID_EXPECTS(handler != nullptr);
+  handlers_.push_back(handler);
+  alive_.push_back(true);
+  return static_cast<NodeAddr>(handlers_.size() - 1);
+}
+
+void Network::set_handler(NodeAddr addr, MessageHandler* handler) {
+  PGRID_EXPECTS(addr < handlers_.size());
+  handlers_[addr] = handler;
+}
+
+void Network::set_alive(NodeAddr addr, bool is_alive) {
+  PGRID_EXPECTS(addr < alive_.size());
+  alive_[addr] = is_alive;
+}
+
+bool Network::alive(NodeAddr addr) const {
+  PGRID_EXPECTS(addr < alive_.size());
+  return alive_[addr];
+}
+
+void Network::send(NodeAddr from, NodeAddr to, MessagePtr msg) {
+  PGRID_EXPECTS(msg != nullptr);
+  PGRID_EXPECTS(from < handlers_.size());
+  PGRID_EXPECTS(to < handlers_.size());
+  ++stats_.messages_sent;
+  stats_.bytes_sent += kHeaderBytes + msg->payload_size();
+
+  if (!alive_[from]) {
+    ++stats_.messages_dropped_dead;
+    return;
+  }
+  if (loss_probability_ > 0.0 && rng_.bernoulli(loss_probability_)) {
+    ++stats_.messages_dropped_loss;
+    return;
+  }
+
+  const sim::SimTime delay = latency_.sample(rng_);
+  // std::function requires copyable callables, so box the unique_ptr in a
+  // shared_ptr; the box guarantees cleanup even if the event never fires.
+  auto box = std::make_shared<MessagePtr>(std::move(msg));
+  sim_.schedule_in(delay, [this, from, to, box] {
+    if (!alive_[to]) {
+      ++stats_.messages_dropped_dead;
+      return;
+    }
+    ++stats_.messages_delivered;
+    handlers_[to]->on_message(from, std::move(*box));
+  });
+}
+
+}  // namespace pgrid::net

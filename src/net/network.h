@@ -1,0 +1,87 @@
+#pragma once
+// Simulated point-to-point network.
+//
+// Delivers messages between registered handlers with sampled latency and
+// optional loss. A message addressed to (or sent by) a dead node is dropped,
+// which is exactly how crash failures manifest to the protocols above.
+// Overlay routing is expressed as chains of point-to-point sends by the
+// protocol layers; "direct connections" (the paper's heartbeat sockets) are
+// single sends.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+namespace pgrid::net {
+
+/// Latency model for one-way point-to-point delivery.
+struct LatencyModel {
+  /// Uniform in [min, max); set equal for a constant-latency network.
+  sim::SimTime min = sim::SimTime::millis(20);
+  sim::SimTime max = sim::SimTime::millis(80);
+
+  [[nodiscard]] sim::SimTime sample(Rng& rng) const {
+    if (min == max) return min;
+    const auto lo = min.ns();
+    const auto hi = max.ns();
+    return sim::SimTime::nanos(rng.range(lo, hi - 1));
+  }
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped_dead = 0;   // destination/source down
+  std::uint64_t messages_dropped_loss = 0;   // random loss
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, Rng rng, LatencyModel latency = {},
+          double loss_probability = 0.0);
+
+  /// Register a handler and get its address. Handlers must outlive the
+  /// network or be detached first.
+  NodeAddr add_handler(MessageHandler* handler);
+
+  /// Replace the handler at an existing address (node restart).
+  void set_handler(NodeAddr addr, MessageHandler* handler);
+
+  void set_alive(NodeAddr addr, bool alive);
+  [[nodiscard]] bool alive(NodeAddr addr) const;
+
+  /// Send a message; delivery is scheduled at now + latency. Messages from
+  /// or to dead nodes are dropped (at send and delivery time respectively:
+  /// a node that dies in flight still loses the message).
+  void send(NodeAddr from, NodeAddr to, MessagePtr msg);
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] std::size_t size() const noexcept { return handlers_.size(); }
+
+  /// Allocate a unique RPC id stream. Several RpcEndpoints can share one
+  /// address (e.g. the Chord layer and the grid layer of the same node);
+  /// distinct streams keep their correlation ids disjoint.
+  [[nodiscard]] std::uint64_t next_rpc_stream() noexcept {
+    return next_rpc_stream_++;
+  }
+
+  /// Base per-message header charge for byte accounting.
+  static constexpr std::size_t kHeaderBytes = 48;
+
+ private:
+  sim::Simulator& sim_;
+  Rng rng_;
+  LatencyModel latency_;
+  double loss_probability_;
+  std::vector<MessageHandler*> handlers_;
+  std::vector<bool> alive_;
+  NetworkStats stats_;
+  std::uint64_t next_rpc_stream_ = 1;
+};
+
+}  // namespace pgrid::net

@@ -1,0 +1,101 @@
+#include "net/rpc.h"
+
+#include <utility>
+
+namespace pgrid::net {
+
+RpcEndpoint::RpcEndpoint(Network& network, NodeAddr self)
+    : net_(network),
+      self_(self),
+      stream_(network.next_rpc_stream()),
+      next_id_(stream_ << 32 | 1) {}
+
+RpcEndpoint::~RpcEndpoint() { cancel_all(); }
+
+std::uint64_t RpcEndpoint::call(NodeAddr to, MessagePtr request,
+                                sim::SimTime timeout, Continuation k) {
+  PGRID_EXPECTS(request != nullptr);
+  PGRID_EXPECTS(k != nullptr);
+  const std::uint64_t id = next_id_++;
+  request->rpc_id = id;
+  request->is_reply = false;
+
+  const sim::EventId timeout_event =
+      net_.simulator().schedule_in(timeout, [this, id] {
+        auto it = pending_.find(id);
+        if (it == pending_.end()) return;
+        Continuation cont = std::move(it->second.k);
+        pending_.erase(it);
+        ++timeouts_;
+        cont(nullptr);
+      });
+
+  pending_.emplace(id, Pending{std::move(k), timeout_event});
+  net_.send(self_, to, std::move(request));
+  return id;
+}
+
+void RpcEndpoint::call_retry(NodeAddr to, std::function<MessagePtr()> make,
+                             sim::SimTime timeout, int attempts,
+                             Continuation k) {
+  PGRID_EXPECTS(make != nullptr);
+  PGRID_EXPECTS(attempts >= 1);
+  // Box the continuation so the retry chain can move it along.
+  auto boxed = std::make_shared<Continuation>(std::move(k));
+  // Build the request *before* the lambda captures `make` by move
+  // (evaluation order between the two is unspecified otherwise).
+  MessagePtr request = make();
+  call(to, std::move(request), timeout,
+       [this, to, make = std::move(make), timeout, attempts,
+        boxed](MessagePtr reply) mutable {
+         if (reply != nullptr || attempts <= 1) {
+           (*boxed)(std::move(reply));
+           return;
+         }
+         call_retry(to, std::move(make), timeout, attempts - 1,
+                    [boxed](MessagePtr r) { (*boxed)(std::move(r)); });
+       });
+}
+
+void RpcEndpoint::reply(NodeAddr to, const Message& request,
+                        MessagePtr response) {
+  PGRID_EXPECTS(response != nullptr);
+  PGRID_EXPECTS(request.rpc_id != 0);
+  response->rpc_id = request.rpc_id;
+  response->is_reply = true;
+  net_.send(self_, to, std::move(response));
+}
+
+void RpcEndpoint::send(NodeAddr to, MessagePtr msg) {
+  PGRID_EXPECTS(msg != nullptr);
+  net_.send(self_, to, std::move(msg));
+}
+
+bool RpcEndpoint::consume_reply(MessagePtr& msg) {
+  PGRID_EXPECTS(msg != nullptr);
+  if (!msg->is_reply || msg->rpc_id == 0) return false;
+  if ((msg->rpc_id >> 32) != stream_) return false;  // another endpoint's
+  auto it = pending_.find(msg->rpc_id);
+  if (it == pending_.end()) return true;  // late reply after timeout: drop
+  Continuation cont = std::move(it->second.k);
+  net_.simulator().cancel(it->second.timeout_event);
+  pending_.erase(it);
+  cont(std::move(msg));
+  return true;
+}
+
+void RpcEndpoint::cancel(std::uint64_t rpc_id) {
+  auto it = pending_.find(rpc_id);
+  if (it == pending_.end()) return;
+  net_.simulator().cancel(it->second.timeout_event);
+  pending_.erase(it);
+}
+
+void RpcEndpoint::cancel_all() {
+  for (auto& [id, p] : pending_) {
+    net_.simulator().cancel(p.timeout_event);
+  }
+  pending_.clear();
+}
+
+}  // namespace pgrid::net

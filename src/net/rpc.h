@@ -1,0 +1,80 @@
+#pragma once
+// Request/response correlation with timeouts over the simulated network.
+//
+// Every protocol in this repository (Chord lookups, CAN routing probes,
+// RN-Tree searches, grid job transfer) is an asynchronous RPC exchange:
+// the caller registers a continuation, the endpoint matches replies by
+// correlation id, and a timeout fires the continuation with nullptr —
+// which is how callers observe crashed peers.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/message.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace pgrid::net {
+
+class RpcEndpoint {
+ public:
+  /// Continuation: reply message, or nullptr on timeout.
+  using Continuation = std::function<void(MessagePtr reply)>;
+
+  RpcEndpoint(Network& network, NodeAddr self);
+  ~RpcEndpoint();
+
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  /// Send `request` to `to`; invoke `k` with the reply or nullptr after
+  /// `timeout`. Returns the correlation id (also usable to cancel).
+  std::uint64_t call(NodeAddr to, MessagePtr request, sim::SimTime timeout,
+                     Continuation k);
+
+  /// Like call(), but retransmit up to `attempts` times (total) before
+  /// reporting failure: one lost datagram must not condemn a live peer.
+  /// `make` builds a fresh copy of the request for each transmission.
+  void call_retry(NodeAddr to, std::function<MessagePtr()> make,
+                  sim::SimTime timeout, int attempts, Continuation k);
+
+  /// Send a reply correlated with `request` back to `to`.
+  void reply(NodeAddr to, const Message& request, MessagePtr response);
+
+  /// Fire-and-forget send (no correlation).
+  void send(NodeAddr to, MessagePtr msg);
+
+  /// Offer an incoming message; consumes it (returns true) iff it is a
+  /// reply addressed to this endpoint's id stream. Replies for calls that
+  /// already timed out are consumed and dropped; replies for other
+  /// endpoints sharing the address are left for them.
+  bool consume_reply(MessagePtr& msg);
+
+  /// Drop an outstanding call without invoking its continuation.
+  void cancel(std::uint64_t rpc_id);
+
+  /// Drop all outstanding calls (node crash / shutdown).
+  void cancel_all();
+
+  [[nodiscard]] NodeAddr self() const noexcept { return self_; }
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+
+ private:
+  struct Pending {
+    Continuation k;
+    sim::EventId timeout_event;
+  };
+
+  Network& net_;
+  NodeAddr self_;
+  std::uint64_t stream_;
+  std::uint64_t next_id_;
+  std::uint64_t timeouts_ = 0;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace pgrid::net

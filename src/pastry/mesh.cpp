@@ -1,0 +1,68 @@
+#include "pastry/mesh.h"
+
+#include "common/expects.h"
+
+namespace pgrid::pastry {
+
+PastryMesh::PastryMesh(net::Network& network, PastryConfig config, Rng rng)
+    : net_(network), config_(config), rng_(rng) {}
+
+PastryHost& PastryMesh::add_host(Guid id) {
+  hosts_.push_back(
+      std::make_unique<PastryHost>(net_, id, config_, rng_.fork(hosts_.size())));
+  alive_.push_back(true);
+  return *hosts_.back();
+}
+
+void PastryMesh::wire_instantly() {
+  std::vector<Peer> live;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (alive_[i]) {
+      live.push_back(hosts_[i]->node().self_peer());
+    }
+  }
+  PGRID_EXPECTS(!live.empty());
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (!alive_[i]) continue;
+    PastryNode& node = hosts_[i]->node();
+    node.install_state(live);  // rebuild_leaves picks the closest per side
+    for (const Peer& p : live) node.consider_peer(p);
+  }
+}
+
+Peer PastryMesh::oracle_root(Guid key) const {
+  Peer best = kNoPeer;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (!alive_[i]) continue;
+    const Peer p = hosts_[i]->node().self_peer();
+    if (!best.valid() ||
+        closer_to(key.value(), p.id.value(), best.id.value())) {
+      best = p;
+    }
+  }
+  return best;
+}
+
+void PastryMesh::crash(std::size_t index) {
+  PGRID_EXPECTS(index < hosts_.size());
+  if (!alive_[index]) return;
+  alive_[index] = false;
+  net_.set_alive(hosts_[index]->addr(), false);
+  hosts_[index]->node().crash();
+}
+
+void PastryMesh::restart(std::size_t index) {
+  PGRID_EXPECTS(index < hosts_.size());
+  if (alive_[index]) return;
+  alive_[index] = true;
+  net_.set_alive(hosts_[index]->addr(), true);
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (i != index && alive_[i]) {
+      hosts_[index]->node().join(hosts_[i]->node().self_peer(), nullptr);
+      return;
+    }
+  }
+  hosts_[index]->node().create();
+}
+
+}  // namespace pgrid::pastry

@@ -1,0 +1,60 @@
+#pragma once
+// Pastry mesh harness: hosts a set of PastryNodes, supports protocol joins
+// and instant wiring, answers ground-truth root queries.
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/network.h"
+#include "pastry/pastry_node.h"
+
+namespace pgrid::pastry {
+
+class PastryHost final : public net::MessageHandler {
+ public:
+  PastryHost(net::Network& network, Guid id, PastryConfig config, Rng rng)
+      : addr_(network.add_handler(this)),
+        node_(network, addr_, id, config, rng) {}
+
+  void on_message(net::NodeAddr from, net::MessagePtr msg) override {
+    node_.handle(from, msg);
+  }
+
+  [[nodiscard]] PastryNode& node() noexcept { return node_; }
+  [[nodiscard]] const PastryNode& node() const noexcept { return node_; }
+  [[nodiscard]] net::NodeAddr addr() const noexcept { return addr_; }
+
+ private:
+  net::NodeAddr addr_;
+  PastryNode node_;
+};
+
+class PastryMesh {
+ public:
+  PastryMesh(net::Network& network, PastryConfig config, Rng rng);
+
+  PastryHost& add_host(Guid id);
+
+  /// Install exact leaf sets and routing tables into every live host.
+  void wire_instantly();
+
+  /// Ground truth: the live node numerically closest to `key`.
+  [[nodiscard]] Peer oracle_root(Guid key) const;
+
+  void crash(std::size_t index);
+  void restart(std::size_t index);
+
+  [[nodiscard]] std::size_t size() const noexcept { return hosts_.size(); }
+  [[nodiscard]] PastryHost& host(std::size_t i) { return *hosts_.at(i); }
+  [[nodiscard]] bool crashed(std::size_t i) const { return !alive_.at(i); }
+
+ private:
+  net::Network& net_;
+  PastryConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<PastryHost>> hosts_;
+  std::vector<bool> alive_;
+};
+
+}  // namespace pgrid::pastry

@@ -1,0 +1,84 @@
+#pragma once
+// Pastry protocol messages (Rowstron & Druschel, Middleware'01), iterative
+// style: the lookup initiator drives prefix routing hop by hop. Next-hop
+// responses carry the responder's relevant routing row and leaf set so a
+// joining node assembles its state from the nodes along its join path (the
+// classic Pastry join).
+
+#include <cstdint>
+#include <vector>
+
+#include "chord/peer.h"
+#include "net/message.h"
+
+namespace pgrid::pastry {
+
+using chord::Peer;
+using chord::kNoPeer;
+
+// Reuse the test tag region's neighbor: give pastry its own block above the
+// grid layer's.
+inline constexpr std::uint16_t kTagPastryBase = 0x500;
+
+enum MsgType : std::uint16_t {
+  kNextHopReq = kTagPastryBase + 0,
+  kNextHopResp = kTagPastryBase + 1,
+  kLeafSetReq = kTagPastryBase + 2,
+  kLeafSetResp = kTagPastryBase + 3,
+  kAnnounce = kTagPastryBase + 4,
+};
+
+struct NextHopReq final : net::Message {
+  static constexpr std::uint16_t kType = kNextHopReq;
+  explicit NextHopReq(Guid k) : Message(kType), key(k) {}
+  Guid key;
+  /// Nodes observed dead during this lookup (skipped by responders).
+  std::vector<Guid> avoid;
+  /// True when issued by a joining node: the response carries state.
+  bool collect_state = false;
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 9 + avoid.size() * 8;
+  }
+};
+
+struct NextHopResp final : net::Message {
+  static constexpr std::uint16_t kType = kNextHopResp;
+  NextHopResp(bool d, Peer n) : Message(kType), done(d), node(n) {}
+  bool done;   // node is the key's root (numerically closest)
+  Peer node;   // or the next hop
+  /// For joiners: the responder's routing row at the shared-prefix level
+  /// and its leaf set (only filled when collect_state was set).
+  std::vector<Peer> routing_row;
+  std::vector<Peer> leaves;
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 13 + (routing_row.size() + leaves.size()) * 12;
+  }
+};
+
+/// Leaf-set maintenance: exchange leaf sets with leaf neighbors.
+struct LeafSetReq final : net::Message {
+  static constexpr std::uint16_t kType = kLeafSetReq;
+  LeafSetReq() : Message(kType) {}
+};
+
+struct LeafSetResp final : net::Message {
+  static constexpr std::uint16_t kType = kLeafSetResp;
+  explicit LeafSetResp(std::vector<Peer> l) : Message(kType), leaves(std::move(l)) {}
+  std::vector<Peer> leaves;
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return leaves.size() * 12;
+  }
+};
+
+/// "I exist": a joined node announces itself so others fold it into their
+/// leaf sets and routing tables.
+struct Announce final : net::Message {
+  static constexpr std::uint16_t kType = kAnnounce;
+  explicit Announce(Peer p) : Message(kType), peer(p) {}
+  Peer peer;
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 12;
+  }
+};
+
+}  // namespace pgrid::pastry

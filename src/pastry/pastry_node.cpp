@@ -1,0 +1,407 @@
+#include "pastry/pastry_node.h"
+
+#include <algorithm>
+
+namespace pgrid::pastry {
+
+namespace {
+constexpr int kMaxLookupHops = 64;
+
+bool contains_id(const std::vector<Guid>& ids, Guid id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+}  // namespace
+
+PastryNode::PastryNode(net::Network& network, net::NodeAddr self, Guid id,
+                       PastryConfig config, Rng rng)
+    : net_(network), rpc_(network, self), id_(id), config_(config), rng_(rng) {
+  PGRID_EXPECTS(config.leaf_half >= 1);
+}
+
+PastryNode::~PastryNode() = default;
+
+void PastryNode::create() {
+  running_ = true;
+  cw_leaves_.clear();
+  ccw_leaves_.clear();
+  for (auto& row : table_) row.fill(kNoPeer);
+  start_maintenance();
+}
+
+void PastryNode::crash() {
+  running_ = false;
+  leafset_task_.reset();
+  rpc_.cancel_all();
+  cw_leaves_.clear();
+  ccw_leaves_.clear();
+  for (auto& row : table_) row.fill(kNoPeer);
+  dead_until_.clear();
+  saw_full_leafset_ = false;
+}
+
+std::vector<Peer> PastryNode::leaf_set() const {
+  std::vector<Peer> all = ccw_leaves_;
+  for (const Peer& p : cw_leaves_) {
+    if (std::find(all.begin(), all.end(), p) == all.end()) all.push_back(p);
+  }
+  return all;
+}
+
+void PastryNode::rebuild_leaves(std::vector<Peer> candidates) {
+  // Deduplicate, drop self, then take the leaf_half closest per side.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Peer& a, const Peer& b) { return a.id < b.id; });
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::erase_if(candidates, [this](const Peer& p) {
+    return !p.valid() || p.addr == addr();
+  });
+
+  auto by_cw = candidates;
+  std::sort(by_cw.begin(), by_cw.end(), [this](const Peer& a, const Peer& b) {
+    return id_.clockwise_to(a.id) < id_.clockwise_to(b.id);
+  });
+  auto by_ccw = candidates;
+  std::sort(by_ccw.begin(), by_ccw.end(),
+            [this](const Peer& a, const Peer& b) {
+              return a.id.clockwise_to(id_) < b.id.clockwise_to(id_);
+            });
+  cw_leaves_.assign(by_cw.begin(),
+                    by_cw.begin() + std::min<std::ptrdiff_t>(
+                                        static_cast<std::ptrdiff_t>(
+                                            config_.leaf_half),
+                                        static_cast<std::ptrdiff_t>(
+                                            by_cw.size())));
+  ccw_leaves_.assign(by_ccw.begin(),
+                     by_ccw.begin() + std::min<std::ptrdiff_t>(
+                                          static_cast<std::ptrdiff_t>(
+                                              config_.leaf_half),
+                                          static_cast<std::ptrdiff_t>(
+                                              by_ccw.size())));
+  if (cw_leaves_.size() >= config_.leaf_half &&
+      ccw_leaves_.size() >= config_.leaf_half) {
+    saw_full_leafset_ = true;
+  }
+}
+
+void PastryNode::install_state(std::vector<Peer> leaves) {
+  running_ = true;
+  rebuild_leaves(std::move(leaves));
+  start_maintenance();
+}
+
+void PastryNode::consider_peer(Peer p) {
+  if (!running_ || !p.valid() || p.addr == addr()) return;
+  if (const auto it = dead_until_.find(p.addr); it != dead_until_.end()) {
+    if (net_.simulator().now() < it->second) return;  // tombstoned
+    dead_until_.erase(it);
+  }
+  // Leaf set.
+  std::vector<Peer> candidates = leaf_set();
+  candidates.push_back(p);
+  rebuild_leaves(std::move(candidates));
+  // Routing table: first usable entry per (row, digit) wins.
+  const int row = shared_prefix(id_.value(), p.id.value());
+  if (row < kDigits) {
+    const int col = digit_at(p.id.value(), row);
+    Peer& entry = table_[static_cast<std::size_t>(row)]
+                        [static_cast<std::size_t>(col)];
+    if (!entry.valid()) entry = p;
+  }
+}
+
+bool PastryNode::key_in_leaf_range(Guid key) const {
+  if (cw_leaves_.empty() && ccw_leaves_.empty()) return true;  // singleton
+  const bool partial = cw_leaves_.size() < config_.leaf_half ||
+                       ccw_leaves_.size() < config_.leaf_half;
+  if (partial) {
+    // Never-full sides mean the network is smaller than the leaf set and we
+    // know everyone: decide locally. Sides depleted by failures, however,
+    // must not claim authority — keep routing while gossip repairs them.
+    return !saw_full_leafset_;
+  }
+  const Guid cw_far = cw_leaves_.back().id;
+  const Guid ccw_far = ccw_leaves_.back().id;
+  return ccw_far.clockwise_to(key) <= ccw_far.clockwise_to(cw_far);
+}
+
+Peer PastryNode::closest_known(Guid key, const std::vector<Guid>& avoid) const {
+  Peer best = contains_id(avoid, id_) ? kNoPeer : self_peer();
+  auto consider = [&](const Peer& p) {
+    if (!p.valid() || contains_id(avoid, p.id)) return;
+    if (!best.valid() || closer_to(key.value(), p.id.value(), best.id.value())) {
+      best = p;
+    }
+  };
+  for (const Peer& p : cw_leaves_) consider(p);
+  for (const Peer& p : ccw_leaves_) consider(p);
+  return best;
+}
+
+Peer PastryNode::route_step(Guid key, const std::vector<Guid>& avoid) const {
+  if (key_in_leaf_range(key)) return kNoPeer;  // decided via closest_known
+  const int row = shared_prefix(id_.value(), key.value());
+  if (row < kDigits) {
+    const Peer entry = table_[static_cast<std::size_t>(row)][
+        static_cast<std::size_t>(digit_at(key.value(), row))];
+    if (entry.valid() && !contains_id(avoid, entry.id)) return entry;
+  }
+  // Rare case: no table entry — take any known node with at least as long a
+  // shared prefix that is numerically closer to the key than we are.
+  Peer best = kNoPeer;
+  auto consider = [&](const Peer& p) {
+    if (!p.valid() || p.addr == addr() || contains_id(avoid, p.id)) return;
+    if (shared_prefix(p.id.value(), key.value()) < row) return;
+    if (!closer_to(key.value(), p.id.value(), id_.value())) return;
+    if (!best.valid() || closer_to(key.value(), p.id.value(), best.id.value())) {
+      best = p;
+    }
+  };
+  for (const Peer& p : cw_leaves_) consider(p);
+  for (const Peer& p : ccw_leaves_) consider(p);
+  for (const auto& table_row : table_) {
+    for (const Peer& p : table_row) consider(p);
+  }
+  return best;
+}
+
+// --- lookups -------------------------------------------------------------------
+
+void PastryNode::lookup(Guid key, LookupCallback cb) {
+  PGRID_EXPECTS(cb != nullptr);
+  ++stats_.lookups_started;
+  if (!running_) {
+    ++stats_.lookups_failed;
+    cb(kNoPeer, 0);
+    return;
+  }
+  auto st = std::make_shared<LookupState>();
+  st->key = key;
+  st->cb = std::move(cb);
+  st->retries_left = config_.lookup_retries;
+  lookup_restart(st);
+}
+
+void PastryNode::lookup_restart(const std::shared_ptr<LookupState>& st) {
+  if (!running_) {
+    lookup_failed(st);
+    return;
+  }
+  const Peer next = route_step(st->key, st->avoid);
+  if (!next.valid()) {
+    const Peer root = closest_known(st->key, st->avoid);
+    if (root.valid()) {
+      lookup_done(st, root);
+    } else {
+      lookup_failed(st);
+    }
+    return;
+  }
+  lookup_ask(st, next);
+}
+
+void PastryNode::lookup_ask(const std::shared_ptr<LookupState>& st,
+                            Peer target) {
+  if (st->hops >= kMaxLookupHops) {
+    lookup_failed(st);
+    return;
+  }
+  ++st->hops;
+  auto make = [key = st->key, avoid = st->avoid,
+               collect = st->collect_state]() -> net::MessagePtr {
+    auto req = std::make_unique<NextHopReq>(key);
+    req->avoid = avoid;
+    req->collect_state = collect;
+    return req;
+  };
+  rpc_.call_retry(
+      target.addr, std::move(make), config_.rpc_timeout, config_.rpc_attempts,
+      [this, st, target](net::MessagePtr reply) {
+        if (!running_) return;
+        if (reply == nullptr) {
+          remove_failed(target);
+          if (!contains_id(st->avoid, target.id)) {
+            st->avoid.push_back(target.id);
+          }
+          if (--st->retries_left > 0) {
+            lookup_restart(st);
+          } else {
+            lookup_failed(st);
+          }
+          return;
+        }
+        const auto* resp = net::msg_cast<NextHopResp>(reply.get());
+        if (st->on_state) st->on_state(*resp);
+        if (!resp->node.valid()) {
+          lookup_failed(st);
+          return;
+        }
+        if (resp->done) {
+          lookup_done(st, resp->node);
+        } else {
+          lookup_ask(st, resp->node);
+        }
+      });
+}
+
+void PastryNode::lookup_done(const std::shared_ptr<LookupState>& st,
+                             Peer root) {
+  ++stats_.lookups_ok;
+  stats_.lookup_hops.add(st->hops);
+  st->cb(root, st->hops);
+}
+
+void PastryNode::lookup_failed(const std::shared_ptr<LookupState>& st) {
+  ++stats_.lookups_failed;
+  st->cb(kNoPeer, st->hops);
+}
+
+// --- join -----------------------------------------------------------------------
+
+void PastryNode::join(Peer bootstrap, std::function<void(bool ok)> done) {
+  PGRID_EXPECTS(bootstrap.valid());
+  running_ = true;
+  cw_leaves_.clear();
+  ccw_leaves_.clear();
+  for (auto& row : table_) row.fill(kNoPeer);
+
+  auto st = std::make_shared<LookupState>();
+  st->key = id_;
+  st->retries_left = config_.lookup_retries;
+  st->collect_state = true;
+  st->on_state = [this](const NextHopResp& resp) {
+    // Harvest routing rows and leaf sets from nodes along the join path.
+    for (const Peer& p : resp.routing_row) consider_peer(p);
+    for (const Peer& p : resp.leaves) consider_peer(p);
+  };
+  st->cb = [this, done = std::move(done)](Peer root, int /*hops*/) {
+    if (!running_) return;
+    if (!root.valid()) {
+      if (done) done(false);
+      return;
+    }
+    consider_peer(root);
+    // Pull the root's leaf set: it becomes the seed of ours.
+    rpc_.call_retry(
+        root.addr, [] { return std::make_unique<LeafSetReq>(); },
+        config_.rpc_timeout, config_.rpc_attempts,
+        [this, done](net::MessagePtr reply) {
+          if (!running_) return;
+          if (reply != nullptr) {
+            for (const Peer& p :
+                 net::msg_cast<LeafSetResp>(reply.get())->leaves) {
+              consider_peer(p);
+            }
+          }
+          start_maintenance();
+          // Announce ourselves to everyone we learned about.
+          for (const Peer& p : leaf_set()) {
+            rpc_.send(p.addr, std::make_unique<Announce>(self_peer()));
+          }
+          for (const auto& row : table_) {
+            for (const Peer& p : row) {
+              if (p.valid()) {
+                rpc_.send(p.addr, std::make_unique<Announce>(self_peer()));
+              }
+            }
+          }
+          if (done) done(true);
+        });
+  };
+  lookup_ask(st, bootstrap);
+}
+
+// --- message handling --------------------------------------------------------------
+
+bool PastryNode::handle(net::NodeAddr from, net::MessagePtr& msg) {
+  PGRID_EXPECTS(msg != nullptr);
+  if (rpc_.consume_reply(msg)) return true;
+  if (!running_) {
+    const auto t = msg->type();
+    return t >= kTagPastryBase && t < kTagPastryBase + 0x100;
+  }
+  switch (msg->type()) {
+    case kNextHopReq:
+      on_next_hop(from, *net::msg_cast<NextHopReq>(msg.get()));
+      return true;
+    case kLeafSetReq:
+      on_leafset(from, *net::msg_cast<LeafSetReq>(msg.get()));
+      return true;
+    case kAnnounce:
+      on_announce(*net::msg_cast<Announce>(msg.get()));
+      return true;
+    default:
+      return false;
+  }
+}
+
+void PastryNode::on_next_hop(net::NodeAddr from, const NextHopReq& req) {
+  const Peer next = route_step(req.key, req.avoid);
+  auto resp = next.valid()
+                  ? std::make_unique<NextHopResp>(false, next)
+                  : std::make_unique<NextHopResp>(
+                        true, closest_known(req.key, req.avoid));
+  if (req.collect_state) {
+    const int row = shared_prefix(id_.value(), req.key.value());
+    if (row < kDigits) {
+      for (const Peer& p : table_[static_cast<std::size_t>(row)]) {
+        if (p.valid()) resp->routing_row.push_back(p);
+      }
+    }
+    resp->leaves = leaf_set();
+    resp->leaves.push_back(self_peer());
+  }
+  rpc_.reply(from, req, std::move(resp));
+}
+
+void PastryNode::on_leafset(net::NodeAddr from, const LeafSetReq& req) {
+  std::vector<Peer> leaves = leaf_set();
+  leaves.push_back(self_peer());
+  rpc_.reply(from, req, std::make_unique<LeafSetResp>(std::move(leaves)));
+}
+
+void PastryNode::on_announce(const Announce& msg) { consider_peer(msg.peer); }
+
+// --- maintenance ------------------------------------------------------------------
+
+void PastryNode::start_maintenance() {
+  if (!config_.run_maintenance) return;
+  const auto phase =
+      sim::SimTime::nanos(rng_.range(0, config_.leafset_period.ns() - 1));
+  leafset_task_ = std::make_unique<sim::PeriodicTask>(
+      net_.simulator(), config_.leafset_period,
+      [this] { do_leafset_exchange(); }, phase);
+}
+
+void PastryNode::do_leafset_exchange() {
+  for (const Peer& leaf : leaf_set()) {
+    rpc_.call_retry(
+        leaf.addr, [] { return std::make_unique<LeafSetReq>(); },
+        config_.rpc_timeout, config_.rpc_attempts,
+        [this, leaf](net::MessagePtr reply) {
+          if (!running_) return;
+          if (reply == nullptr) {
+            remove_failed(leaf);
+            return;
+          }
+          for (const Peer& p :
+               net::msg_cast<LeafSetResp>(reply.get())->leaves) {
+            consider_peer(p);
+          }
+        });
+  }
+}
+
+void PastryNode::remove_failed(Peer p) {
+  std::erase(cw_leaves_, p);
+  std::erase(ccw_leaves_, p);
+  for (auto& row : table_) {
+    for (Peer& entry : row) {
+      if (entry == p) entry = kNoPeer;
+    }
+  }
+  dead_until_[p.addr] =
+      net_.simulator().now() + config_.leafset_period * 8;
+}
+
+}  // namespace pgrid::pastry

@@ -1,0 +1,190 @@
+#pragma once
+// Pastry DHT node (Rowstron & Druschel, Middleware'01) — the third of the
+// paper's candidate DHT substrates ("we assume an underlying DHT
+// infrastructure [17, 18, 19, 21]" — CAN, Pastry, Chord, Tapestry).
+//
+// 64-bit identifiers interpreted as 16 hexadecimal digits (b = 4). State:
+//   - leaf set: the L/2 numerically closest nodes on each side (circular),
+//   - routing table: rows by shared-prefix length, columns by next digit.
+// A key's root is the live node numerically closest to it (circular
+// distance, smaller id on ties). Expected route length is O(log_16 N).
+//
+// Iterative lookups like our Chord: the initiator drives hop by hop and
+// counts hops; next-hop responses optionally carry the responder's routing
+// row and leaf set, which is how a joining node builds its state from the
+// nodes on its join path.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "pastry/messages.h"
+#include "sim/simulator.h"
+
+namespace pgrid::pastry {
+
+inline constexpr int kDigitBits = 4;
+inline constexpr int kDigits = 64 / kDigitBits;      // rows
+inline constexpr int kDigitValues = 1 << kDigitBits;  // columns
+
+/// Hex digit of `id` at `row` (row 0 = most significant).
+[[nodiscard]] constexpr int digit_at(std::uint64_t id, int row) noexcept {
+  return static_cast<int>((id >> (64 - kDigitBits * (row + 1))) &
+                          (kDigitValues - 1));
+}
+
+/// Length of the shared hex-digit prefix of two ids (0..16).
+[[nodiscard]] constexpr int shared_prefix(std::uint64_t a,
+                                          std::uint64_t b) noexcept {
+  for (int row = 0; row < kDigits; ++row) {
+    if (digit_at(a, row) != digit_at(b, row)) return row;
+  }
+  return kDigits;
+}
+
+/// Circular numerical distance between two ids.
+[[nodiscard]] constexpr std::uint64_t circular_distance(
+    std::uint64_t a, std::uint64_t b) noexcept {
+  const std::uint64_t cw = b - a;
+  const std::uint64_t ccw = a - b;
+  return cw < ccw ? cw : ccw;
+}
+
+/// True iff `a` is strictly a better root for `key` than `b` (closer;
+/// smaller id on distance ties).
+[[nodiscard]] constexpr bool closer_to(std::uint64_t key, std::uint64_t a,
+                                       std::uint64_t b) noexcept {
+  const auto da = circular_distance(key, a);
+  const auto db = circular_distance(key, b);
+  if (da != db) return da < db;
+  return a < b;
+}
+
+struct PastryConfig {
+  /// Leaf-set half size (L/2 per side).
+  std::size_t leaf_half = 4;
+  sim::SimTime leafset_period = sim::SimTime::seconds(2.0);
+  sim::SimTime rpc_timeout = sim::SimTime::seconds(2.0);
+  int rpc_attempts = 2;
+  int lookup_retries = 3;
+  bool run_maintenance = true;
+};
+
+struct PastryStats {
+  std::uint64_t lookups_started = 0;
+  std::uint64_t lookups_ok = 0;
+  std::uint64_t lookups_failed = 0;
+  RunningStats lookup_hops;
+};
+
+class PastryNode {
+ public:
+  using LookupCallback = std::function<void(Peer root, int hops)>;
+
+  PastryNode(net::Network& network, net::NodeAddr self, Guid id,
+             PastryConfig config, Rng rng);
+  ~PastryNode();
+
+  PastryNode(const PastryNode&) = delete;
+  PastryNode& operator=(const PastryNode&) = delete;
+
+  /// First node of a new mesh.
+  void create();
+
+  /// Join through `bootstrap`: route toward our own id collecting routing
+  /// rows and the root's leaf set, then announce ourselves.
+  void join(Peer bootstrap, std::function<void(bool ok)> done);
+
+  void crash();
+
+  /// Resolve the root (numerically closest live node) of `key`.
+  void lookup(Guid key, LookupCallback cb);
+
+  bool handle(net::NodeAddr from, net::MessagePtr& msg);
+
+  [[nodiscard]] Guid id() const noexcept { return id_; }
+  [[nodiscard]] net::NodeAddr addr() const noexcept { return rpc_.self(); }
+  [[nodiscard]] Peer self_peer() const noexcept { return Peer{addr(), id_}; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] const PastryStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const PastryConfig& config() const noexcept { return config_; }
+
+  /// All current leaves (both sides, deduplicated).
+  [[nodiscard]] std::vector<Peer> leaf_set() const;
+  [[nodiscard]] Peer routing_entry(int row, int col) const {
+    return table_[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+  }
+
+  /// Best next hop toward `key` per the Pastry routing rule, or kNoPeer if
+  /// this node is the root as far as it can tell.
+  [[nodiscard]] Peer route_step(Guid key, const std::vector<Guid>& avoid) const;
+
+  /// True iff `key` falls within this node's leaf-set coverage, in which
+  /// case the root is decided locally.
+  [[nodiscard]] bool key_in_leaf_range(Guid key) const;
+
+  /// Install exact state (instant bootstrap for experiments).
+  void install_state(std::vector<Peer> leaves);
+
+  /// Fold a peer into the leaf set / routing table if it improves them.
+  void consider_peer(Peer p);
+
+ private:
+  struct LookupState {
+    Guid key;
+    LookupCallback cb;
+    int hops = 0;
+    int retries_left = 0;
+    bool collect_state = false;
+    std::vector<Guid> avoid;
+    std::function<void(const NextHopResp&)> on_state;  // join harvesting
+  };
+
+  void lookup_restart(const std::shared_ptr<LookupState>& st);
+  void lookup_ask(const std::shared_ptr<LookupState>& st, Peer target);
+  void lookup_done(const std::shared_ptr<LookupState>& st, Peer root);
+  void lookup_failed(const std::shared_ptr<LookupState>& st);
+
+  /// Numerically closest to `key` among self + leaves (local root choice).
+  [[nodiscard]] Peer closest_known(Guid key,
+                                   const std::vector<Guid>& avoid) const;
+
+  void on_next_hop(net::NodeAddr from, const NextHopReq& req);
+  void on_leafset(net::NodeAddr from, const LeafSetReq& req);
+  void on_announce(const Announce& msg);
+
+  void start_maintenance();
+  void do_leafset_exchange();
+  void remove_failed(Peer p);
+  void rebuild_leaves(std::vector<Peer> candidates);
+
+  net::Network& net_;
+  net::RpcEndpoint rpc_;
+  Guid id_;
+  PastryConfig config_;
+  Rng rng_;
+
+  bool running_ = false;
+  /// Whether both leaf-set sides ever reached capacity: distinguishes a
+  /// small network (partial sides = we know everyone) from sides depleted
+  /// by failures (partial sides = keep routing, do not claim authority).
+  bool saw_full_leafset_ = false;
+  std::vector<Peer> cw_leaves_;   // clockwise (id + d), nearest first
+  std::vector<Peer> ccw_leaves_;  // counterclockwise, nearest first
+  std::array<std::array<Peer, kDigitValues>, kDigits> table_{};
+  /// Tombstones for peers we observed dead: gossip keeps echoing them until
+  /// every neighbor has pruned, so ignore re-introductions for a while.
+  std::map<net::NodeAddr, sim::SimTime> dead_until_;
+
+  std::unique_ptr<sim::PeriodicTask> leafset_task_;
+  PastryStats stats_;
+};
+
+}  // namespace pgrid::pastry

@@ -1,0 +1,301 @@
+#include "rntree/rn_tree.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pgrid::rntree {
+
+namespace {
+
+bool contains_id(const std::vector<Guid>& ids, Guid id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+std::unique_ptr<TokenPass> clone_token(const TokenPass& t) {
+  auto copy = std::make_unique<TokenPass>();
+  copy->search_id = t.search_id;
+  copy->initiator = t.initiator;
+  copy->query = t.query;
+  copy->k = t.k;
+  copy->max_visits = t.max_visits;
+  copy->hops = t.hops;
+  copy->visited = t.visited;
+  copy->candidates = t.candidates;
+  return copy;
+}
+
+/// Low key of the level-`l` trie region containing `id` (l in [0, 64]).
+std::uint64_t region_low(std::uint64_t id, int l) {
+  if (l <= 0) return 0;
+  if (l >= 64) return id;
+  return id & (~std::uint64_t{0} << (64 - l));
+}
+
+}  // namespace
+
+RnTreeService::RnTreeService(net::Network& network, chord::ChordNode& chord,
+                             RnTreeConfig config, InfoProvider info, Rng rng)
+    : net_(network),
+      chord_(chord),
+      rpc_(network, chord.addr()),
+      config_(config),
+      info_(std::move(info)),
+      rng_(rng) {
+  PGRID_EXPECTS(info_ != nullptr);
+}
+
+RnTreeService::~RnTreeService() { stop(); }
+
+void RnTreeService::start() {
+  if (running_) return;
+  running_ = true;
+  const auto phase =
+      sim::SimTime::nanos(rng_.range(0, config_.aggregation_period.ns() - 1));
+  agg_task_ = std::make_unique<sim::PeriodicTask>(
+      net_.simulator(), config_.aggregation_period,
+      [this] { do_aggregation_push(); }, phase);
+}
+
+void RnTreeService::stop() {
+  running_ = false;
+  agg_task_.reset();
+  rpc_.cancel_all();
+  for (auto& [id, pending] : pending_searches_) {
+    net_.simulator().cancel(pending.timeout_event);
+  }
+  pending_searches_.clear();
+  children_.clear();
+  parent_ = kNoPeer;
+}
+
+// --- tree structure ---------------------------------------------------------
+
+int RnTreeService::level() const {
+  const Guid self = chord_.id();
+  const chord::Peer pred = chord_.predecessor();
+  if (!pred.valid() || pred.addr == chord_.addr()) return 0;
+  for (int l = 0; l <= 64; ++l) {
+    // We represent the region iff we are the Chord successor of its low key.
+    if (in_interval_oc(Guid{region_low(self.value(), l)}, pred.id, self)) {
+      return l;
+    }
+  }
+  return 64;  // unreachable: l == 64 gives low == self, always in (pred, self]
+}
+
+Guid RnTreeService::parent_key() const {
+  const int l = level();
+  PGRID_EXPECTS(l > 0);
+  return Guid{region_low(chord_.id().value(), l - 1)};
+}
+
+Aggregate RnTreeService::subtree_aggregate() const {
+  const LocalInfo local = info_();
+  Aggregate agg;
+  agg.max_caps = local.caps;
+  agg.nodes = 1;
+  agg.min_load = local.load;
+  for (const auto& [addr, child] : children_) {
+    agg.merge(child.aggregate);
+  }
+  return agg;
+}
+
+void RnTreeService::expire_children() {
+  const auto now = net_.simulator().now();
+  for (auto it = children_.begin(); it != children_.end();) {
+    it = (now - it->second.last_heard > config_.child_expiry)
+             ? children_.erase(it)
+             : std::next(it);
+  }
+}
+
+void RnTreeService::do_aggregation_push() {
+  if (!running_ || !chord_.running()) return;
+  expire_children();
+  if (level() == 0) {
+    parent_ = kNoPeer;  // we are the root
+    return;
+  }
+  // Refresh the parent (soft state: the tree self-heals under churn) and
+  // push our aggregate to it.
+  chord_.lookup(parent_key(), [this](chord::Peer parent, int /*hops*/) {
+    if (!running_) return;
+    if (!parent.valid() || parent.addr == chord_.addr()) return;
+    parent_ = parent;
+    rpc_.send(parent.addr,
+              std::make_unique<AggUpdate>(chord_.self_peer(),
+                                          subtree_aggregate()));
+  });
+}
+
+// --- search ------------------------------------------------------------------
+
+void RnTreeService::search(const Query& query, std::uint32_t k,
+                           SearchCallback cb) {
+  PGRID_EXPECTS(cb != nullptr);
+  PGRID_EXPECTS(k >= 1);
+  ++stats_.searches_started;
+  if (!running_) {
+    cb({}, 0);
+    return;
+  }
+  const std::uint64_t id = next_search_id_++;
+  auto token = std::make_unique<TokenPass>();
+  token->search_id = id;
+  token->initiator = chord_.self_peer();
+  token->query = query;
+  token->k = k;
+  token->max_visits = config_.max_visits;
+
+  PendingSearch pending;
+  pending.cb = std::move(cb);
+  pending.timeout_event =
+      net_.simulator().schedule_in(config_.search_timeout, [this, id] {
+        auto it = pending_searches_.find(id);
+        if (it == pending_searches_.end()) return;
+        SearchCallback callback = std::move(it->second.cb);
+        pending_searches_.erase(it);
+        ++stats_.searches_timed_out;
+        callback({}, 0);
+      });
+  pending_searches_.emplace(id, std::move(pending));
+
+  process_token(std::move(token));
+}
+
+void RnTreeService::process_token(std::unique_ptr<TokenPass> token) {
+  if (!running_) return;  // token dies here; initiator's timeout handles it
+  ++stats_.tokens_processed;
+  const Guid self = chord_.id();
+
+  if (!contains_id(token->visited, self)) {
+    token->visited.push_back(self);
+    const LocalInfo local = info_();
+    if (token->query.satisfied_by(local.caps)) {
+      token->candidates.push_back(Candidate{chord_.self_peer(), local.load});
+    }
+  }
+
+  const bool exhausted =
+      token->visited.size() >= token->max_visits ||
+      token->hops >= 3 * token->max_visits;
+  if (token->candidates.size() >= token->k || exhausted) {
+    finish_search(std::move(token));
+    return;
+  }
+
+  // Descend: the unvisited child with a qualifying aggregate (lowest GUID
+  // first for determinism).
+  expire_children();
+  const ChildState* best = nullptr;
+  net::NodeAddr best_addr = net::kNullAddr;
+  for (const auto& [caddr, child] : children_) {
+    if (contains_id(token->visited, child.id)) continue;
+    if (!token->query.possibly_satisfied_by(child.aggregate)) continue;
+    if (best == nullptr || child.id < best->id) {
+      best = &child;
+      best_addr = caddr;
+    }
+  }
+  if (best != nullptr) {
+    forward_token(std::move(token), Peer{best_addr, best->id});
+    return;
+  }
+
+  // Ascend (extended search): move to the parent unless we are the root.
+  if (level() == 0 || !parent_.valid()) {
+    finish_search(std::move(token));
+    return;
+  }
+  forward_token(std::move(token), parent_);
+}
+
+void RnTreeService::forward_token(std::unique_ptr<TokenPass> token,
+                                  Peer next) {
+  ++token->hops;
+  // Keep a recovery copy: if the next holder never acks, the token would be
+  // lost, so we re-route it from here. shared_ptr because std::function
+  // requires copyable captures.
+  std::shared_ptr<TokenPass> backup{clone_token(*token).release()};
+  rpc_.call(next.addr, std::move(token), config_.rpc_timeout,
+            [this, backup, next](net::MessagePtr reply) {
+              if (reply != nullptr) return;  // ack'd: the next holder owns it
+              if (!running_) return;
+              // Dead hop: mark it visited and re-route from here.
+              if (!contains_id(backup->visited, next.id)) {
+                backup->visited.push_back(next.id);
+              }
+              if (parent_ == next) parent_ = kNoPeer;
+              children_.erase(next.addr);
+              process_token(clone_token(*backup));
+            });
+}
+
+void RnTreeService::finish_search(std::unique_ptr<TokenPass> token) {
+  if (token->initiator.addr == chord_.addr()) {
+    auto result = std::make_unique<SearchResult>();
+    result->search_id = token->search_id;
+    result->hops = token->hops;
+    result->candidates = std::move(token->candidates);
+    on_search_result(*result);
+    return;
+  }
+  auto result = std::make_unique<SearchResult>();
+  result->search_id = token->search_id;
+  result->hops = token->hops + 1;  // the result message itself is a hop
+  result->candidates = std::move(token->candidates);
+  rpc_.send(token->initiator.addr, std::move(result));
+}
+
+// --- message handling ----------------------------------------------------------
+
+bool RnTreeService::handle(net::NodeAddr from, net::MessagePtr& msg) {
+  PGRID_EXPECTS(msg != nullptr);
+  if (rpc_.consume_reply(msg)) return true;
+  if (!running_) {
+    const auto t = msg->type();
+    return t >= net::kTagRnTreeBase && t < net::kTagRnTreeBase + 0x100;
+  }
+  switch (msg->type()) {
+    case kAggUpdate:
+      on_agg_update(*net::msg_cast<AggUpdate>(msg.get()));
+      return true;
+    case kTokenPass:
+      on_token(from, msg);
+      return true;
+    case kSearchResult:
+      on_search_result(*net::msg_cast<SearchResult>(msg.get()));
+      return true;
+    default:
+      return false;
+  }
+}
+
+void RnTreeService::on_agg_update(const AggUpdate& msg) {
+  ChildState& child = children_[msg.sender.addr];
+  child.id = msg.sender.id;
+  child.aggregate = msg.aggregate;
+  child.last_heard = net_.simulator().now();
+}
+
+void RnTreeService::on_token(net::NodeAddr from, net::MessagePtr& msg) {
+  // Acknowledge custody, then take ownership and process.
+  rpc_.reply(from, *msg, std::make_unique<TokenAck>());
+  std::unique_ptr<TokenPass> token(net::msg_cast<TokenPass>(msg.release()));
+  process_token(std::move(token));
+}
+
+void RnTreeService::on_search_result(const SearchResult& msg) {
+  auto it = pending_searches_.find(msg.search_id);
+  if (it == pending_searches_.end()) return;  // timed out already
+  SearchCallback callback = std::move(it->second.cb);
+  net_.simulator().cancel(it->second.timeout_event);
+  pending_searches_.erase(it);
+  ++stats_.searches_completed;
+  stats_.search_hops.add(msg.hops);
+  stats_.candidates_found.add(static_cast<double>(msg.candidates.size()));
+  callback(msg.candidates, static_cast<int>(msg.hops));
+}
+
+}  // namespace pgrid::rntree

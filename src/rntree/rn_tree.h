@@ -1,0 +1,141 @@
+#pragma once
+// Rendezvous Node Tree (§3.1): a decentralized aggregation tree over Chord.
+//
+// Construction (instantiating the paper's deferred details, see DESIGN.md §4):
+// the 64-bit key space is a binary trie of regions; a node *represents* a
+// region iff it is the Chord successor of the region's low key, which it can
+// decide from its predecessor pointer alone. A node's level is the largest
+// region it represents; its parent is the representative of the enclosing
+// region, found with one Chord lookup. Expected height is O(log N) for
+// uniform GUIDs.
+//
+// Each node periodically pushes its subtree aggregate (per-resource maxima,
+// node count, minimum load) to its parent. Matchmaking searches are DFS
+// tokens: pruned by child aggregates, ascending toward the root, continuing
+// until k candidates are found (the paper's "extended search").
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "chord/chord_node.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "rntree/aggregate.h"
+#include "rntree/messages.h"
+#include "sim/simulator.h"
+
+namespace pgrid::rntree {
+
+struct RnTreeConfig {
+  sim::SimTime aggregation_period = sim::SimTime::seconds(2.0);
+  /// Children unheard for this long are dropped from the aggregate.
+  sim::SimTime child_expiry = sim::SimTime::seconds(7.0);
+  sim::SimTime rpc_timeout = sim::SimTime::seconds(2.0);
+  /// Deadline for a whole search before reporting what we have (nothing).
+  sim::SimTime search_timeout = sim::SimTime::seconds(30.0);
+  std::uint32_t max_visits = 64;
+};
+
+struct RnTreeStats {
+  std::uint64_t searches_started = 0;
+  std::uint64_t searches_completed = 0;
+  std::uint64_t searches_timed_out = 0;
+  std::uint64_t tokens_processed = 0;
+  RunningStats search_hops;
+  RunningStats candidates_found;
+};
+
+class RnTreeService {
+ public:
+  struct LocalInfo {
+    Caps caps{};
+    double load = 0.0;
+  };
+  /// Supplied by the grid layer: this node's capabilities and current load.
+  using InfoProvider = std::function<LocalInfo()>;
+
+  /// Search outcome: candidates (possibly empty) and overlay hops consumed.
+  using SearchCallback =
+      std::function<void(std::vector<Candidate> candidates, int hops)>;
+
+  RnTreeService(net::Network& network, chord::ChordNode& chord,
+                RnTreeConfig config, InfoProvider info, Rng rng);
+  ~RnTreeService();
+
+  RnTreeService(const RnTreeService&) = delete;
+  RnTreeService& operator=(const RnTreeService&) = delete;
+
+  /// Begin periodic aggregation pushes (call once the Chord node is wired).
+  void start();
+  void stop();
+
+  /// Find up to k nodes satisfying `query`, starting the DFS at this node.
+  void search(const Query& query, std::uint32_t k, SearchCallback cb);
+
+  bool handle(net::NodeAddr from, net::MessagePtr& msg);
+
+  // --- introspection ------------------------------------------------------
+  /// This node's level: the smallest trie level it represents (0 = root).
+  [[nodiscard]] int level() const;
+  /// True iff this node is the tree root (represents the whole key space).
+  [[nodiscard]] bool is_root() const { return level() == 0; }
+  /// The key whose Chord successor is this node's parent.
+  [[nodiscard]] Guid parent_key() const;
+  [[nodiscard]] Peer cached_parent() const noexcept { return parent_; }
+  [[nodiscard]] Aggregate subtree_aggregate() const;
+  [[nodiscard]] std::size_t child_count() const noexcept {
+    return children_.size();
+  }
+  [[nodiscard]] const RnTreeStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] net::NodeAddr addr() const noexcept { return rpc_.self(); }
+
+ private:
+  struct ChildState {
+    Guid id;
+    Aggregate aggregate;
+    sim::SimTime last_heard;
+  };
+
+  struct PendingSearch {
+    SearchCallback cb;
+    sim::EventId timeout_event = sim::kInvalidEvent;
+  };
+
+  void do_aggregation_push();
+  void expire_children();
+
+  /// Process the token at this node: record self if satisfying, then move
+  /// it to the next unvisited qualifying child, else to the parent, else
+  /// finish. Caller has already ack'd receipt.
+  void process_token(std::unique_ptr<TokenPass> token);
+  void forward_token(std::unique_ptr<TokenPass> token, Peer next);
+  void finish_search(std::unique_ptr<TokenPass> token);
+
+  void on_agg_update(const AggUpdate& msg);
+  void on_token(net::NodeAddr from, net::MessagePtr& msg);
+  void on_search_result(const SearchResult& msg);
+
+  net::Network& net_;
+  chord::ChordNode& chord_;
+  net::RpcEndpoint rpc_;
+  RnTreeConfig config_;
+  InfoProvider info_;
+  Rng rng_;
+
+  bool running_ = false;
+  Peer parent_ = kNoPeer;
+  std::map<net::NodeAddr, ChildState> children_;
+  std::unique_ptr<sim::PeriodicTask> agg_task_;
+
+  std::uint64_t next_search_id_ = 1;
+  std::map<std::uint64_t, PendingSearch> pending_searches_;
+
+  RnTreeStats stats_;
+};
+
+}  // namespace pgrid::rntree

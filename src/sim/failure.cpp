@@ -1,0 +1,83 @@
+#include "sim/failure.h"
+
+#include <utility>
+
+namespace pgrid::sim {
+
+FailureInjector::FailureInjector(Simulator& simulator, Rng rng,
+                                 ChurnModel model, std::size_t member_count,
+                                 CrashFn on_crash, RecoverFn on_recover)
+    : sim_(simulator),
+      rng_(rng),
+      model_(model),
+      on_crash_(std::move(on_crash)),
+      on_recover_(std::move(on_recover)),
+      up_(member_count, true),
+      eligible_(member_count, false),
+      pending_(member_count, kInvalidEvent) {
+  PGRID_EXPECTS(on_crash_ != nullptr);
+  for (std::size_t i = 0; i < member_count; ++i) {
+    eligible_[i] = rng_.bernoulli(model_.churn_fraction);
+  }
+}
+
+void FailureInjector::start() {
+  if (running_ || model_.mean_lifetime_sec <= 0.0) return;
+  running_ = true;
+  for (std::size_t i = 0; i < up_.size(); ++i) {
+    if (eligible_[i]) schedule_crash(i);
+  }
+}
+
+void FailureInjector::stop() {
+  running_ = false;
+  for (auto& id : pending_) {
+    sim_.cancel(id);
+    id = kInvalidEvent;
+  }
+}
+
+bool FailureInjector::past_stop() const {
+  return model_.stop_after_sec > 0.0 &&
+         sim_.now() > SimTime::seconds(model_.stop_after_sec);
+}
+
+void FailureInjector::schedule_crash(std::size_t member) {
+  const SimTime delay =
+      SimTime::seconds(rng_.exponential(model_.mean_lifetime_sec));
+  pending_[member] = sim_.schedule_in(delay, [this, member] {
+    pending_[member] = kInvalidEvent;
+    if (!running_ || past_stop() || !up_[member]) return;
+    crash_now(member);
+    if (model_.mean_downtime_sec > 0.0) schedule_recover(member);
+  });
+}
+
+void FailureInjector::schedule_recover(std::size_t member) {
+  const SimTime delay =
+      SimTime::seconds(rng_.exponential(model_.mean_downtime_sec));
+  pending_[member] = sim_.schedule_in(delay, [this, member] {
+    pending_[member] = kInvalidEvent;
+    if (!running_ || up_[member]) return;
+    recover_now(member);
+    schedule_crash(member);
+  });
+}
+
+void FailureInjector::crash_now(std::size_t member) {
+  PGRID_EXPECTS(member < up_.size());
+  if (!up_[member]) return;
+  up_[member] = false;
+  ++crashes_;
+  on_crash_(member);
+}
+
+void FailureInjector::recover_now(std::size_t member) {
+  PGRID_EXPECTS(member < up_.size());
+  if (up_[member]) return;
+  up_[member] = true;
+  ++recoveries_;
+  if (on_recover_) on_recover_(member);
+}
+
+}  // namespace pgrid::sim

@@ -1,0 +1,72 @@
+#pragma once
+// Failure and churn injection (§2 "Resilience to failures").
+//
+// Decoupled from the grid layer: the injector schedules crash / recover /
+// join events against abstract member indices and invokes user callbacks.
+// The grid system wires those to node shutdown and (re)join protocols.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace pgrid::sim {
+
+struct ChurnModel {
+  /// Mean node lifetime before a crash; <= 0 disables crashes.
+  double mean_lifetime_sec = 0.0;
+  /// Mean downtime before the crashed node rejoins; <= 0 means crashed
+  /// nodes never return.
+  double mean_downtime_sec = 0.0;
+  /// Fraction of members eligible to fail (the rest are stable); lets
+  /// experiments keep a reliable core while churning the edge.
+  double churn_fraction = 1.0;
+  /// Stop injecting failures after this time; <= 0 means no limit.
+  double stop_after_sec = 0.0;
+};
+
+class FailureInjector {
+ public:
+  using CrashFn = std::function<void(std::size_t member)>;
+  using RecoverFn = std::function<void(std::size_t member)>;
+
+  FailureInjector(Simulator& simulator, Rng rng, ChurnModel model,
+                  std::size_t member_count, CrashFn on_crash,
+                  RecoverFn on_recover);
+
+  /// Arm the injector: samples initial lifetimes for eligible members.
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+  [[nodiscard]] std::uint64_t recoveries() const noexcept { return recoveries_; }
+  [[nodiscard]] bool is_up(std::size_t member) const {
+    return up_.at(member);
+  }
+
+  /// Force a crash now (tests / targeted scenarios).
+  void crash_now(std::size_t member);
+  /// Force a recovery now.
+  void recover_now(std::size_t member);
+
+ private:
+  void schedule_crash(std::size_t member);
+  void schedule_recover(std::size_t member);
+  [[nodiscard]] bool past_stop() const;
+
+  Simulator& sim_;
+  Rng rng_;
+  ChurnModel model_;
+  CrashFn on_crash_;
+  RecoverFn on_recover_;
+  std::vector<bool> up_;
+  std::vector<bool> eligible_;
+  std::vector<EventId> pending_;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t recoveries_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace pgrid::sim

@@ -1,0 +1,35 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+
+namespace pgrid::sim {
+
+void parallel_for_cells(std::size_t cells, std::size_t threads,
+                        const std::function<void(std::size_t)>& fn) {
+  PGRID_EXPECTS(fn != nullptr);
+  if (cells == 0) return;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, cells);
+  if (threads == 1) {
+    for (std::size_t i = 0; i < cells; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= cells) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace pgrid::sim

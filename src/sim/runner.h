@@ -1,0 +1,36 @@
+#pragma once
+// Parallel experiment runner.
+//
+// Each simulation replicate is single-threaded and deterministic; a sweep of
+// (configuration x replicate) cells is embarrassingly parallel. The runner
+// distributes cells over a thread pool with a work-stealing counter and
+// collects results in submission order, so parallel runs produce identical
+// output to serial ones.
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/expects.h"
+
+namespace pgrid::sim {
+
+/// Run `fn(cell_index)` for every cell in [0, cells) on up to `threads`
+/// workers (0 = hardware concurrency). `fn` must not touch shared mutable
+/// state; results should be written to a pre-sized per-cell slot.
+void parallel_for_cells(std::size_t cells, std::size_t threads,
+                        const std::function<void(std::size_t)>& fn);
+
+/// Convenience: run a sweep producing one result per cell.
+template <typename Result, typename Fn>
+std::vector<Result> run_sweep(std::size_t cells, std::size_t threads, Fn&& fn) {
+  std::vector<Result> results(cells);
+  parallel_for_cells(cells, threads, [&](std::size_t i) {
+    results[i] = fn(i);
+  });
+  return results;
+}
+
+}  // namespace pgrid::sim

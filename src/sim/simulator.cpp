@@ -1,0 +1,81 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace pgrid::sim {
+
+EventId Simulator::schedule_at(SimTime at, Callback fn) {
+  PGRID_EXPECTS(at >= now_);
+  PGRID_EXPECTS(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id});
+  live_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  // The heap entry stays behind as a tombstone and is skipped on pop; the
+  // callback (and any captured state) is released immediately.
+  return live_.erase(id) != 0;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    auto it = live_.find(top.id);
+    if (it == live_.end()) {
+      queue_.pop();  // tombstone from cancel()
+      continue;
+    }
+    queue_.pop();
+    now_ = top.at;
+    Callback fn = std::move(it->second);
+    live_.erase(it);
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run_until(SimTime horizon) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Skip tombstones without advancing time.
+    auto it = live_.find(queue_.top().id);
+    if (it == live_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > horizon) break;
+    step();
+    ++n;
+  }
+  if (now_ < horizon && horizon != SimTime::max()) now_ = horizon;
+  return n;
+}
+
+PeriodicTask::PeriodicTask(Simulator& simulator, SimTime period,
+                           Simulator::Callback fn, SimTime initial_delay)
+    : sim_(simulator), period_(period), fn_(std::move(fn)) {
+  PGRID_EXPECTS(period > SimTime::zero());
+  PGRID_EXPECTS(fn_ != nullptr);
+  pending_ = sim_.schedule_in(initial_delay, [this] { fire(); });
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = kInvalidEvent;
+}
+
+void PeriodicTask::fire() {
+  if (!running_) return;
+  pending_ = sim_.schedule_in(period_, [this] { fire(); });
+  fn_();
+}
+
+}  // namespace pgrid::sim

@@ -1,0 +1,111 @@
+#pragma once
+// Discrete-event simulation core: a cancellable, deterministic event queue.
+//
+// The paper evaluates its matchmaking frameworks with "an event-driven
+// simulator" (§3.3); this is that substrate. Determinism contract: events at
+// equal timestamps fire in scheduling order (FIFO tie-break via a sequence
+// number), so a fixed seed reproduces a run exactly.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/expects.h"
+#include "sim/time.h"
+
+namespace pgrid::sim {
+
+/// Handle for cancelling a scheduled event. Value 0 is "invalid/none".
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (must be >= now()).
+  EventId schedule_at(SimTime at, Callback fn);
+
+  /// Schedule `fn` to run `delay` after the current time.
+  EventId schedule_in(SimTime delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Idempotent; cancelling a fired or invalid id is
+  /// a no-op. Returns true iff the event was pending.
+  bool cancel(EventId id);
+
+  /// True iff the event is still pending.
+  [[nodiscard]] bool pending(EventId id) const {
+    return live_.count(id) != 0;
+  }
+
+  /// Run a single event; returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or `horizon` is passed (events strictly
+  /// after the horizon stay queued). Returns events executed.
+  std::uint64_t run_until(SimTime horizon);
+
+  /// Run until the queue drains.
+  std::uint64_t run() { return run_until(SimTime::max()); }
+
+  [[nodiscard]] std::size_t queued() const noexcept { return live_.size(); }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    EventId id;
+
+    /// Min-heap by (time, seq): std::priority_queue is a max-heap, so invert.
+    friend bool operator<(const Entry& a, const Entry& b) noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry> queue_;
+  std::unordered_map<EventId, Callback> live_;
+};
+
+/// RAII periodic task: reschedules itself every `period` until stopped or
+/// destroyed. Used for Chord stabilization, RN-Tree aggregation pushes,
+/// CAN load exchanges, and heartbeats.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& simulator, SimTime period, Simulator::Callback fn,
+               SimTime initial_delay = SimTime::zero());
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] SimTime period() const noexcept { return period_; }
+
+ private:
+  void fire();
+
+  Simulator& sim_;
+  SimTime period_;
+  Simulator::Callback fn_;
+  EventId pending_ = kInvalidEvent;
+  bool running_ = true;
+};
+
+}  // namespace pgrid::sim

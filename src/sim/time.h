@@ -1,0 +1,57 @@
+#pragma once
+// Simulated time as a strong type. Integer nanoseconds keep event ordering
+// exact and platform-independent (no FP accumulation drift across a multi-
+// hour simulated horizon).
+
+#include <cstdint>
+
+namespace pgrid::sim {
+
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+
+  [[nodiscard]] static constexpr SimTime nanos(std::int64_t ns) noexcept {
+    return SimTime{ns};
+  }
+  [[nodiscard]] static constexpr SimTime micros(std::int64_t us) noexcept {
+    return SimTime{us * 1'000};
+  }
+  [[nodiscard]] static constexpr SimTime millis(std::int64_t ms) noexcept {
+    return SimTime{ms * 1'000'000};
+  }
+  [[nodiscard]] static constexpr SimTime seconds(double s) noexcept {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+  [[nodiscard]] static constexpr SimTime zero() noexcept { return SimTime{}; }
+  /// Sentinel for "never" / unbounded horizons.
+  [[nodiscard]] static constexpr SimTime max() noexcept {
+    return SimTime{INT64_MAX};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const noexcept { return ns_; }
+  [[nodiscard]] constexpr double sec() const noexcept {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+
+  constexpr SimTime& operator+=(SimTime d) noexcept { ns_ += d.ns_; return *this; }
+  constexpr SimTime& operator-=(SimTime d) noexcept { ns_ -= d.ns_; return *this; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) noexcept {
+    return SimTime{a.ns_ * k};
+  }
+  friend constexpr bool operator==(SimTime, SimTime) noexcept = default;
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) noexcept : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace pgrid::sim

@@ -1,0 +1,107 @@
+#include "workload/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/expects.h"
+
+namespace pgrid::workload {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+bool save_trace(const Workload& w, const std::string& path) {
+  FilePtr f{std::fopen(path.c_str(), "w")};
+  if (!f) return false;
+  std::fprintf(f.get(),
+               "# p2pgrid workload trace v1\n"
+               "spec,%zu,%zu,%d,%d,%.17g,%.17g,%.17g,%zu,%zu,%zu,%" PRIu64
+               "\n",
+               w.spec.node_count, w.spec.job_count,
+               w.spec.node_mix == Mix::kClustered ? 1 : 0,
+               w.spec.job_mix == Mix::kClustered ? 1 : 0,
+               w.spec.constraint_probability, w.spec.mean_runtime_sec,
+               w.spec.mean_interarrival_sec, w.spec.node_classes,
+               w.spec.job_classes, w.spec.client_count, w.spec.seed);
+  for (const auto& caps : w.node_caps) {
+    std::fprintf(f.get(), "node,%.17g,%.17g,%.17g\n", caps.v[0], caps.v[1],
+                 caps.v[2]);
+  }
+  for (const auto& job : w.jobs) {
+    std::fprintf(f.get(), "job,%.17g,%.17g,%.17g,%.17g,%u", job.arrival_sec,
+                 job.runtime_sec, job.declared_runtime_sec, job.output_kb,
+                 job.client);
+    for (std::size_t r = 0; r < grid::kNumResources; ++r) {
+      std::fprintf(f.get(), ",%d,%.17g", job.constraints.active[r] ? 1 : 0,
+                   job.constraints.min[r]);
+    }
+    std::fprintf(f.get(), "\n");
+  }
+  return std::ferror(f.get()) == 0;
+}
+
+bool load_trace(const std::string& path, Workload* out) {
+  PGRID_EXPECTS(out != nullptr);
+  FilePtr f{std::fopen(path.c_str(), "r")};
+  if (!f) return false;
+
+  Workload w;
+  char line[512];
+  bool have_spec = false;
+  while (std::fgets(line, sizeof line, f.get()) != nullptr) {
+    if (line[0] == '#' || line[0] == '\n') continue;
+    if (std::strncmp(line, "spec,", 5) == 0) {
+      int node_clustered = 0, job_clustered = 0;
+      const int n = std::sscanf(
+          line,
+          "spec,%zu,%zu,%d,%d,%lg,%lg,%lg,%zu,%zu,%zu,%" SCNu64,
+          &w.spec.node_count, &w.spec.job_count, &node_clustered,
+          &job_clustered, &w.spec.constraint_probability,
+          &w.spec.mean_runtime_sec, &w.spec.mean_interarrival_sec,
+          &w.spec.node_classes, &w.spec.job_classes, &w.spec.client_count,
+          &w.spec.seed);
+      if (n != 11) return false;
+      w.spec.node_mix = node_clustered ? Mix::kClustered : Mix::kMixed;
+      w.spec.job_mix = job_clustered ? Mix::kClustered : Mix::kMixed;
+      have_spec = true;
+    } else if (std::strncmp(line, "node,", 5) == 0) {
+      grid::ResourceVector caps;
+      if (std::sscanf(line, "node,%lg,%lg,%lg", &caps.v[0], &caps.v[1],
+                      &caps.v[2]) != 3) {
+        return false;
+      }
+      w.node_caps.push_back(caps);
+    } else if (std::strncmp(line, "job,", 4) == 0) {
+      JobSpec job;
+      int a0 = 0, a1 = 0, a2 = 0;
+      if (std::sscanf(line, "job,%lg,%lg,%lg,%lg,%u,%d,%lg,%d,%lg,%d,%lg",
+                      &job.arrival_sec, &job.runtime_sec,
+                      &job.declared_runtime_sec, &job.output_kb, &job.client,
+                      &a0, &job.constraints.min[0], &a1,
+                      &job.constraints.min[1], &a2,
+                      &job.constraints.min[2]) != 11) {
+        return false;
+      }
+      job.constraints.active = {a0 != 0, a1 != 0, a2 != 0};
+      w.jobs.push_back(job);
+    } else {
+      return false;  // unknown record
+    }
+  }
+  if (!have_spec || w.node_caps.size() != w.spec.node_count ||
+      w.jobs.size() != w.spec.job_count) {
+    return false;
+  }
+  *out = std::move(w);
+  return true;
+}
+
+}  // namespace pgrid::workload

@@ -1,0 +1,19 @@
+#pragma once
+// Workload trace persistence: save/load the exact node capabilities and job
+// stream of an experiment as CSV, so a figure can be regenerated bit-for-bit
+// or the same trace replayed against a different matchmaker.
+
+#include <string>
+
+#include "workload/workload.h"
+
+namespace pgrid::workload {
+
+/// Write `w` to `path`. Returns false on I/O error.
+bool save_trace(const Workload& w, const std::string& path);
+
+/// Read a workload written by save_trace. Returns false on I/O or parse
+/// error (out untouched on failure).
+bool load_trace(const std::string& path, Workload* out);
+
+}  // namespace pgrid::workload

@@ -1,0 +1,135 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "common/expects.h"
+
+namespace pgrid::workload {
+
+using grid::Constraints;
+using grid::ResourceLadder;
+using grid::ResourceVector;
+using grid::kNumResources;
+
+const char* mix_name(Mix m) noexcept {
+  return m == Mix::kClustered ? "clustered" : "mixed";
+}
+
+namespace {
+
+ResourceVector random_caps(Rng& rng) {
+  ResourceVector caps;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    const auto& ladder = ResourceLadder::values(r);
+    caps.v[r] = ladder[rng.index(ladder.size())];
+  }
+  return caps;
+}
+
+std::vector<ResourceVector> generate_node_caps(const WorkloadSpec& spec,
+                                               Rng& rng) {
+  std::vector<ResourceVector> caps;
+  caps.reserve(spec.node_count);
+  if (spec.node_mix == Mix::kMixed) {
+    for (std::size_t i = 0; i < spec.node_count; ++i) {
+      caps.push_back(random_caps(rng));
+    }
+  } else {
+    // Clustered: a small number of identical-machine classes.
+    std::vector<ResourceVector> classes;
+    classes.reserve(spec.node_classes);
+    for (std::size_t c = 0; c < spec.node_classes; ++c) {
+      classes.push_back(random_caps(rng));
+    }
+    for (std::size_t i = 0; i < spec.node_count; ++i) {
+      caps.push_back(classes[rng.index(classes.size())]);
+    }
+  }
+  return caps;
+}
+
+/// Constraint set whose values come from one concrete node, so that node
+/// (at least) satisfies the whole set.
+Constraints constraints_from_template(const ResourceVector& tmpl, double p,
+                                      Rng& rng) {
+  Constraints c;
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    if (rng.bernoulli(p)) {
+      c.active[r] = true;
+      c.min[r] = tmpl.v[r];
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Workload generate(const WorkloadSpec& spec) {
+  PGRID_EXPECTS(spec.node_count >= 1);
+  PGRID_EXPECTS(spec.client_count >= 1);
+  PGRID_EXPECTS(spec.constraint_probability >= 0.0 &&
+                spec.constraint_probability <= 1.0);
+  PGRID_EXPECTS(spec.mean_runtime_sec > 0.0);
+  PGRID_EXPECTS(spec.mean_interarrival_sec > 0.0);
+
+  Rng rng{mix64(spec.seed) ^ 0x9e3779b97f4a7c15ULL};
+  Workload w;
+  w.spec = spec;
+  w.node_caps = generate_node_caps(spec, rng);
+
+  // Job constraint classes for the clustered-job variant.
+  std::vector<Constraints> job_classes;
+  if (spec.job_mix == Mix::kClustered) {
+    job_classes.reserve(spec.job_classes);
+    for (std::size_t c = 0; c < spec.job_classes; ++c) {
+      const auto& tmpl = w.node_caps[rng.index(w.node_caps.size())];
+      job_classes.push_back(constraints_from_template(
+          tmpl, spec.constraint_probability, rng));
+    }
+  }
+
+  double clock = 0.0;
+  w.jobs.reserve(spec.job_count);
+  for (std::size_t j = 0; j < spec.job_count; ++j) {
+    clock += rng.exponential(spec.mean_interarrival_sec);
+    JobSpec job;
+    job.arrival_sec = clock;
+    job.runtime_sec = rng.exponential(spec.mean_runtime_sec);
+    job.client = static_cast<std::uint32_t>(rng.index(spec.client_count));
+    if (spec.job_mix == Mix::kClustered) {
+      job.constraints = job_classes[rng.index(job_classes.size())];
+    } else {
+      const auto& tmpl = w.node_caps[rng.index(w.node_caps.size())];
+      job.constraints = constraints_from_template(
+          tmpl, spec.constraint_probability, rng);
+    }
+    w.jobs.push_back(job);
+  }
+  return w;
+}
+
+bool Workload::all_jobs_satisfiable() const {
+  for (const JobSpec& job : jobs) {
+    bool ok = false;
+    for (const ResourceVector& caps : node_caps) {
+      if (job.constraints.satisfied_by(caps)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+const std::vector<Quadrant>& paper_quadrants() {
+  static const std::vector<Quadrant> quadrants{
+      {Mix::kClustered, Mix::kClustered, "clustered nodes / clustered jobs"},
+      {Mix::kClustered, Mix::kMixed, "clustered nodes / mixed jobs"},
+      {Mix::kMixed, Mix::kClustered, "mixed nodes / clustered jobs"},
+      {Mix::kMixed, Mix::kMixed, "mixed nodes / mixed jobs"},
+  };
+  return quadrants;
+}
+
+}  // namespace pgrid::workload

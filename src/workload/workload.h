@@ -1,0 +1,72 @@
+#pragma once
+// Workload generation (§3.3): the two experiment axes are
+//   - clustered vs mixed node capabilities and job constraints, and
+//   - lightly (p=0.4 -> avg 1.2 of 3) vs heavily (p=0.8 -> avg 2.4 of 3)
+//     constrained jobs,
+// with Poisson arrivals and exponential service times.
+//
+// Joint satisfiability: each job's constraint values are copied from a
+// randomly drawn "template" node, so at least one node in the system can run
+// every job (the paper's simulations never contain impossible jobs).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "grid/resources.h"
+
+namespace pgrid::workload {
+
+enum class Mix { kClustered, kMixed };
+
+[[nodiscard]] const char* mix_name(Mix m) noexcept;
+
+struct WorkloadSpec {
+  std::size_t node_count = 1000;
+  std::size_t job_count = 5000;
+  Mix node_mix = Mix::kMixed;
+  Mix job_mix = Mix::kMixed;
+  /// Per-resource probability of being constrained (paper: 0.4 light,
+  /// 0.8 heavy over 3 resources).
+  double constraint_probability = 0.4;
+  double mean_runtime_sec = 100.0;
+  double mean_interarrival_sec = 0.1;
+  /// Equivalence classes for the clustered variants.
+  std::size_t node_classes = 5;
+  std::size_t job_classes = 5;
+  std::size_t client_count = 4;
+  std::uint64_t seed = 1;
+};
+
+struct JobSpec {
+  double arrival_sec = 0.0;
+  grid::Constraints constraints;
+  double runtime_sec = 0.0;
+  /// Runtime declared at submission (0 = honest); a runaway job declares
+  /// less than it actually uses (§5 quota experiments).
+  double declared_runtime_sec = 0.0;
+  double output_kb = 2.0;
+  std::uint32_t client = 0;
+};
+
+struct Workload {
+  WorkloadSpec spec;
+  std::vector<grid::ResourceVector> node_caps;  // [node_count]
+  std::vector<JobSpec> jobs;                    // sorted by arrival_sec
+
+  /// True iff some node satisfies every job (sanity invariant).
+  [[nodiscard]] bool all_jobs_satisfiable() const;
+};
+
+[[nodiscard]] Workload generate(const WorkloadSpec& spec);
+
+/// The paper's four workload quadrants, in presentation order.
+struct Quadrant {
+  Mix node_mix;
+  Mix job_mix;
+  const char* label;
+};
+[[nodiscard]] const std::vector<Quadrant>& paper_quadrants();
+
+}  // namespace pgrid::workload

@@ -1,0 +1,249 @@
+// CAN protocol: instant wiring invariants, greedy routing vs the oracle,
+// join protocol, load exchange, per-dimension load propagation.
+
+#include <gtest/gtest.h>
+
+#include "can/space.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace pgrid::can {
+namespace {
+
+Point random_point(Rng& rng, std::size_t dims) {
+  Point p(dims);
+  for (std::size_t d = 0; d < dims; ++d) p[d] = rng.uniform();
+  return p;
+}
+
+struct Fixture {
+  explicit Fixture(std::uint64_t seed = 1, CanConfig config = CanConfig{})
+      : net(simulator, Rng{seed},
+            net::LatencyModel{sim::SimTime::millis(20),
+                              sim::SimTime::millis(80)}),
+        space(net, config, Rng{seed + 1000}),
+        rng(seed + 2000) {}
+
+  sim::Simulator simulator;
+  net::Network net;
+  CanSpace space;
+  Rng rng;
+
+  void build(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      space.add_host(Guid::of(std::uint64_t{0xBEEF} + i * 31),
+                     random_point(rng, space.config().dims));
+    }
+    space.wire_instantly();
+  }
+
+  struct RouteResult {
+    Peer owner;
+    int hops = -1;
+    bool completed = false;
+  };
+  RouteResult route_from(std::size_t host, const Point& target) {
+    RouteResult out;
+    space.host(host).node().route(target, [&](Peer owner, int hops) {
+      out.owner = owner;
+      out.hops = hops;
+      out.completed = true;
+    });
+    simulator.run_until(simulator.now() + sim::SimTime::seconds(180));
+    return out;
+  }
+
+  void settle(double seconds) {
+    simulator.run_until(simulator.now() + sim::SimTime::seconds(seconds));
+  }
+};
+
+TEST(CanWiring, ZonesTileSpaceAndPointsHaveOneOwner) {
+  Fixture fx;
+  fx.build(64);
+  EXPECT_TRUE(fx.space.zones_tile_space());
+  for (int t = 0; t < 200; ++t) {
+    const Point p = random_point(fx.rng, fx.space.config().dims);
+    EXPECT_TRUE(fx.space.oracle_owner(p).valid());
+  }
+}
+
+TEST(CanWiring, EveryNodeOwnsItsRepresentativePoint) {
+  // split_for keeps each party's point in its own zone, so after instant
+  // wiring each node must own its own representative point — the property
+  // the matchmaking layer relies on ("node coordinates = capabilities").
+  Fixture fx{3};
+  fx.build(128);
+  for (std::size_t i = 0; i < 128; ++i) {
+    const CanNode& node = fx.space.host(i).node();
+    EXPECT_TRUE(node.owns(node.rep_point())) << i;
+  }
+}
+
+TEST(CanWiring, NeighborTablesAreSymmetric) {
+  Fixture fx{4};
+  fx.build(48);
+  for (std::size_t i = 0; i < 48; ++i) {
+    const CanNode& a = fx.space.host(i).node();
+    for (const auto& [naddr, ns] : a.neighbors()) {
+      // Find the neighbor and check it lists us back.
+      bool reciprocal = false;
+      for (std::size_t j = 0; j < 48; ++j) {
+        const CanNode& b = fx.space.host(j).node();
+        if (b.addr() != naddr) continue;
+        reciprocal = b.neighbors().find(a.addr()) != b.neighbors().end();
+      }
+      EXPECT_TRUE(reciprocal);
+    }
+  }
+}
+
+TEST(CanRoute, ResolvesToOracleOwner) {
+  Fixture fx{5};
+  fx.build(100);
+  for (int t = 0; t < 50; ++t) {
+    const Point target = random_point(fx.rng, fx.space.config().dims);
+    const auto res = fx.route_from(fx.rng.index(100), target);
+    ASSERT_TRUE(res.completed) << t;
+    ASSERT_TRUE(res.owner.valid()) << t;
+    EXPECT_EQ(res.owner.id, fx.space.oracle_owner(target).id) << t;
+  }
+}
+
+TEST(CanRoute, LocalHitIsZeroHops) {
+  Fixture fx{6};
+  fx.build(32);
+  const CanNode& node = fx.space.host(7).node();
+  const auto res = fx.route_from(7, node.rep_point());
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.owner.addr, node.addr());
+  EXPECT_EQ(res.hops, 0);
+}
+
+TEST(CanRoute, HopsScaleAsDTimesNthRoot) {
+  // CAN path length averages (d/4) * N^(1/d); allow a loose factor.
+  CanConfig config;
+  config.dims = 3;
+  Fixture fx{7, config};
+  fx.build(216);  // 6^3
+  double total = 0;
+  constexpr int kRoutes = 60;
+  for (int t = 0; t < kRoutes; ++t) {
+    const auto res = fx.route_from(fx.rng.index(216), random_point(fx.rng, 3));
+    ASSERT_TRUE(res.completed);
+    total += res.hops;
+  }
+  const double mean = total / kRoutes;
+  // (3/4) * 216^(1/3) = 4.5 expected.
+  EXPECT_LT(mean, 12.0);
+  EXPECT_GT(mean, 1.0);
+}
+
+TEST(CanJoin, ProtocolJoinSplitsOwnersZone) {
+  Fixture fx{8};
+  fx.build(16);
+  EXPECT_TRUE(fx.space.zones_tile_space());
+  auto& joiner = fx.space.add_host(Guid::of(std::uint64_t{0x777}),
+                                   random_point(fx.rng, 4));
+  const CanNode& boot = fx.space.host(0).node();
+  bool ok = false;
+  joiner.node().join(Peer{boot.addr(), boot.id()}, [&](bool r) { ok = r; });
+  fx.settle(60);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(joiner.node().zones().size(), 1u);
+  EXPECT_TRUE(joiner.node().owns(joiner.node().rep_point()));
+  EXPECT_TRUE(fx.space.zones_tile_space());
+  EXPECT_FALSE(joiner.node().neighbors().empty());
+}
+
+TEST(CanJoin, SequentialProtocolJoinsBuildWholeSpace) {
+  Fixture fx{9};
+  auto& first = fx.space.add_host(Guid::of(std::uint64_t{1}),
+                                  random_point(fx.rng, 4));
+  first.node().create();
+  const Peer boot{first.node().addr(), first.node().id()};
+  for (std::size_t i = 2; i <= 20; ++i) {
+    auto& host = fx.space.add_host(Guid::of(i), random_point(fx.rng, 4));
+    bool ok = false;
+    host.node().join(boot, [&](bool r) { ok = r; });
+    fx.settle(30);
+    ASSERT_TRUE(ok) << "join " << i;
+  }
+  fx.settle(30);
+  EXPECT_TRUE(fx.space.zones_tile_space());
+  // Routing works across the organically grown space.
+  for (int t = 0; t < 20; ++t) {
+    const Point target = random_point(fx.rng, 4);
+    const auto res = fx.route_from(fx.rng.index(20), target);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(res.owner.id, fx.space.oracle_owner(target).id);
+  }
+}
+
+TEST(CanLoad, LoadPropagatesToNeighbors) {
+  Fixture fx{10};
+  fx.build(32);
+  CanNode& loaded = fx.space.host(3).node();
+  loaded.set_load(42.0);
+  fx.settle(10);  // a few update periods
+  for (std::size_t i = 0; i < 32; ++i) {
+    const CanNode& other = fx.space.host(i).node();
+    const auto it = other.neighbors().find(loaded.addr());
+    if (it != other.neighbors().end()) {
+      EXPECT_DOUBLE_EQ(it->second.load, 42.0);
+    }
+  }
+}
+
+TEST(CanLoad, DimensionalLoadReportsFlowDownward) {
+  // Two nodes splitting the space along some dimension: the lower node
+  // must eventually hear a load report for that dimension.
+  CanConfig config;
+  config.dims = 2;
+  Fixture fx{11, config};
+  auto& low = fx.space.add_host(Guid::of(std::uint64_t{1}), Point{0.25, 0.5});
+  auto& high = fx.space.add_host(Guid::of(std::uint64_t{2}), Point{0.75, 0.5});
+  fx.space.wire_instantly();
+  high.node().set_load(8.0);
+  fx.settle(15);
+  // The split separates them along dim 0; low is below high.
+  EXPECT_DOUBLE_EQ(low.node().upstream_load(0), 8.0);
+  // Nothing above `high` in dim 0, so it has heard nothing.
+  EXPECT_LT(high.node().upstream_load(0), 0.0);
+}
+
+// Property sweep: routing matches the oracle across sizes and dims.
+struct SweepParam {
+  std::size_t nodes;
+  std::size_t dims;
+};
+
+class CanSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CanSweep, RoutesMatchOracle) {
+  CanConfig config;
+  config.dims = GetParam().dims;
+  Fixture fx{GetParam().nodes * 7 + GetParam().dims, config};
+  fx.build(GetParam().nodes);
+  EXPECT_TRUE(fx.space.zones_tile_space());
+  for (int t = 0; t < 15; ++t) {
+    const Point target = random_point(fx.rng, config.dims);
+    const auto res =
+        fx.route_from(fx.rng.index(GetParam().nodes), target);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(res.owner.id, fx.space.oracle_owner(target).id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDims, CanSweep,
+    ::testing::Values(SweepParam{2, 2}, SweepParam{5, 2}, SweepParam{16, 2},
+                      SweepParam{64, 2}, SweepParam{16, 3}, SweepParam{64, 3},
+                      SweepParam{128, 4}, SweepParam{32, 6}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "n" + std::to_string(info.param.nodes) + "d" +
+             std::to_string(info.param.dims);
+    });
+
+}  // namespace
+}  // namespace pgrid::can

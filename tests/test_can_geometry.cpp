@@ -1,0 +1,184 @@
+// CAN geometry: points, zones, splits, merges, the neighbor relation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "can/geometry.h"
+#include "common/rng.h"
+
+namespace pgrid::can {
+namespace {
+
+TEST(Point, DominanceOverRealDims) {
+  const Point a{0.5, 0.5, 0.9};  // last dim is "virtual"
+  const Point b{0.5, 0.4, 0.95};
+  EXPECT_TRUE(a.dominates(b, 2));
+  EXPECT_FALSE(b.dominates(a, 2));
+  EXPECT_TRUE(a.exceeds_somewhere(b, 2));
+  EXPECT_FALSE(b.exceeds_somewhere(a, 2));
+  // Equal points dominate but do not exceed.
+  EXPECT_TRUE(a.dominates(a, 2));
+  EXPECT_FALSE(a.exceeds_somewhere(a, 2));
+}
+
+TEST(Point, Distance) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.distance_to(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.distance_to(a), 0.0);
+}
+
+TEST(Zone, WholeCube) {
+  const Zone w = Zone::whole(3);
+  EXPECT_DOUBLE_EQ(w.volume(), 1.0);
+  EXPECT_TRUE(w.contains(Point{0.0, 0.0, 0.0}));
+  EXPECT_TRUE(w.contains(Point{0.999, 0.5, 0.0}));
+  EXPECT_FALSE(w.contains(Point{1.0, 0.5, 0.0}));  // half-open
+}
+
+TEST(Zone, SplitHalvesVolume) {
+  const Zone w = Zone::whole(2);
+  const auto [lo, hi] = w.split(0);
+  EXPECT_DOUBLE_EQ(lo.volume(), 0.5);
+  EXPECT_DOUBLE_EQ(hi.volume(), 0.5);
+  EXPECT_TRUE(lo.contains(Point{0.25, 0.5}));
+  EXPECT_TRUE(hi.contains(Point{0.75, 0.5}));
+  EXPECT_FALSE(lo.contains(Point{0.5, 0.5}));  // midpoint goes to upper half
+  EXPECT_TRUE(hi.contains(Point{0.5, 0.5}));
+  EXPECT_TRUE(lo.abuts(hi));
+}
+
+TEST(Zone, SplitForSeparatesPoints) {
+  const Zone w = Zone::whole(2);
+  const Point keeper{0.2, 0.2};
+  const Point joiner{0.8, 0.8};
+  const auto [mine, theirs] = w.split_for(keeper, joiner);
+  EXPECT_TRUE(mine.contains(keeper));
+  EXPECT_TRUE(theirs.contains(joiner));
+  EXPECT_FALSE(mine.overlaps(theirs));
+  EXPECT_DOUBLE_EQ(mine.volume() + theirs.volume(), 1.0);
+}
+
+TEST(Zone, SplitForSkipsNonSeparatingDimension) {
+  const Zone w = Zone::whole(2);
+  // Identical x: the split must use dimension 1.
+  const Point keeper{0.5, 0.2};
+  const Point joiner{0.5, 0.8};
+  const auto [mine, theirs] = w.split_for(keeper, joiner);
+  EXPECT_TRUE(mine.contains(keeper));
+  EXPECT_TRUE(theirs.contains(joiner));
+}
+
+TEST(Zone, SplitForCoincidentPointsStillSplits) {
+  const Zone w = Zone::whole(3);
+  const Point p{0.3, 0.3, 0.3};
+  const auto [mine, theirs] = w.split_for(p, p);
+  EXPECT_TRUE(mine.contains(p));
+  EXPECT_FALSE(theirs.contains(p));
+  EXPECT_DOUBLE_EQ(mine.volume() + theirs.volume(), 1.0);
+}
+
+TEST(Zone, AbutsRequiresSharedFace) {
+  // [0,.5)x[0,.5) and [.5,1)x[0,.5): share a face.
+  const Zone a{Point{0.0, 0.0}, Point{0.5, 0.5}};
+  const Zone b{Point{0.5, 0.0}, Point{1.0, 0.5}};
+  EXPECT_TRUE(a.abuts(b));
+  EXPECT_TRUE(b.abuts(a));
+  // Diagonal zones touch only at a corner: not neighbors.
+  const Zone c{Point{0.5, 0.5}, Point{1.0, 1.0}};
+  EXPECT_FALSE(a.abuts(c));
+  // Overlapping zones are not neighbors either.
+  const Zone d{Point{0.25, 0.0}, Point{0.75, 0.5}};
+  EXPECT_FALSE(a.abuts(d));
+  // A zone does not abut itself.
+  EXPECT_FALSE(a.abuts(a));
+}
+
+TEST(Zone, AbutsWithPartialFaceOverlap) {
+  // Sharing part of a face still counts.
+  const Zone a{Point{0.0, 0.0}, Point{0.5, 1.0}};
+  const Zone b{Point{0.5, 0.25}, Point{1.0, 0.5}};
+  EXPECT_TRUE(a.abuts(b));
+}
+
+TEST(Zone, DistanceToPoint) {
+  const Zone z{Point{0.25, 0.25}, Point{0.5, 0.5}};
+  EXPECT_DOUBLE_EQ(z.distance_to(Point{0.3, 0.3}), 0.0);  // inside
+  EXPECT_DOUBLE_EQ(z.distance_to(Point{0.0, 0.3}), 0.25);  // one axis away
+  EXPECT_NEAR(z.distance_to(Point{0.1, 0.1}),
+              std::sqrt(2 * 0.15 * 0.15), 1e-12);  // corner
+}
+
+TEST(Zone, TryMergeSiblings) {
+  const Zone w = Zone::whole(2);
+  const auto [lo, hi] = w.split(1);
+  Zone merged;
+  ASSERT_TRUE(lo.try_merge(hi, &merged));
+  EXPECT_EQ(merged, w);
+  ASSERT_TRUE(hi.try_merge(lo, &merged));
+  EXPECT_EQ(merged, w);
+}
+
+TEST(Zone, TryMergeRejectsNonSiblings) {
+  // Touching but with different extents in the other dimension.
+  const Zone a{Point{0.0, 0.0}, Point{0.5, 0.5}};
+  const Zone b{Point{0.5, 0.0}, Point{1.0, 1.0}};
+  Zone merged;
+  EXPECT_FALSE(a.try_merge(b, &merged));
+  // Disjoint, non-touching.
+  const Zone c{Point{0.75, 0.0}, Point{1.0, 0.5}};
+  EXPECT_FALSE(a.try_merge(c, &merged));
+  // Identical zones are not a merge.
+  EXPECT_FALSE(a.try_merge(a, &merged));
+}
+
+// Property: a random split sequence produces a perfect tiling.
+TEST(ZoneProperty, RandomSplitSequenceTilesSpace) {
+  Rng rng{17};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t dims = 2 + rng.index(3);
+    std::vector<Zone> zones{Zone::whole(dims)};
+    for (int s = 0; s < 100; ++s) {
+      const auto zi = rng.index(zones.size());
+      const auto d = rng.index(dims);
+      if (zones[zi].extent(d) < 1e-6) continue;
+      const auto [lo, hi] = zones[zi].split(d);
+      zones[zi] = lo;
+      zones.push_back(hi);
+    }
+    double total = 0.0;
+    for (const Zone& z : zones) total += z.volume();
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // Random points are owned by exactly one zone.
+    for (int p = 0; p < 200; ++p) {
+      Point pt(dims);
+      for (std::size_t d = 0; d < dims; ++d) pt[d] = rng.uniform();
+      int owners = 0;
+      for (const Zone& z : zones) owners += z.contains(pt) ? 1 : 0;
+      EXPECT_EQ(owners, 1);
+    }
+  }
+}
+
+// Property: abuts() is symmetric on random split tilings.
+TEST(ZoneProperty, AbutsIsSymmetric) {
+  Rng rng{23};
+  std::vector<Zone> zones{Zone::whole(3)};
+  for (int s = 0; s < 60; ++s) {
+    const auto zi = rng.index(zones.size());
+    const auto d = rng.index(3u);
+    const auto [lo, hi] = zones[zi].split(d);
+    zones[zi] = lo;
+    zones.push_back(hi);
+  }
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    for (std::size_t j = 0; j < zones.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_EQ(zones[i].abuts(zones[j]), zones[j].abuts(zones[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pgrid::can

@@ -1,0 +1,249 @@
+// Chord: lookup correctness against the oracle, join protocol convergence,
+// hop-count scaling, instant wiring invariants.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chord/ring.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace pgrid::chord {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::uint64_t seed = 1,
+                   ChordConfig config = ChordConfig{})
+      : net(simulator, Rng{seed},
+            net::LatencyModel{sim::SimTime::millis(20),
+                              sim::SimTime::millis(80)}),
+        ring(net, config, Rng{seed + 1000}) {}
+
+  sim::Simulator simulator;
+  net::Network net;
+  ChordRing ring;
+
+  void build(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ring.add_host(Guid::of(std::uint64_t{0xC0FFEE} + i * 7919));
+    }
+    ring.wire_instantly();
+  }
+
+  /// Synchronous-style lookup: runs the simulator until the callback fires.
+  struct LookupResult {
+    Peer result;
+    int hops = -1;
+    bool completed = false;
+  };
+  LookupResult lookup_from(std::size_t host, Guid key) {
+    LookupResult out;
+    ring.host(host).node().lookup(key, [&](Peer r, int h) {
+      out.result = r;
+      out.hops = h;
+      out.completed = true;
+    });
+    simulator.run_until(simulator.now() + sim::SimTime::seconds(120));
+    return out;
+  }
+};
+
+TEST(ChordWiring, InstantRingIsConsistent) {
+  Fixture fx;
+  fx.build(32);
+  // Every node's successor's predecessor is the node itself.
+  std::set<Guid> ids;
+  for (std::size_t i = 0; i < 32; ++i) {
+    ids.insert(fx.ring.host(i).node().id());
+  }
+  ASSERT_EQ(ids.size(), 32u);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const ChordNode& node = fx.ring.host(i).node();
+    const Peer succ = node.successor();
+    ASSERT_TRUE(succ.valid());
+    bool found = false;
+    for (std::size_t j = 0; j < 32; ++j) {
+      const ChordNode& other = fx.ring.host(j).node();
+      if (other.addr() == succ.addr) {
+        EXPECT_EQ(other.predecessor().addr, node.addr());
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(ChordWiring, FingersMatchOracle) {
+  Fixture fx;
+  fx.build(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const ChordNode& node = fx.ring.host(i).node();
+    for (int f = 0; f < ChordNode::kBits; f += 7) {
+      const Guid start{node.id().value() + (std::uint64_t{1} << f)};
+      EXPECT_EQ(node.finger(f).id, fx.ring.oracle_successor(start).id);
+    }
+  }
+}
+
+TEST(ChordLookup, ResolvesOwnKeyRange) {
+  Fixture fx;
+  fx.build(16);
+  // A key equal to a node id is owned by that node.
+  for (std::size_t i = 0; i < 16; ++i) {
+    const Guid id = fx.ring.host(i).node().id();
+    const auto res = fx.lookup_from((i + 5) % 16, id);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(res.result.id, id);
+  }
+}
+
+TEST(ChordLookup, MatchesOracleForRandomKeys) {
+  Fixture fx{7};
+  fx.build(100);
+  Rng rng{99};
+  for (int t = 0; t < 60; ++t) {
+    const Guid key{rng.next()};
+    const auto from = rng.index(100);
+    const auto res = fx.lookup_from(from, key);
+    ASSERT_TRUE(res.completed) << "lookup " << t;
+    const Peer expect = fx.ring.oracle_successor(key);
+    EXPECT_EQ(res.result.id, expect.id) << "key " << key.str();
+    EXPECT_GE(res.hops, 0);
+  }
+}
+
+TEST(ChordLookup, HopCountIsLogarithmic) {
+  Fixture fx{11};
+  fx.build(256);
+  Rng rng{5};
+  double total_hops = 0;
+  constexpr int kLookups = 100;
+  for (int t = 0; t < kLookups; ++t) {
+    const auto res = fx.lookup_from(rng.index(256), Guid{rng.next()});
+    ASSERT_TRUE(res.completed);
+    total_hops += res.hops;
+    EXPECT_LE(res.hops, 16);  // 2*log2(256)
+  }
+  // ~0.5 * log2(256) = 4 expected; generous envelope.
+  EXPECT_LT(total_hops / kLookups, 7.0);
+  EXPECT_GT(total_hops / kLookups, 1.0);
+}
+
+TEST(ChordLookup, SingletonRingOwnsEverything) {
+  Fixture fx;
+  fx.build(1);
+  const auto res = fx.lookup_from(0, Guid{0x1234});
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.result.addr, fx.ring.host(0).node().addr());
+  EXPECT_EQ(res.hops, 0);
+}
+
+TEST(ChordJoin, SequentialJoinsConvergeToConsistentRing) {
+  Fixture fx{3};
+  // Build a 12-node ring purely through the join protocol.
+  auto& first = fx.ring.add_host(Guid::of(std::uint64_t{1}));
+  first.node().create();
+  const Peer boot{first.node().addr(), first.node().id()};
+  for (std::size_t i = 2; i <= 12; ++i) {
+    auto& host = fx.ring.add_host(Guid::of(i));
+    bool joined = false;
+    host.node().join(boot, [&](bool ok) { joined = ok; });
+    fx.simulator.run_until(fx.simulator.now() + sim::SimTime::seconds(10));
+    ASSERT_TRUE(joined) << "node " << i;
+  }
+  // Let stabilization settle rings and fingers.
+  fx.simulator.run_until(fx.simulator.now() + sim::SimTime::seconds(120));
+
+  // Successor pointers must form a single cycle covering all 12 nodes.
+  std::map<Guid, Guid> succ_of;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const ChordNode& node = fx.ring.host(i).node();
+    ASSERT_TRUE(node.successor().valid());
+    succ_of[node.id()] = node.successor().id;
+  }
+  Guid cursor = fx.ring.host(0).node().id();
+  std::set<Guid> visited;
+  for (int steps = 0; steps < 12; ++steps) {
+    visited.insert(cursor);
+    cursor = succ_of.at(cursor);
+  }
+  EXPECT_EQ(visited.size(), 12u);
+  EXPECT_EQ(cursor, fx.ring.host(0).node().id());  // closed cycle
+
+  // Lookups now match the oracle.
+  Rng rng{77};
+  for (int t = 0; t < 20; ++t) {
+    const Guid key{rng.next()};
+    const auto res = fx.lookup_from(rng.index(12), key);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(res.result.id, fx.ring.oracle_successor(key).id);
+  }
+}
+
+TEST(ChordJoin, JoinThroughAnyBootstrapNode) {
+  Fixture fx{4};
+  fx.build(20);
+  auto& joiner = fx.ring.add_host(Guid::of(std::uint64_t{0xABCDEF}));
+  const ChordNode& boot = fx.ring.host(13).node();
+  bool ok = false;
+  joiner.node().join(Peer{boot.addr(), boot.id()}, [&](bool r) { ok = r; });
+  fx.simulator.run_until(fx.simulator.now() + sim::SimTime::seconds(60));
+  ASSERT_TRUE(ok);
+  // After stabilization the joiner is fully inserted: its successor's
+  // predecessor points back at it.
+  const Peer succ = joiner.node().successor();
+  ASSERT_TRUE(succ.valid());
+  const auto res = fx.lookup_from(3, joiner.node().id());
+  EXPECT_EQ(res.result.id, joiner.node().id());
+}
+
+TEST(ChordStats, LookupAccounting) {
+  // Maintenance off so fix_fingers' internal lookups don't pollute counts.
+  ChordConfig config;
+  config.run_maintenance = false;
+  Fixture fx{5, config};
+  fx.build(64);
+  auto& node = fx.ring.host(0).node();
+  for (int t = 0; t < 10; ++t) {
+    fx.lookup_from(0, Guid::of(std::uint64_t{900} + t));
+  }
+  EXPECT_EQ(node.stats().lookups_started, 10u);
+  EXPECT_EQ(node.stats().lookups_ok, 10u);
+  EXPECT_EQ(node.stats().lookups_failed, 0u);
+  EXPECT_EQ(node.stats().lookup_hops.count(), 10u);
+}
+
+TEST(ChordNodeUnit, RandomPeerDrawsFromRoutingState) {
+  Fixture fx{6};
+  fx.build(32);
+  Rng rng{8};
+  const ChordNode& node = fx.ring.host(0).node();
+  for (int t = 0; t < 50; ++t) {
+    const Peer p = node.random_peer(rng);
+    ASSERT_TRUE(p.valid());
+    EXPECT_NE(p.addr, node.addr());
+  }
+}
+
+// Property sweep: lookup correctness holds across ring sizes.
+class ChordSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChordSizeSweep, LookupsMatchOracle) {
+  Fixture fx{GetParam()};
+  fx.build(GetParam());
+  Rng rng{GetParam() * 31 + 1};
+  const int lookups = 20;
+  for (int t = 0; t < lookups; ++t) {
+    const Guid key{rng.next()};
+    const auto res = fx.lookup_from(rng.index(GetParam()), key);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(res.result.id, fx.ring.oracle_successor(key).id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChordSizeSweep,
+                         ::testing::Values(2, 3, 5, 8, 16, 33, 64, 129, 512));
+
+}  // namespace
+}  // namespace pgrid::chord

@@ -1,0 +1,81 @@
+// Config parsing: file format, CLI overrides, typed getters.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/config.h"
+
+namespace pgrid {
+namespace {
+
+TEST(Config, TypedGettersWithFallbacks) {
+  Config c;
+  c.set("nodes", "1000");
+  c.set("rate", "0.25");
+  c.set("mode", "mixed");
+  c.set("push", "true");
+  EXPECT_EQ(c.get_int("nodes", 1), 1000);
+  EXPECT_DOUBLE_EQ(c.get_double("rate", 0.0), 0.25);
+  EXPECT_EQ(c.get_string("mode", "x"), "mixed");
+  EXPECT_TRUE(c.get_bool("push", false));
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+  EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, BoolSpellings) {
+  Config c;
+  for (const char* v : {"1", "true", "yes", "on"}) {
+    c.set("flag", v);
+    EXPECT_TRUE(c.get_bool("flag", false)) << v;
+  }
+  for (const char* v : {"0", "false", "no", "off", "banana"}) {
+    c.set("flag", v);
+    EXPECT_FALSE(c.get_bool("flag", true)) << v;
+  }
+}
+
+TEST(Config, ParseArgsStripsDashes) {
+  Config c;
+  const char* argv[] = {"prog", "--nodes=256", "seed=9", "stray", "--flag"};
+  const auto leftover = c.parse_args(5, argv);
+  EXPECT_EQ(c.get_int("nodes", 0), 256);
+  EXPECT_EQ(c.get_int("seed", 0), 9);
+  ASSERT_EQ(leftover.size(), 2u);
+  EXPECT_EQ(leftover[0], "stray");
+  EXPECT_EQ(leftover[1], "--flag");
+}
+
+TEST(Config, LoadFileWithCommentsAndBlanks) {
+  const std::string path = testing::TempDir() + "/p2pgrid_config_test.cfg";
+  {
+    std::ofstream out(path);
+    out << "# experiment defaults\n"
+        << "nodes = 512   # inline comment\n"
+        << "\n"
+        << "  jobs=2000\n"
+        << "label = fig2 run\n";
+  }
+  Config c;
+  ASSERT_TRUE(c.load_file(path));
+  EXPECT_EQ(c.get_int("nodes", 0), 512);
+  EXPECT_EQ(c.get_int("jobs", 0), 2000);
+  EXPECT_EQ(c.get_string("label", ""), "fig2 run");
+  std::remove(path.c_str());
+}
+
+TEST(Config, LoadMissingFileFails) {
+  Config c;
+  EXPECT_FALSE(c.load_file("/nonexistent/path/nothing.cfg"));
+}
+
+TEST(Config, LaterSettingsWin) {
+  Config c;
+  c.set("k", "1");
+  c.set("k", "2");
+  EXPECT_EQ(c.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace pgrid

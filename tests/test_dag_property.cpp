@@ -1,0 +1,114 @@
+// Property tests for the DAG runner: random DAGs of varying shapes always
+// execute in topological order and always terminate.
+
+#include <gtest/gtest.h>
+
+#include "grid/dag.h"
+#include "grid/grid_system.h"
+
+namespace pgrid::grid {
+namespace {
+
+struct DagParam {
+  std::size_t jobs;
+  double edge_probability;
+  std::uint64_t seed;
+};
+
+class RandomDagSweep : public ::testing::TestWithParam<DagParam> {};
+
+TEST_P(RandomDagSweep, TopologicalOrderAlwaysRespected) {
+  const DagParam param = GetParam();
+
+  workload::WorkloadSpec spec;
+  spec.node_count = 10;
+  spec.job_count = param.jobs;
+  spec.mean_runtime_sec = 5.0;
+  spec.constraint_probability = 0.0;
+  spec.seed = param.seed;
+  workload::Workload w = workload::generate(spec);
+  for (auto& job : w.jobs) job.runtime_sec = 5.0;
+
+  // Random DAG: edges only from lower to higher index (acyclic by
+  // construction), sampled with the given density.
+  Rng rng{param.seed * 31 + 7};
+  std::vector<DagEdge> edges;
+  for (std::uint64_t a = 0; a < param.jobs; ++a) {
+    for (std::uint64_t b = a + 1; b < param.jobs; ++b) {
+      if (rng.bernoulli(param.edge_probability)) {
+        edges.push_back({a, b});
+      }
+    }
+  }
+
+  GridConfig config;
+  config.kind = MatchmakerKind::kCentralized;
+  config.seed = param.seed;
+  config.manual_submission = true;
+  config.light_maintenance = true;
+  GridSystem system(config, w);
+  DagRunner dag(system, edges);
+  dag.start();
+  system.run();
+
+  ASSERT_TRUE(dag.finished());
+  EXPECT_EQ(dag.completed(), param.jobs);
+  EXPECT_EQ(dag.cancelled(), 0u);
+  // Every edge respected: child starts after parent completes.
+  for (const DagEdge& e : edges) {
+    const auto& parent = system.collector().job(e.parent);
+    const auto& child = system.collector().job(e.child);
+    ASSERT_TRUE(parent.completed());
+    ASSERT_TRUE(child.started());
+    EXPECT_GE(child.started_sec, parent.completed_sec)
+        << e.parent << " -> " << e.child;
+  }
+  // Depth is monotone along edges.
+  for (const DagEdge& e : edges) {
+    EXPECT_LT(dag.depths()[e.parent], dag.depths()[e.child]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RandomDagSweep,
+    ::testing::Values(DagParam{5, 0.5, 1},    // dense tiny
+                      DagParam{12, 0.3, 2},   // medium
+                      DagParam{20, 0.15, 3},  // sparse
+                      DagParam{20, 0.0, 4},   // no edges: all parallel
+                      DagParam{8, 1.0, 5},    // total order: fully serial
+                      DagParam{30, 0.1, 6}),
+    [](const ::testing::TestParamInfo<DagParam>& info) {
+      return "j" + std::to_string(info.param.jobs) + "s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(RandomDag, FullySerialChainMatchesSumOfRuntimes) {
+  workload::WorkloadSpec spec;
+  spec.node_count = 5;
+  spec.job_count = 6;
+  spec.constraint_probability = 0.0;
+  spec.seed = 9;
+  workload::Workload w = workload::generate(spec);
+  for (auto& job : w.jobs) job.runtime_sec = 10.0;
+
+  std::vector<DagEdge> chain;
+  for (std::uint64_t j = 0; j + 1 < 6; ++j) chain.push_back({j, j + 1});
+
+  GridConfig config;
+  config.kind = MatchmakerKind::kCentralized;
+  config.seed = 9;
+  config.manual_submission = true;
+  config.light_maintenance = true;
+  GridSystem system(config, w);
+  DagRunner dag(system, chain);
+  dag.start();
+  system.run();
+  ASSERT_TRUE(dag.finished());
+  // 6 x 10 s of serial compute plus small per-stage protocol overhead.
+  const double makespan = system.collector().makespan_sec();
+  EXPECT_GE(makespan, 60.0);
+  EXPECT_LT(makespan, 75.0);
+}
+
+}  // namespace
+}  // namespace pgrid::grid

@@ -1,0 +1,120 @@
+// Failure injector: crash/recover scheduling, eligibility, forced events.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/failure.h"
+
+namespace pgrid::sim {
+namespace {
+
+TEST(FailureInjector, NoLifetimeMeansNoCrashes) {
+  Simulator simulator;
+  ChurnModel model;  // mean_lifetime_sec == 0 disables
+  int crashes = 0;
+  FailureInjector injector(simulator, Rng{1}, model, 10,
+                           [&](std::size_t) { ++crashes; }, nullptr);
+  injector.start();
+  simulator.run_until(SimTime::seconds(1000));
+  EXPECT_EQ(crashes, 0);
+  EXPECT_EQ(injector.crashes(), 0u);
+}
+
+TEST(FailureInjector, CrashesArriveAtRoughlyExpectedRate) {
+  Simulator simulator;
+  ChurnModel model;
+  model.mean_lifetime_sec = 100.0;
+  model.mean_downtime_sec = 0.0;  // crashed nodes stay down
+  int crashes = 0;
+  FailureInjector injector(simulator, Rng{2}, model, 1000,
+                           [&](std::size_t) { ++crashes; }, nullptr);
+  injector.start();
+  simulator.run_until(SimTime::seconds(50));
+  // P(crash by t=50 | mean 100) = 1 - e^-0.5 ~= 0.39.
+  EXPECT_GT(crashes, 300);
+  EXPECT_LT(crashes, 480);
+  // With no recovery each member crashes at most once.
+  EXPECT_LE(crashes, 1000);
+}
+
+TEST(FailureInjector, RecoveryBringsMembersBack) {
+  Simulator simulator;
+  ChurnModel model;
+  model.mean_lifetime_sec = 10.0;
+  model.mean_downtime_sec = 5.0;
+  std::set<std::size_t> down;
+  FailureInjector injector(
+      simulator, Rng{3}, model, 50,
+      [&](std::size_t m) { down.insert(m); },
+      [&](std::size_t m) { down.erase(m); });
+  injector.start();
+  simulator.run_until(SimTime::seconds(500));
+  EXPECT_GT(injector.crashes(), 100u);
+  EXPECT_GT(injector.recoveries(), 100u);
+  // Every currently-down member agrees with the injector's view.
+  for (std::size_t m = 0; m < 50; ++m) {
+    EXPECT_EQ(injector.is_up(m), down.count(m) == 0) << m;
+  }
+}
+
+TEST(FailureInjector, ChurnFractionLimitsEligibility) {
+  Simulator simulator;
+  ChurnModel model;
+  model.mean_lifetime_sec = 1.0;  // aggressive: eligible members crash fast
+  model.churn_fraction = 0.0;     // ...but nobody is eligible
+  int crashes = 0;
+  FailureInjector injector(simulator, Rng{4}, model, 100,
+                           [&](std::size_t) { ++crashes; }, nullptr);
+  injector.start();
+  simulator.run_until(SimTime::seconds(100));
+  EXPECT_EQ(crashes, 0);
+}
+
+TEST(FailureInjector, StopAfterCutsOffInjection) {
+  Simulator simulator;
+  ChurnModel model;
+  model.mean_lifetime_sec = 10.0;
+  model.mean_downtime_sec = 1.0;
+  model.stop_after_sec = 20.0;
+  FailureInjector injector(simulator, Rng{5}, model, 200,
+                           [](std::size_t) {}, [](std::size_t) {});
+  injector.start();
+  simulator.run_until(SimTime::seconds(20));
+  const auto crashes_at_cutoff = injector.crashes();
+  simulator.run_until(SimTime::seconds(400));
+  EXPECT_EQ(injector.crashes(), crashes_at_cutoff);
+}
+
+TEST(FailureInjector, ForcedCrashAndRecoverAreIdempotent) {
+  Simulator simulator;
+  ChurnModel model;
+  int crashes = 0, recoveries = 0;
+  FailureInjector injector(simulator, Rng{6}, model, 3,
+                           [&](std::size_t) { ++crashes; },
+                           [&](std::size_t) { ++recoveries; });
+  injector.crash_now(1);
+  injector.crash_now(1);  // no-op: already down
+  EXPECT_FALSE(injector.is_up(1));
+  EXPECT_EQ(crashes, 1);
+  injector.recover_now(1);
+  injector.recover_now(1);  // no-op: already up
+  EXPECT_TRUE(injector.is_up(1));
+  EXPECT_EQ(recoveries, 1);
+}
+
+TEST(FailureInjector, StopCancelsPendingEvents) {
+  Simulator simulator;
+  ChurnModel model;
+  model.mean_lifetime_sec = 50.0;
+  int crashes = 0;
+  FailureInjector injector(simulator, Rng{7}, model, 100,
+                           [&](std::size_t) { ++crashes; }, nullptr);
+  injector.start();
+  injector.stop();
+  simulator.run_until(SimTime::seconds(10000));
+  EXPECT_EQ(crashes, 0);
+}
+
+}  // namespace
+}  // namespace pgrid::sim

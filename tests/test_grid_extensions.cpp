@@ -1,0 +1,355 @@
+// §5 future-work features: DAG dependencies (DAGMan analogue), fair-share
+// run queues, and quota enforcement against runaway jobs.
+
+#include <gtest/gtest.h>
+
+#include "grid/dag.h"
+#include "grid/grid_system.h"
+
+namespace pgrid::grid {
+namespace {
+
+workload::Workload flat_workload(std::size_t nodes, std::size_t jobs,
+                                 double runtime, std::uint64_t seed,
+                                 std::size_t clients = 1) {
+  workload::WorkloadSpec spec;
+  spec.node_count = nodes;
+  spec.job_count = jobs;
+  spec.mean_runtime_sec = runtime;
+  spec.mean_interarrival_sec = 0.1;
+  spec.constraint_probability = 0.0;
+  spec.client_count = clients;
+  spec.seed = seed;
+  workload::Workload w = workload::generate(spec);
+  for (auto& job : w.jobs) job.runtime_sec = runtime;  // deterministic
+  return w;
+}
+
+GridConfig manual_config(std::uint64_t seed = 1) {
+  GridConfig config;
+  config.kind = MatchmakerKind::kCentralized;
+  config.seed = seed;
+  config.manual_submission = true;
+  config.light_maintenance = true;
+  return config;
+}
+
+// --- DAG dependencies ---------------------------------------------------------
+
+TEST(DagRunner, LinearChainRunsInOrder) {
+  // simulation -> analysis -> publish: §5's "analysis after simulation".
+  GridSystem system(manual_config(), flat_workload(4, 3, 30.0, 1));
+  DagRunner dag(system, {{0, 1}, {1, 2}});
+  dag.start();
+  system.run();
+  ASSERT_TRUE(dag.finished());
+  EXPECT_EQ(dag.completed(), 3u);
+  const auto& c = system.collector();
+  // Strict ordering: each stage starts only after its parent completed.
+  EXPECT_GE(c.job(1).started_sec, c.job(0).completed_sec);
+  EXPECT_GE(c.job(2).started_sec, c.job(1).completed_sec);
+}
+
+TEST(DagRunner, DiamondJoinsWaitForAllParents) {
+  //    0
+  //   / \
+  //  1   2
+  //   \ /
+  //    3
+  GridSystem system(manual_config(2), flat_workload(6, 4, 20.0, 2));
+  DagRunner dag(system, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  dag.start();
+  system.run();
+  ASSERT_TRUE(dag.finished());
+  EXPECT_EQ(dag.completed(), 4u);
+  const auto& c = system.collector();
+  EXPECT_GE(c.job(3).started_sec,
+            std::max(c.job(1).completed_sec, c.job(2).completed_sec));
+  // Depths computed correctly.
+  EXPECT_EQ(dag.depths()[0], 0u);
+  EXPECT_EQ(dag.depths()[1], 1u);
+  EXPECT_EQ(dag.depths()[3], 2u);
+}
+
+TEST(DagRunner, IndependentRootsRunConcurrently) {
+  GridSystem system(manual_config(3), flat_workload(8, 6, 50.0, 3));
+  DagRunner dag(system, {{0, 3}, {1, 4}, {2, 5}});
+  dag.start();
+  system.run();
+  ASSERT_TRUE(dag.finished());
+  const auto& c = system.collector();
+  // All three roots started around t=0, i.e. in parallel.
+  for (std::uint64_t r : {0u, 1u, 2u}) {
+    EXPECT_LT(c.job(r).started_sec, 10.0);
+  }
+}
+
+TEST(DagRunner, FailedParentCancelsDescendants) {
+  // Job 1's constraints are impossible, so generation after generation
+  // fails and the client abandons it -> jobs 2 and 3 must be cancelled.
+  workload::Workload w = flat_workload(4, 4, 10.0, 4);
+  w.jobs[1].constraints.active[0] = true;
+  w.jobs[1].constraints.min[0] = 1e9;
+  GridConfig config = manual_config(4);
+  config.client.max_generations = 2;
+  config.client.resubmit_base_sec = 50.0;
+  config.client.resubmit_runtime_factor = 1.0;
+  GridSystem system(config, w);
+  DagRunner dag(system, {{0, 1}, {1, 2}, {2, 3}});
+  dag.start();
+  system.run();
+  ASSERT_TRUE(dag.finished());
+  EXPECT_EQ(dag.completed(), 1u);   // job 0
+  EXPECT_EQ(dag.failed(), 1u);      // job 1
+  EXPECT_EQ(dag.cancelled(), 2u);   // jobs 2, 3 never ran
+  EXPECT_FALSE(system.collector().job(2).started());
+  EXPECT_FALSE(system.collector().job(3).started());
+}
+
+TEST(DagRunner, RejectsCycles) {
+  GridSystem system(manual_config(5), flat_workload(2, 3, 10.0, 5));
+  EXPECT_DEATH(DagRunner(system, {{0, 1}, {1, 2}, {2, 0}}), "cycle|visited");
+}
+
+TEST(DagRunner, WorksOverP2POverlayToo) {
+  GridConfig config = manual_config(6);
+  config.kind = MatchmakerKind::kRnTree;
+  GridSystem system(config, flat_workload(12, 5, 15.0, 6));
+  DagRunner dag(system, {{0, 1}, {0, 2}, {1, 3}, {2, 4}});
+  dag.start();
+  system.run();
+  ASSERT_TRUE(dag.finished());
+  EXPECT_EQ(dag.completed(), 5u);
+}
+
+// --- fair-share queueing -------------------------------------------------------
+
+TEST(FairShare, LightClientIsNotStarvedByHeavyClient) {
+  // One node. Client 0 floods 12 jobs at t=0; client 1 submits 2 jobs just
+  // after. Under FIFO client 1 waits for the whole flood; under fair share
+  // its jobs interleave near the front.
+  const auto build = [](QueuePolicy policy) {
+    workload::Workload w = flat_workload(1, 14, 10.0, 7, 2);
+    for (std::size_t j = 0; j < 12; ++j) {
+      w.jobs[j].client = 0;
+      w.jobs[j].arrival_sec = 0.01 * static_cast<double>(j);
+    }
+    for (std::size_t j = 12; j < 14; ++j) {
+      w.jobs[j].client = 1;
+      w.jobs[j].arrival_sec = 0.5 + 0.01 * static_cast<double>(j);
+    }
+    GridConfig config;
+    config.kind = MatchmakerKind::kCentralized;
+    config.seed = 7;
+    config.light_maintenance = true;
+    config.node.queue_policy = policy;
+    config.client.resubmit_base_sec = 1e6;
+    auto system = std::make_unique<GridSystem>(config, w);
+    system->run();
+    return system;
+  };
+
+  const auto fifo = build(QueuePolicy::kFifo);
+  const auto fair = build(QueuePolicy::kFairShare);
+  ASSERT_TRUE(fifo->finished());
+  ASSERT_TRUE(fair->finished());
+
+  const double fifo_wait = (fifo->collector().job(12).wait_sec() +
+                            fifo->collector().job(13).wait_sec()) /
+                           2.0;
+  const double fair_wait = (fair->collector().job(12).wait_sec() +
+                            fair->collector().job(13).wait_sec()) /
+                           2.0;
+  // FIFO: ~115s behind the flood. Fair share: served every other slot.
+  EXPECT_GT(fifo_wait, 100.0);
+  EXPECT_LT(fair_wait, 40.0);
+  // Total work conserved either way.
+  EXPECT_EQ(fair->collector().completed_count(), 14u);
+}
+
+TEST(FairShare, FifoWithinASingleClient) {
+  workload::Workload w = flat_workload(1, 5, 5.0, 8, 1);
+  for (std::size_t j = 0; j < 5; ++j) {
+    w.jobs[j].arrival_sec = 0.01 * static_cast<double>(j);
+  }
+  GridConfig config;
+  config.kind = MatchmakerKind::kCentralized;
+  config.seed = 8;
+  config.light_maintenance = true;
+  // Constant latency keeps dispatch order equal to submission order (with
+  // random latencies, closely spaced jobs can overtake each other in
+  // flight, which is legitimate but not what this test asserts).
+  config.latency = net::LatencyModel{sim::SimTime::millis(50),
+                                     sim::SimTime::millis(50)};
+  config.node.queue_policy = QueuePolicy::kFairShare;
+  GridSystem system(config, w);
+  system.run();
+  ASSERT_TRUE(system.finished());
+  double prev = -1.0;
+  for (std::size_t j = 0; j < 5; ++j) {
+    EXPECT_GT(system.collector().job(j).started_sec, prev);
+    prev = system.collector().job(j).started_sec;
+  }
+}
+
+// --- quotas / runaway jobs -------------------------------------------------------
+
+TEST(Quota, RunawayJobIsKilledAtDeadline) {
+  // Job 0 declares 10 s but actually needs 500 s; the quota kills it at
+  // declared x factor, freeing the node for the honest jobs behind it.
+  workload::Workload w = flat_workload(1, 3, 10.0, 9);
+  w.jobs[0].runtime_sec = 500.0;
+  w.jobs[0].declared_runtime_sec = 10.0;
+  for (std::size_t j = 0; j < 3; ++j) {
+    w.jobs[j].arrival_sec = 0.01 * static_cast<double>(j);
+  }
+  GridConfig config;
+  config.kind = MatchmakerKind::kCentralized;
+  config.seed = 9;
+  config.light_maintenance = true;
+  config.node.runaway_kill_factor = 3.0;
+  config.client.max_generations = 1;  // no pointless retries of the runaway
+  GridSystem system(config, w);
+  system.run();
+  const auto& c = system.collector();
+  // The runaway never completed; the honest jobs did, and promptly: the
+  // node was blocked for at most 30 s (10 s declared x factor 3), not 500.
+  EXPECT_FALSE(c.job(0).completed());
+  EXPECT_TRUE(c.job(1).completed());
+  EXPECT_TRUE(c.job(2).completed());
+  EXPECT_LT(c.job(1).wait_sec(), 60.0);
+  EXPECT_EQ(system.aggregate_node_stats().jobs_killed_quota, 1u);
+}
+
+TEST(Quota, HonestJobsUnaffectedByKillFactor) {
+  workload::Workload w = flat_workload(4, 10, 20.0, 10);
+  GridConfig config;
+  config.kind = MatchmakerKind::kCentralized;
+  config.seed = 10;
+  config.light_maintenance = true;
+  config.node.runaway_kill_factor = 2.0;
+  GridSystem system(config, w);
+  system.run();
+  EXPECT_EQ(system.collector().completed_count(), 10u);
+  EXPECT_EQ(system.aggregate_node_stats().jobs_killed_quota, 0u);
+}
+
+TEST(Quota, OutputQuotaRejectsOversizedJobs) {
+  workload::Workload w = flat_workload(3, 4, 10.0, 11);
+  w.jobs[1].output_kb = 100000.0;  // declares 100 MB of output
+  GridConfig config;
+  config.kind = MatchmakerKind::kCentralized;
+  config.seed = 11;
+  config.light_maintenance = true;
+  config.node.max_output_kb = 4096.0;
+  config.client.max_generations = 2;
+  config.client.resubmit_base_sec = 60.0;
+  config.client.resubmit_runtime_factor = 1.0;
+  GridSystem system(config, w);
+  system.run();
+  const auto& c = system.collector();
+  EXPECT_FALSE(c.job(1).completed());  // nowhere accepts it
+  EXPECT_TRUE(c.job(0).completed());
+  EXPECT_GE(system.aggregate_node_stats().quota_rejects, 1u);
+}
+
+
+// --- TTL-walk baseline (§4 related work) ----------------------------------------
+
+TEST(TtlWalk, CompletesEasyWorkloads) {
+  // With unconstrained jobs every node qualifies: the walk finds a run node
+  // on its first step and all jobs complete.
+  workload::Workload w = flat_workload(16, 30, 20.0, 20);
+  GridConfig config;
+  config.kind = MatchmakerKind::kTtlWalk;
+  config.seed = 20;
+  config.light_maintenance = true;
+  GridSystem system(config, w);
+  system.run();
+  ASSERT_TRUE(system.finished());
+  EXPECT_EQ(system.collector().completed_count(), 30u);
+  EXPECT_EQ(system.collector().unmatched_count(), 0u);
+}
+
+TEST(TtlWalk, ShortTtlMissesRareResources) {
+  // One node in 32 satisfies the constraint; a TTL of 2 hops usually fails
+  // to stumble onto it, unlike the RN-Tree's directed search. This is the
+  // paper's §4 critique of TTL-based resource discovery.
+  workload::WorkloadSpec spec;
+  spec.node_count = 32;
+  spec.job_count = 20;
+  spec.mean_runtime_sec = 10.0;
+  spec.mean_interarrival_sec = 1.0;
+  spec.constraint_probability = 0.0;
+  spec.seed = 21;
+  workload::Workload w = workload::generate(spec);
+  // Make node capabilities uniform except one fast machine; constrain all jobs
+  // to need it.
+  for (auto& caps : w.node_caps) caps.v[0] = 1.0;
+  w.node_caps[17].v[0] = 4.0;
+  for (auto& job : w.jobs) {
+    job.constraints.active[0] = true;
+    job.constraints.min[0] = 4.0;
+  }
+
+  GridConfig config;
+  config.kind = MatchmakerKind::kTtlWalk;
+  config.seed = 21;
+  config.light_maintenance = true;
+  config.node.ttl_walk_ttl = 2;
+  config.client.max_generations = 2;
+  config.client.resubmit_base_sec = 200.0;
+  GridSystem system(config, w);
+  system.run();
+  ASSERT_TRUE(system.finished());
+  // Some generations failed to find the unique eligible node.
+  EXPECT_GT(system.collector().unmatched_count(), 0u);
+
+  // The RN-Tree on the identical workload finds it every time.
+  GridConfig rn_config = config;
+  rn_config.kind = MatchmakerKind::kRnTree;
+  GridSystem rn(rn_config, w);
+  rn.run();
+  ASSERT_TRUE(rn.finished());
+  EXPECT_EQ(rn.collector().completed_count(), 20u);
+  EXPECT_EQ(rn.collector().unmatched_count(), 0u);
+  // And every run landed on the unique eligible machine.
+  for (std::size_t j = 0; j < 20; ++j) {
+    EXPECT_EQ(rn.collector().job(j).run_node, 17u);
+  }
+}
+
+TEST(TtlWalk, LongTtlEventuallyFinds) {
+  workload::WorkloadSpec spec;
+  spec.node_count = 24;
+  spec.job_count = 10;
+  spec.mean_runtime_sec = 10.0;
+  spec.mean_interarrival_sec = 2.0;
+  spec.constraint_probability = 0.0;
+  spec.seed = 22;
+  workload::Workload w = workload::generate(spec);
+  for (auto& caps : w.node_caps) caps.v[1] = 1.0;
+  // A handful of big-memory machines.
+  for (std::size_t i : {3u, 11u, 19u}) w.node_caps[i].v[1] = 16.0;
+  for (auto& job : w.jobs) {
+    job.constraints.active[1] = true;
+    job.constraints.min[1] = 16.0;
+  }
+
+  GridConfig config;
+  config.kind = MatchmakerKind::kTtlWalk;
+  config.seed = 22;
+  config.light_maintenance = true;
+  config.node.ttl_walk_ttl = 64;  // generous: walks reach everything
+  GridSystem system(config, w);
+  system.run();
+  ASSERT_TRUE(system.finished());
+  EXPECT_EQ(system.collector().completed_count(), 10u);
+  for (std::size_t j = 0; j < 10; ++j) {
+    const auto run = system.collector().job(j).run_node;
+    EXPECT_TRUE(run == 3 || run == 11 || run == 19) << run;
+  }
+}
+
+}  // namespace
+}  // namespace pgrid::grid

@@ -1,0 +1,106 @@
+// GUID and circular-interval arithmetic: the correctness bedrock under
+// Chord routing and the RN-Tree region algebra.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/guid.h"
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace pgrid {
+namespace {
+
+TEST(Guid, DerivationIsDeterministic) {
+  EXPECT_EQ(Guid::of("node-1"), Guid::of("node-1"));
+  EXPECT_NE(Guid::of("node-1"), Guid::of("node-2"));
+  EXPECT_EQ(Guid::of(std::uint64_t{42}), Guid::of(std::uint64_t{42}));
+}
+
+TEST(Guid, StrFormatsAsHex) {
+  EXPECT_EQ(Guid{0}.str(), "0000000000000000");
+  EXPECT_EQ(Guid{0xdeadbeefULL}.str(), "00000000deadbeef");
+}
+
+TEST(Guid, ClockwiseDistanceWraps) {
+  const Guid a{10};
+  const Guid b{3};
+  EXPECT_EQ(a.clockwise_to(b), static_cast<std::uint64_t>(-7));
+  EXPECT_EQ(b.clockwise_to(a), 7u);
+  EXPECT_EQ(a.clockwise_to(a), 0u);
+}
+
+TEST(Interval, OpenClosedBasic) {
+  // (10, 20]
+  EXPECT_FALSE(in_interval_oc(Guid{10}, Guid{10}, Guid{20}));
+  EXPECT_TRUE(in_interval_oc(Guid{11}, Guid{10}, Guid{20}));
+  EXPECT_TRUE(in_interval_oc(Guid{20}, Guid{10}, Guid{20}));
+  EXPECT_FALSE(in_interval_oc(Guid{21}, Guid{10}, Guid{20}));
+  EXPECT_FALSE(in_interval_oc(Guid{5}, Guid{10}, Guid{20}));
+}
+
+TEST(Interval, OpenClosedWrapsAroundZero) {
+  // (2^64-5, 3]
+  const Guid a{static_cast<std::uint64_t>(-5)};
+  const Guid b{3};
+  EXPECT_TRUE(in_interval_oc(Guid{0}, a, b));
+  EXPECT_TRUE(in_interval_oc(Guid{3}, a, b));
+  EXPECT_TRUE(in_interval_oc(Guid{static_cast<std::uint64_t>(-1)}, a, b));
+  EXPECT_FALSE(in_interval_oc(a, a, b));
+  EXPECT_FALSE(in_interval_oc(Guid{4}, a, b));
+}
+
+TEST(Interval, DegenerateMeansWholeRing) {
+  // Chord convention: (a, a] is the entire ring — a single node owns all keys.
+  const Guid a{77};
+  EXPECT_TRUE(in_interval_oc(Guid{0}, a, a));
+  EXPECT_TRUE(in_interval_oc(Guid{78}, a, a));
+  EXPECT_FALSE(in_interval_oc(a, a, a));  // open at a itself
+
+  // (a, a) is the ring minus the endpoint.
+  EXPECT_TRUE(in_interval_oo(Guid{78}, a, a));
+  EXPECT_FALSE(in_interval_oo(a, a, a));
+}
+
+TEST(Interval, OpenOpenBasic) {
+  EXPECT_FALSE(in_interval_oo(Guid{20}, Guid{10}, Guid{20}));
+  EXPECT_TRUE(in_interval_oo(Guid{19}, Guid{10}, Guid{20}));
+  EXPECT_FALSE(in_interval_oo(Guid{10}, Guid{10}, Guid{20}));
+}
+
+// Property: for random (a, b, x), exactly one of x in (a,b] and x in (b,a]
+// holds, unless x == a or x == b (boundary cases handled separately).
+TEST(Interval, PartitionProperty) {
+  Rng rng{123};
+  for (int trial = 0; trial < 10000; ++trial) {
+    const Guid a{rng.next()}, b{rng.next()}, x{rng.next()};
+    if (a == b || x == a || x == b) continue;
+    EXPECT_NE(in_interval_oc(x, a, b), in_interval_oc(x, b, a))
+        << "a=" << a.value() << " b=" << b.value() << " x=" << x.value();
+  }
+}
+
+TEST(Hash, MixAvalanchesAndIsInjectiveOnSmallSet) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    seen.insert(mix64(i));
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Hash, KeyDistributionIsRoughlyUniform) {
+  // Bucket 64k hashed strings into 16 bins; each should be near 4096.
+  std::array<int, 16> bins{};
+  for (int i = 0; i < 65536; ++i) {
+    const auto h = hash_key("key-" + std::to_string(i));
+    ++bins[h >> 60];
+  }
+  for (int count : bins) {
+    EXPECT_GT(count, 3600);
+    EXPECT_LT(count, 4600);
+  }
+}
+
+}  // namespace
+}  // namespace pgrid

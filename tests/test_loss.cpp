@@ -1,0 +1,93 @@
+// Robustness under random message loss: RPC timeouts and protocol retries
+// must preserve correctness when the network silently eats messages.
+
+#include <gtest/gtest.h>
+
+#include "chord/ring.h"
+#include "grid/grid_system.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace pgrid {
+namespace {
+
+TEST(Loss, ChordLookupsSurviveFivePercentLoss) {
+  sim::Simulator simulator;
+  net::Network network(simulator, Rng{1},
+                       net::LatencyModel{sim::SimTime::millis(20),
+                                         sim::SimTime::millis(80)},
+                       /*loss_probability=*/0.05);
+  chord::ChordRing ring(network, chord::ChordConfig{}, Rng{2});
+  for (std::size_t i = 0; i < 64; ++i) {
+    ring.add_host(Guid::of(std::uint64_t{0xFEED} + i * 7919));
+  }
+  ring.wire_instantly();
+
+  Rng rng{3};
+  int ok = 0;
+  constexpr int kLookups = 40;
+  for (int t = 0; t < kLookups; ++t) {
+    const Guid key{rng.next()};
+    chord::Peer got = chord::kNoPeer;
+    ring.host(rng.index(64)).node().lookup(key, [&](chord::Peer p, int) {
+      got = p;
+    });
+    simulator.run_until(simulator.now() + sim::SimTime::seconds(120));
+    if (got.valid()) {
+      // When a lookup succeeds it must be *correct*, not just complete.
+      EXPECT_EQ(got.id, ring.oracle_successor(key).id);
+      ++ok;
+    }
+  }
+  // Retries route around lost messages; the vast majority succeeds.
+  EXPECT_GE(ok, kLookups * 8 / 10);
+}
+
+TEST(Loss, GridCompletesAllJobsUnderLoss) {
+  workload::WorkloadSpec spec;
+  spec.node_count = 16;
+  spec.job_count = 40;
+  spec.mean_runtime_sec = 15.0;
+  spec.mean_interarrival_sec = 0.5;
+  spec.constraint_probability = 0.4;
+  spec.seed = 4;
+
+  grid::GridConfig config;
+  config.kind = grid::MatchmakerKind::kRnTree;
+  config.seed = 5;
+  config.loss_probability = 0.03;
+  config.client.resubmit_base_sec = 120.0;
+  grid::GridSystem system(config, workload::generate(spec));
+  system.run();
+  ASSERT_TRUE(system.finished());
+  // Lost submissions / dispatches / results are all recovered by RPC
+  // timeouts, heartbeats, or client resubmission.
+  EXPECT_EQ(system.collector().completed_count(), 40u);
+}
+
+TEST(Loss, HeartbeatsTolerateLossWithoutFalseRecovery) {
+  // Loss below the miss threshold must not trigger run-node replacement:
+  // with threshold 3 and 10% loss, three consecutive losses are rare.
+  workload::WorkloadSpec spec;
+  spec.node_count = 8;
+  spec.job_count = 10;
+  spec.mean_runtime_sec = 60.0;
+  spec.mean_interarrival_sec = 0.5;
+  spec.constraint_probability = 0.0;
+  spec.seed = 6;
+
+  grid::GridConfig config;
+  config.kind = grid::MatchmakerKind::kCentralized;
+  config.seed = 7;
+  config.loss_probability = 0.10;
+  config.node.heartbeat_miss_threshold = 3;
+  grid::GridSystem system(config, workload::generate(spec));
+  system.run();
+  ASSERT_TRUE(system.finished());
+  EXPECT_EQ(system.collector().completed_count(), 10u);
+  // A few spurious requeues are tolerable; a storm is a bug.
+  EXPECT_LE(system.collector().total_requeues(), 3u);
+}
+
+}  // namespace
+}  // namespace pgrid

@@ -1,0 +1,102 @@
+// Metrics collector: lifecycle recording, summary statistics.
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+
+namespace pgrid::metrics {
+namespace {
+
+using sim::SimTime;
+
+TEST(Collector, LifecycleTimestamps) {
+  Collector c(3, 4);
+  c.on_submit(0, SimTime::seconds(1.0));
+  c.on_owner(0, SimTime::seconds(1.2), 4);
+  c.on_matched(0, SimTime::seconds(1.5), 3, 2);
+  c.on_started(0, SimTime::seconds(2.0));
+  c.on_completed(0, SimTime::seconds(12.0));
+
+  const JobOutcome& j = c.job(0);
+  EXPECT_DOUBLE_EQ(j.submit_sec, 1.0);
+  EXPECT_DOUBLE_EQ(j.wait_sec(), 1.0);
+  EXPECT_EQ(j.match_hops, 3);
+  EXPECT_EQ(j.injection_hops, 4);
+  EXPECT_EQ(j.run_node, 2u);
+  EXPECT_TRUE(j.completed());
+  EXPECT_EQ(c.completed_count(), 1u);
+  EXPECT_EQ(c.started_count(), 1u);
+  EXPECT_DOUBLE_EQ(c.makespan_sec(), 12.0);
+}
+
+TEST(Collector, FirstSubmitAndStartWin) {
+  Collector c(1, 1);
+  c.on_submit(0, SimTime::seconds(1.0));
+  c.on_submit(0, SimTime::seconds(5.0));  // resubmission does not reset
+  c.on_started(0, SimTime::seconds(7.0));
+  c.on_started(0, SimTime::seconds(9.0));  // duplicate execution
+  EXPECT_DOUBLE_EQ(c.job(0).wait_sec(), 6.0);
+}
+
+TEST(Collector, WaitTimesOnlyCoverStartedJobs) {
+  Collector c(3, 1);
+  c.on_submit(0, SimTime::seconds(0.0));
+  c.on_started(0, SimTime::seconds(4.0));
+  c.on_submit(1, SimTime::seconds(0.0));
+  c.on_started(1, SimTime::seconds(8.0));
+  c.on_submit(2, SimTime::seconds(0.0));  // never started
+  const Samples waits = c.wait_times();
+  EXPECT_EQ(waits.count(), 2u);
+  EXPECT_DOUBLE_EQ(waits.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(waits.stdev(), 2.0);
+}
+
+TEST(Collector, CountersAccumulate) {
+  Collector c(2, 2);
+  c.on_resubmit(0);
+  c.on_resubmit(0);
+  c.on_requeue(1);
+  c.on_unmatched(1);
+  EXPECT_EQ(c.total_resubmissions(), 2u);
+  EXPECT_EQ(c.total_requeues(), 1u);
+  EXPECT_EQ(c.unmatched_count(), 1u);
+}
+
+TEST(Collector, PerNodeLoadAccounting) {
+  Collector c(4, 3);
+  for (std::uint64_t j = 0; j < 4; ++j) {
+    c.on_submit(j, SimTime::seconds(0.0));
+    c.on_matched(j, SimTime::seconds(1.0), 0, j % 2);  // nodes 0 and 1 only
+    c.on_started(j, SimTime::seconds(1.0));
+  }
+  c.add_node_busy(0, 10.0);
+  c.add_node_busy(0, 5.0);
+  c.add_node_busy(1, 3.0);
+  const RunningStats jobs = c.jobs_per_node();
+  EXPECT_EQ(jobs.count(), 3u);
+  EXPECT_DOUBLE_EQ(jobs.max(), 2.0);
+  EXPECT_DOUBLE_EQ(jobs.min(), 0.0);  // node 2 idle
+  const RunningStats busy = c.busy_per_node();
+  EXPECT_DOUBLE_EQ(busy.max(), 15.0);
+  EXPECT_DOUBLE_EQ(busy.sum(), 18.0);
+}
+
+TEST(Collector, SummaryMentionsCompletion) {
+  Collector c(2, 1);
+  c.on_submit(0, SimTime::seconds(0.0));
+  c.on_started(0, SimTime::seconds(2.0));
+  c.on_completed(0, SimTime::seconds(3.0));
+  const std::string s = c.summary();
+  EXPECT_NE(s.find("completed 1/2"), std::string::npos);
+}
+
+TEST(Collector, MatchHopsKeepFirstMatch) {
+  Collector c(1, 2);
+  c.on_matched(0, SimTime::seconds(1.0), 5, 0);
+  c.on_matched(0, SimTime::seconds(2.0), 9, 1);  // re-dispatch after failure
+  EXPECT_EQ(c.job(0).match_hops, 5);
+  EXPECT_EQ(c.job(0).run_node, 1u);  // run node reflects the latest
+}
+
+}  // namespace
+}  // namespace pgrid::metrics

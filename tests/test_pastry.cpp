@@ -1,0 +1,234 @@
+// Pastry DHT: digit/prefix arithmetic, instant wiring invariants, lookup
+// correctness vs the numerically-closest oracle, O(log_16 N) hop counts,
+// join protocol, and leaf-set failure repair.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/network.h"
+#include "pastry/mesh.h"
+#include "sim/simulator.h"
+
+namespace pgrid::pastry {
+namespace {
+
+TEST(PastryMath, DigitsAndPrefixes) {
+  const std::uint64_t id = 0xABCDEF0123456789ULL;
+  EXPECT_EQ(digit_at(id, 0), 0xA);
+  EXPECT_EQ(digit_at(id, 1), 0xB);
+  EXPECT_EQ(digit_at(id, 15), 0x9);
+  EXPECT_EQ(shared_prefix(id, id), kDigits);
+  EXPECT_EQ(shared_prefix(0xABCDEF0123456789ULL, 0xABCDEF0123456780ULL), 15);
+  EXPECT_EQ(shared_prefix(0xABCDEF0123456789ULL, 0x0BCDEF0123456789ULL), 0);
+}
+
+TEST(PastryMath, CircularDistanceAndCloserTo) {
+  EXPECT_EQ(circular_distance(10, 3), 7u);
+  EXPECT_EQ(circular_distance(3, 10), 7u);
+  // Wrap: distance from near-max to near-zero is short.
+  EXPECT_EQ(circular_distance(~std::uint64_t{0} - 1, 2), 4u);
+  EXPECT_TRUE(closer_to(100, 99, 110));
+  EXPECT_FALSE(closer_to(100, 110, 99));
+  // Tie: the smaller id wins (95 and 105 both at distance 5 from 100).
+  EXPECT_TRUE(closer_to(100, 95, 105));
+  EXPECT_FALSE(closer_to(100, 105, 95));
+}
+
+struct Fixture {
+  explicit Fixture(std::uint64_t seed = 1, PastryConfig config = PastryConfig{})
+      : net(simulator, Rng{seed},
+            net::LatencyModel{sim::SimTime::millis(20),
+                              sim::SimTime::millis(80)}),
+        mesh(net, config, Rng{seed + 1}) {}
+
+  sim::Simulator simulator;
+  net::Network net;
+  PastryMesh mesh;
+
+  void build(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      mesh.add_host(Guid::of(std::uint64_t{0xDEC0DE} + i * 7919));
+    }
+    mesh.wire_instantly();
+  }
+
+  struct Result {
+    Peer root;
+    int hops = -1;
+    bool completed = false;
+  };
+  Result lookup_from(std::size_t host, Guid key) {
+    Result out;
+    mesh.host(host).node().lookup(key, [&](Peer r, int h) {
+      out.root = r;
+      out.hops = h;
+      out.completed = true;
+    });
+    simulator.run_until(simulator.now() + sim::SimTime::seconds(120));
+    return out;
+  }
+
+  void settle(double seconds) {
+    simulator.run_until(simulator.now() + sim::SimTime::seconds(seconds));
+  }
+};
+
+TEST(PastryWiring, LeafSetsAreTheClosestNodes) {
+  Fixture fx;
+  fx.build(32);
+  // Collect all ids, then verify each node's leaf set matches the sorted
+  // neighborhood.
+  std::vector<Guid> ids;
+  for (std::size_t i = 0; i < 32; ++i) {
+    ids.push_back(fx.mesh.host(i).node().id());
+  }
+  for (std::size_t i = 0; i < 32; ++i) {
+    const PastryNode& node = fx.mesh.host(i).node();
+    const auto leaves = node.leaf_set();
+    EXPECT_EQ(leaves.size(), 2 * node.config().leaf_half);
+    // The nearest clockwise node must be a leaf.
+    Guid nearest = node.id();
+    std::uint64_t best = ~std::uint64_t{0};
+    for (Guid other : ids) {
+      if (other == node.id()) continue;
+      if (node.id().clockwise_to(other) < best) {
+        best = node.id().clockwise_to(other);
+        nearest = other;
+      }
+    }
+    bool found = false;
+    for (const Peer& p : leaves) found |= (p.id == nearest);
+    EXPECT_TRUE(found) << i;
+  }
+}
+
+TEST(PastryLookup, MatchesOracleForRandomKeys) {
+  Fixture fx{3};
+  fx.build(100);
+  Rng rng{9};
+  for (int t = 0; t < 60; ++t) {
+    const Guid key{rng.next()};
+    const auto res = fx.lookup_from(rng.index(100), key);
+    ASSERT_TRUE(res.completed) << t;
+    EXPECT_EQ(res.root.id, fx.mesh.oracle_root(key).id) << key.str();
+  }
+}
+
+TEST(PastryLookup, OwnKeyResolvesToSelf) {
+  Fixture fx{4};
+  fx.build(24);
+  for (std::size_t i = 0; i < 24; ++i) {
+    const auto res = fx.lookup_from((i + 7) % 24, fx.mesh.host(i).node().id());
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(res.root.addr, fx.mesh.host(i).addr());
+  }
+}
+
+TEST(PastryLookup, HopsAreLogBase16) {
+  Fixture fx{5};
+  fx.build(512);
+  Rng rng{11};
+  double total = 0;
+  constexpr int kLookups = 80;
+  for (int t = 0; t < kLookups; ++t) {
+    const auto res = fx.lookup_from(rng.index(512), Guid{rng.next()});
+    ASSERT_TRUE(res.completed);
+    total += res.hops;
+  }
+  // log16(512) ~ 2.25; prefix routing plus a final leaf hop stays small.
+  EXPECT_LT(total / kLookups, 4.5);
+  EXPECT_GT(total / kLookups, 0.5);
+}
+
+TEST(PastryJoin, JoinedNodeBecomesRootForItsKeys) {
+  Fixture fx{6};
+  fx.build(32);
+  auto& joiner = fx.mesh.add_host(Guid::of(std::uint64_t{0x1BADB002}));
+  bool ok = false;
+  joiner.node().join(fx.mesh.host(3).node().self_peer(),
+                     [&](bool r) { ok = r; });
+  fx.settle(60);
+  ASSERT_TRUE(ok);
+  fx.settle(30);  // leaf-set gossip folds the joiner in everywhere relevant
+  const auto res = fx.lookup_from(0, joiner.node().id());
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.root.addr, joiner.addr());
+  EXPECT_FALSE(joiner.node().leaf_set().empty());
+}
+
+TEST(PastryJoin, SequentialJoinsBuildWorkingMesh) {
+  Fixture fx{7};
+  auto& first = fx.mesh.add_host(Guid::of(std::uint64_t{1}));
+  first.node().create();
+  for (std::size_t i = 2; i <= 16; ++i) {
+    auto& host = fx.mesh.add_host(Guid::of(i));
+    bool ok = false;
+    host.node().join(first.node().self_peer(), [&](bool r) { ok = r; });
+    fx.settle(30);
+    ASSERT_TRUE(ok) << i;
+  }
+  fx.settle(60);
+  Rng rng{13};
+  for (int t = 0; t < 25; ++t) {
+    const Guid key{rng.next()};
+    const auto res = fx.lookup_from(rng.index(16), key);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(res.root.id, fx.mesh.oracle_root(key).id);
+  }
+}
+
+TEST(PastryFailure, LeafSetRepairsAfterCrashes) {
+  Fixture fx{8};
+  fx.build(64);
+  Rng rng{15};
+  for (int k = 0; k < 8; ++k) {
+    fx.mesh.crash(1 + rng.index(63));
+  }
+  fx.settle(60);  // leaf-set exchanges detect and repair
+  for (int t = 0; t < 25; ++t) {
+    const Guid key{rng.next()};
+    const auto res = fx.lookup_from(0, key);
+    ASSERT_TRUE(res.completed) << t;
+    ASSERT_TRUE(res.root.valid()) << t;
+    EXPECT_EQ(res.root.id, fx.mesh.oracle_root(key).id) << t;
+  }
+}
+
+TEST(PastryFailure, CrashedNodeRejoins) {
+  Fixture fx{9};
+  fx.build(24);
+  const Guid id5 = fx.mesh.host(5).node().id();
+  fx.mesh.crash(5);
+  fx.settle(60);
+  const auto interim = fx.lookup_from(0, id5);
+  ASSERT_TRUE(interim.completed);
+  EXPECT_NE(interim.root.id, id5);
+
+  fx.mesh.restart(5);
+  fx.settle(120);
+  const auto after = fx.lookup_from(0, id5);
+  ASSERT_TRUE(after.completed);
+  EXPECT_EQ(after.root.id, id5);
+}
+
+// Property sweep over mesh sizes.
+class PastrySizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PastrySizeSweep, LookupsMatchOracle) {
+  Fixture fx{GetParam() * 3 + 1};
+  fx.build(GetParam());
+  Rng rng{GetParam()};
+  for (int t = 0; t < 20; ++t) {
+    const Guid key{rng.next()};
+    const auto res = fx.lookup_from(rng.index(GetParam()), key);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(res.root.id, fx.mesh.oracle_root(key).id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PastrySizeSweep,
+                         ::testing::Values(2, 3, 5, 9, 17, 40, 128, 300));
+
+}  // namespace
+}  // namespace pgrid::pastry

@@ -1,0 +1,127 @@
+// Resource model: constraints, ladder normalization, overlay conversions.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "grid/resources.h"
+
+namespace pgrid::grid {
+namespace {
+
+TEST(ResourceVector, Accessors) {
+  const ResourceVector caps{{2.5, 4.0, 100.0}};
+  EXPECT_DOUBLE_EQ(caps.cpu(), 2.5);
+  EXPECT_DOUBLE_EQ(caps.memory(), 4.0);
+  EXPECT_DOUBLE_EQ(caps.disk(), 100.0);
+  EXPECT_NE(caps.str().find("cpu=2.5"), std::string::npos);
+}
+
+TEST(Constraints, SatisfactionAndCount) {
+  Constraints c;
+  c.active[0] = true;
+  c.min[0] = 2.0;
+  c.active[2] = true;
+  c.min[2] = 100.0;
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_TRUE(c.satisfied_by(ResourceVector{{2.0, 0.5, 100.0}}));
+  EXPECT_FALSE(c.satisfied_by(ResourceVector{{1.5, 16.0, 500.0}}));
+  EXPECT_FALSE(c.satisfied_by(ResourceVector{{4.0, 16.0, 50.0}}));
+  const Constraints free;  // unconstrained job runs anywhere
+  EXPECT_EQ(free.count(), 0u);
+  EXPECT_TRUE(free.satisfied_by(ResourceVector{{1.0, 0.5, 20.0}}));
+}
+
+TEST(ResourceLadder, LaddersAreSortedAndDistinct) {
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    const auto& ladder = ResourceLadder::values(r);
+    ASSERT_GE(ladder.size(), 2u);
+    for (std::size_t i = 1; i < ladder.size(); ++i) {
+      EXPECT_LT(ladder[i - 1], ladder[i]);
+    }
+  }
+}
+
+TEST(ResourceLadder, ToUnitIsMonotoneAndConsistent) {
+  // The key matchmaking property: v >= c in real units iff
+  // unit(v) >= unit(c) for on-ladder values.
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    const auto& ladder = ResourceLadder::values(r);
+    for (double v : ladder) {
+      for (double c : ladder) {
+        EXPECT_EQ(v >= c,
+                  ResourceLadder::to_unit(r, v) >= ResourceLadder::to_unit(r, c))
+            << "r=" << r << " v=" << v << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(ResourceLadder, UnitsStayInHalfOpenInterval) {
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    for (double v : ResourceLadder::values(r)) {
+      const double u = ResourceLadder::to_unit(r, v);
+      EXPECT_GE(u, 0.0);
+      EXPECT_LT(u, 1.0);
+    }
+    EXPECT_GE(ResourceLadder::to_unit(r, 0.0), 0.0);
+    EXPECT_LT(ResourceLadder::to_unit(r, 1e9), 1.0);
+  }
+}
+
+TEST(ResourceLadder, FromUnitRoundTripsOntoLadder) {
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    for (double v : ResourceLadder::values(r)) {
+      EXPECT_DOUBLE_EQ(ResourceLadder::from_unit(r, ResourceLadder::to_unit(r, v)),
+                       v);
+    }
+  }
+}
+
+TEST(Conversions, RnQueryMirrorsConstraints) {
+  Constraints c;
+  c.active[1] = true;
+  c.min[1] = 4.0;
+  const rntree::Query q = to_rn_query(c);
+  EXPECT_TRUE(q.constrained[1]);
+  EXPECT_FALSE(q.constrained[0]);
+  EXPECT_DOUBLE_EQ(q.min[1], 4.0);
+  // Node caps convert compatibly.
+  const ResourceVector yes{{1.0, 8.0, 20.0}};
+  const ResourceVector no{{4.0, 2.0, 500.0}};
+  EXPECT_TRUE(q.satisfied_by(to_rn_caps(yes)));
+  EXPECT_FALSE(q.satisfied_by(to_rn_caps(no)));
+}
+
+TEST(Conversions, CanPointsAgreeWithRealSatisfaction) {
+  // Normalized-space checks must agree with real-unit checks for any
+  // ladder-valued capabilities/constraints.
+  Rng rng{5};
+  for (int trial = 0; trial < 500; ++trial) {
+    ResourceVector caps;
+    Constraints c;
+    for (std::size_t r = 0; r < kNumResources; ++r) {
+      const auto& ladder = ResourceLadder::values(r);
+      caps.v[r] = ladder[rng.index(ladder.size())];
+      if (rng.bernoulli(0.5)) {
+        c.active[r] = true;
+        c.min[r] = ladder[rng.index(ladder.size())];
+      }
+    }
+    const can::Point node_pt = to_can_point(caps, 0.5);
+    const can::Point job_pt = to_can_point(c, 0.25);
+    EXPECT_EQ(c.satisfied_by(caps), can_point_satisfies(node_pt, job_pt, c));
+  }
+}
+
+TEST(Conversions, UnconstrainedJobMapsToOrigin) {
+  const Constraints free;
+  const can::Point p = to_can_point(free, 0.7);
+  for (std::size_t r = 0; r < kNumResources; ++r) {
+    EXPECT_DOUBLE_EQ(p[r], 0.0);
+  }
+  EXPECT_DOUBLE_EQ(p[kVirtualDim], 0.7);
+  EXPECT_EQ(p.dims(), kCanDims);
+}
+
+}  // namespace
+}  // namespace pgrid::grid

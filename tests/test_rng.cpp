@@ -1,0 +1,174 @@
+// RNG determinism and distribution sanity. Reproducibility of the whole
+// evaluation pipeline rests on these properties.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace pgrid {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndReproducible) {
+  Rng parent1{7}, parent2{7};
+  Rng childa = parent1.fork(3);
+  Rng childb = parent2.fork(3);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(childa.next(), childb.next());
+  }
+  Rng other = parent1.fork(4);
+  EXPECT_NE(childa.next(), other.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{9};
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsUnbiased) {
+  Rng rng{11};
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    ++counts[rng.below(7)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 9300);
+    EXPECT_LT(c, 10700);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng{12};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng{13};
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(100.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 100.0, 2.0);
+}
+
+TEST(Rng, PoissonMeanAndVarianceMatch) {
+  Rng rng{14};
+  RunningStats small_mean, large_mean;
+  // Knuth path (mean < 64) and normal-approximation path (mean >= 64).
+  for (int i = 0; i < 50000; ++i) {
+    small_mean.add(static_cast<double>(rng.poisson(3.5)));
+    large_mean.add(static_cast<double>(rng.poisson(200.0)));
+  }
+  EXPECT_NEAR(small_mean.mean(), 3.5, 0.1);
+  EXPECT_NEAR(small_mean.variance(), 3.5, 0.2);
+  EXPECT_NEAR(large_mean.mean(), 200.0, 1.0);
+  EXPECT_NEAR(large_mean.variance(), 200.0, 10.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{15};
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(rng.normal(5.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stdev(), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{16};
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{17};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(ZipfDistribution, SkewZeroIsUniform) {
+  Rng rng{18};
+  ZipfDistribution zipf(4, 0.0);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 40000; ++i) {
+    const auto r = zipf.sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 4u);
+    ++counts[r];
+  }
+  for (int k = 1; k <= 4; ++k) {
+    EXPECT_NEAR(counts[k] / 40000.0, 0.25, 0.02);
+  }
+}
+
+TEST(ZipfDistribution, SkewedFavorsLowRanks) {
+  Rng rng{19};
+  ZipfDistribution zipf(100, 1.2);
+  int rank1 = 0, rank100 = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const auto r = zipf.sample(rng);
+    if (r == 1) ++rank1;
+    if (r == 100) ++rank100;
+  }
+  EXPECT_GT(rank1, 50 * rank100);
+}
+
+TEST(DiscreteDistribution, MatchesWeights) {
+  Rng rng{20};
+  DiscreteDistribution dist({1.0, 0.0, 3.0});
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[dist.sample(rng)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / 40000.0, 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / 40000.0, 0.75, 0.02);
+}
+
+}  // namespace
+}  // namespace pgrid

@@ -1,0 +1,64 @@
+// Parallel experiment runner: coverage, ordering of results, thread counts.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "sim/runner.h"
+
+namespace pgrid::sim {
+namespace {
+
+TEST(Runner, EveryCellRunsExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_cells(1000, 8, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Runner, ZeroCellsIsNoop) {
+  parallel_for_cells(0, 4, [](std::size_t) { FAIL(); });
+}
+
+TEST(Runner, SingleThreadPathMatches) {
+  std::vector<int> serial;
+  parallel_for_cells(10, 1, [&](std::size_t i) {
+    serial.push_back(static_cast<int>(i));
+  });
+  // Single-threaded execution preserves cell order.
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(serial, expected);
+}
+
+TEST(Runner, ResultsLandInSubmissionOrder) {
+  const auto results = run_sweep<int>(64, 8, [](std::size_t i) {
+    return static_cast<int>(i * i);
+  });
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(Runner, MoreThreadsThanCellsIsFine) {
+  std::atomic<int> total{0};
+  parallel_for_cells(3, 100, [&](std::size_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(Runner, HardwareConcurrencyDefault) {
+  std::atomic<int> total{0};
+  parallel_for_cells(50, 0, [&](std::size_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 50);
+}
+
+}  // namespace
+}  // namespace pgrid::sim

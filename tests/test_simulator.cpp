@@ -1,0 +1,182 @@
+// Discrete-event core: ordering, cancellation, periodic tasks, determinism.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace pgrid::sim {
+namespace {
+
+TEST(SimTime, ArithmeticAndConversions) {
+  EXPECT_EQ(SimTime::seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(SimTime::millis(3).ns(), 3'000'000);
+  EXPECT_EQ((SimTime::seconds(1) + SimTime::millis(500)).sec(), 1.5);
+  EXPECT_EQ((SimTime::seconds(2) - SimTime::seconds(1)).sec(), 1.0);
+  EXPECT_EQ((SimTime::millis(10) * 3).ns(), SimTime::millis(30).ns());
+  EXPECT_LT(SimTime::zero(), SimTime::nanos(1));
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(SimTime::seconds(3), [&] { order.push_back(3); });
+  simulator.schedule_at(SimTime::seconds(1), [&] { order.push_back(1); });
+  simulator.schedule_at(SimTime::seconds(2), [&] { order.push_back(2); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), SimTime::seconds(3));
+}
+
+TEST(Simulator, EqualTimestampsFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.schedule_at(SimTime::seconds(1), [&order, i] {
+      order.push_back(i);
+    });
+  }
+  simulator.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator simulator;
+  SimTime fired_at;
+  simulator.schedule_at(SimTime::seconds(5), [&] {
+    simulator.schedule_in(SimTime::seconds(2),
+                          [&] { fired_at = simulator.now(); });
+  });
+  simulator.run();
+  EXPECT_EQ(fired_at, SimTime::seconds(7));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator simulator;
+  bool fired = false;
+  const EventId id =
+      simulator.schedule_at(SimTime::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(simulator.pending(id));
+  EXPECT_TRUE(simulator.cancel(id));
+  EXPECT_FALSE(simulator.pending(id));
+  EXPECT_FALSE(simulator.cancel(id));  // idempotent
+  simulator.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelFromWithinEarlierEvent) {
+  Simulator simulator;
+  bool fired = false;
+  const EventId victim =
+      simulator.schedule_at(SimTime::seconds(2), [&] { fired = true; });
+  simulator.schedule_at(SimTime::seconds(1),
+                        [&] { simulator.cancel(victim); });
+  simulator.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule_at(SimTime::seconds(1), [&] { ++fired; });
+  simulator.schedule_at(SimTime::seconds(10), [&] { ++fired; });
+  const auto executed = simulator.run_until(SimTime::seconds(5));
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulator.now(), SimTime::seconds(5));  // clock advances to horizon
+  EXPECT_EQ(simulator.queued(), 1u);
+  simulator.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator simulator;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) simulator.schedule_in(SimTime::seconds(1), recurse);
+  };
+  simulator.schedule_in(SimTime::seconds(1), recurse);
+  simulator.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(simulator.now(), SimTime::seconds(5));
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator simulator;
+  EXPECT_FALSE(simulator.step());
+  simulator.schedule_in(SimTime::seconds(1), [] {});
+  EXPECT_TRUE(simulator.step());
+  EXPECT_FALSE(simulator.step());
+}
+
+TEST(PeriodicTask, FiresAtFixedCadence) {
+  Simulator simulator;
+  std::vector<SimTime> fires;
+  PeriodicTask task(simulator, SimTime::seconds(2),
+                    [&] { fires.push_back(simulator.now()); });
+  simulator.run_until(SimTime::seconds(7));
+  // Initial delay 0: fires at t=0, 2, 4, 6.
+  ASSERT_EQ(fires.size(), 4u);
+  EXPECT_EQ(fires[0], SimTime::zero());
+  EXPECT_EQ(fires[3], SimTime::seconds(6));
+}
+
+TEST(PeriodicTask, InitialDelayShiftsPhase) {
+  Simulator simulator;
+  std::vector<SimTime> fires;
+  PeriodicTask task(simulator, SimTime::seconds(2),
+                    [&] { fires.push_back(simulator.now()); },
+                    SimTime::seconds(1));
+  simulator.run_until(SimTime::seconds(6));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[0], SimTime::seconds(1));
+  EXPECT_EQ(fires[2], SimTime::seconds(5));
+}
+
+TEST(PeriodicTask, StopHaltsAndDestructorCleansUp) {
+  Simulator simulator;
+  int count = 0;
+  {
+    PeriodicTask task(simulator, SimTime::seconds(1), [&] { ++count; });
+    simulator.run_until(SimTime::seconds(2));
+    EXPECT_EQ(count, 3);  // t = 0, 1, 2
+    task.stop();
+    EXPECT_FALSE(task.running());
+    simulator.run_until(SimTime::seconds(5));
+    EXPECT_EQ(count, 3);
+  }
+  // Destroyed task leaves no live events behind.
+  simulator.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTask, StoppingFromInsideCallback) {
+  Simulator simulator;
+  int count = 0;
+  PeriodicTask* handle = nullptr;
+  PeriodicTask task(simulator, SimTime::seconds(1), [&] {
+    if (++count == 3) handle->stop();
+  });
+  handle = &task;
+  simulator.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, DeterministicReplay) {
+  auto run_once = [] {
+    Simulator simulator;
+    std::vector<std::int64_t> trace;
+    for (int i = 0; i < 50; ++i) {
+      simulator.schedule_at(SimTime::millis((i * 37) % 100), [&trace, i] {
+        trace.push_back(i);
+      });
+    }
+    simulator.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace pgrid::sim

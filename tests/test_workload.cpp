@@ -1,0 +1,203 @@
+// Workload generator: the paper's clustered/mixed and light/heavy axes,
+// Poisson arrivals, satisfiability, trace round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "workload/trace.h"
+#include "workload/workload.h"
+
+namespace pgrid::workload {
+namespace {
+
+WorkloadSpec small_spec() {
+  WorkloadSpec spec;
+  spec.node_count = 100;
+  spec.job_count = 500;
+  spec.seed = 42;
+  return spec;
+}
+
+TEST(Workload, ShapeMatchesSpec) {
+  const Workload w = generate(small_spec());
+  EXPECT_EQ(w.node_caps.size(), 100u);
+  EXPECT_EQ(w.jobs.size(), 500u);
+}
+
+TEST(Workload, DeterministicForSeed) {
+  const Workload a = generate(small_spec());
+  const Workload b = generate(small_spec());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].arrival_sec, b.jobs[j].arrival_sec);
+    EXPECT_EQ(a.jobs[j].runtime_sec, b.jobs[j].runtime_sec);
+    EXPECT_EQ(a.jobs[j].constraints, b.jobs[j].constraints);
+  }
+  WorkloadSpec other = small_spec();
+  other.seed = 43;
+  const Workload c = generate(other);
+  bool any_diff = false;
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    any_diff |= a.jobs[j].arrival_sec != c.jobs[j].arrival_sec;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, ArrivalsAreSortedWithExpectedRate) {
+  const Workload w = generate(small_spec());
+  double prev = 0.0;
+  for (const JobSpec& job : w.jobs) {
+    EXPECT_GE(job.arrival_sec, prev);
+    prev = job.arrival_sec;
+  }
+  // 500 arrivals at 0.1 s mean spacing: total ~50 s.
+  EXPECT_NEAR(w.jobs.back().arrival_sec, 50.0, 15.0);
+}
+
+TEST(Workload, RuntimesMatchConfiguredMean) {
+  WorkloadSpec spec = small_spec();
+  spec.job_count = 5000;
+  const Workload w = generate(spec);
+  double total = 0.0;
+  for (const JobSpec& job : w.jobs) {
+    EXPECT_GT(job.runtime_sec, 0.0);
+    total += job.runtime_sec;
+  }
+  EXPECT_NEAR(total / 5000.0, 100.0, 5.0);
+}
+
+TEST(Workload, LightConstraintAverageIsOnePointTwo) {
+  WorkloadSpec spec = small_spec();
+  spec.job_count = 5000;
+  spec.constraint_probability = 0.4;  // paper's "lightly constrained"
+  const Workload w = generate(spec);
+  double total = 0.0;
+  for (const JobSpec& job : w.jobs) {
+    total += static_cast<double>(job.constraints.count());
+  }
+  EXPECT_NEAR(total / 5000.0, 1.2, 0.06);
+}
+
+TEST(Workload, HeavyConstraintAverageIsTwoPointFour) {
+  WorkloadSpec spec = small_spec();
+  spec.job_count = 5000;
+  spec.constraint_probability = 0.8;  // paper's "heavily constrained"
+  const Workload w = generate(spec);
+  double total = 0.0;
+  for (const JobSpec& job : w.jobs) {
+    total += static_cast<double>(job.constraints.count());
+  }
+  EXPECT_NEAR(total / 5000.0, 2.4, 0.06);
+}
+
+TEST(Workload, ClusteredNodesFormFewClasses) {
+  WorkloadSpec spec = small_spec();
+  spec.node_mix = Mix::kClustered;
+  spec.node_classes = 5;
+  const Workload w = generate(spec);
+  std::set<std::string> distinct;
+  for (const auto& caps : w.node_caps) distinct.insert(caps.str());
+  EXPECT_LE(distinct.size(), 5u);
+  EXPECT_GE(distinct.size(), 2u);
+}
+
+TEST(Workload, MixedNodesAreDiverse) {
+  WorkloadSpec spec = small_spec();
+  spec.node_mix = Mix::kMixed;
+  spec.node_count = 200;
+  const Workload w = generate(spec);
+  std::set<std::string> distinct;
+  for (const auto& caps : w.node_caps) distinct.insert(caps.str());
+  EXPECT_GT(distinct.size(), 30u);
+}
+
+TEST(Workload, ClusteredJobsShareConstraintClasses) {
+  WorkloadSpec spec = small_spec();
+  spec.job_mix = Mix::kClustered;
+  spec.job_classes = 4;
+  spec.constraint_probability = 0.8;
+  const Workload w = generate(spec);
+  std::set<std::string> distinct;
+  for (const JobSpec& job : w.jobs) distinct.insert(job.constraints.str());
+  EXPECT_LE(distinct.size(), 4u);
+}
+
+TEST(Workload, EveryJobIsSatisfiable) {
+  for (const Quadrant& q : paper_quadrants()) {
+    for (double p : {0.4, 0.8}) {
+      WorkloadSpec spec = small_spec();
+      spec.node_mix = q.node_mix;
+      spec.job_mix = q.job_mix;
+      spec.constraint_probability = p;
+      const Workload w = generate(spec);
+      EXPECT_TRUE(w.all_jobs_satisfiable()) << q.label << " p=" << p;
+    }
+  }
+}
+
+TEST(Workload, ClientsAssignedWithinRange) {
+  WorkloadSpec spec = small_spec();
+  spec.client_count = 3;
+  const Workload w = generate(spec);
+  std::set<std::uint32_t> clients;
+  for (const JobSpec& job : w.jobs) {
+    ASSERT_LT(job.client, 3u);
+    clients.insert(job.client);
+  }
+  EXPECT_EQ(clients.size(), 3u);
+}
+
+TEST(WorkloadTrace, RoundTripPreservesEverything) {
+  WorkloadSpec spec = small_spec();
+  spec.node_mix = Mix::kClustered;
+  spec.constraint_probability = 0.8;
+  const Workload original = generate(spec);
+  const std::string path = testing::TempDir() + "/p2pgrid_trace_test.csv";
+  ASSERT_TRUE(save_trace(original, path));
+
+  Workload loaded;
+  ASSERT_TRUE(load_trace(path, &loaded));
+  EXPECT_EQ(loaded.spec.node_count, original.spec.node_count);
+  EXPECT_EQ(loaded.spec.node_mix, original.spec.node_mix);
+  EXPECT_EQ(loaded.spec.constraint_probability,
+            original.spec.constraint_probability);
+  ASSERT_EQ(loaded.node_caps.size(), original.node_caps.size());
+  for (std::size_t i = 0; i < loaded.node_caps.size(); ++i) {
+    EXPECT_EQ(loaded.node_caps[i], original.node_caps[i]);
+  }
+  ASSERT_EQ(loaded.jobs.size(), original.jobs.size());
+  for (std::size_t j = 0; j < loaded.jobs.size(); ++j) {
+    EXPECT_EQ(loaded.jobs[j].arrival_sec, original.jobs[j].arrival_sec);
+    EXPECT_EQ(loaded.jobs[j].runtime_sec, original.jobs[j].runtime_sec);
+    EXPECT_EQ(loaded.jobs[j].client, original.jobs[j].client);
+    EXPECT_EQ(loaded.jobs[j].constraints, original.jobs[j].constraints);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTrace, LoadRejectsGarbage) {
+  const std::string path = testing::TempDir() + "/p2pgrid_trace_bad.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("this is not a trace\n", f);
+    std::fclose(f);
+  }
+  Workload w;
+  EXPECT_FALSE(load_trace(path, &w));
+  EXPECT_FALSE(load_trace("/nonexistent/file.csv", &w));
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadQuadrants, FourInPresentationOrder) {
+  const auto& quadrants = paper_quadrants();
+  ASSERT_EQ(quadrants.size(), 4u);
+  EXPECT_EQ(quadrants[0].node_mix, Mix::kClustered);
+  EXPECT_EQ(quadrants[3].node_mix, Mix::kMixed);
+  EXPECT_STREQ(mix_name(Mix::kClustered), "clustered");
+  EXPECT_STREQ(mix_name(Mix::kMixed), "mixed");
+}
+
+}  // namespace
+}  // namespace pgrid::workload
