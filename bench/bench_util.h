@@ -3,8 +3,12 @@
 // in parallel (deterministic per-cell seeds), and fixed-width table output
 // matching the rows/series the paper reports.
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.h"
@@ -80,10 +84,19 @@ struct CellResult {
   double completed_fraction = 0.0;
   double makespan_sec = 0.0;
   std::uint64_t messages = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
   std::uint64_t resubmissions = 0;
   std::uint64_t requeues = 0;
   std::uint64_t pushes = 0;
   std::uint64_t forwards = 0;
+  // Profiling (wall clock of the simulator itself, not sim time).
+  double build_wall_sec = 0.0;
+  double run_wall_sec = 0.0;
+  std::uint64_t sim_events = 0;
+  double events_per_wall_sec = 0.0;
+  std::uint64_t sim_queue_peak = 0;
 };
 
 inline CellResult summarize(const grid::GridSystem& system) {
@@ -105,6 +118,14 @@ inline CellResult summarize(const grid::GridSystem& system) {
                                    static_cast<double>(c.job_count());
   r.makespan_sec = c.makespan_sec();
   r.messages = system.net_stats().messages_sent;
+  r.messages_delivered = system.net_stats().messages_delivered;
+  r.bytes_sent = system.net_stats().bytes_sent;
+  r.bytes_delivered = system.net_stats().bytes_delivered;
+  r.build_wall_sec = system.profile().phase_sec("build");
+  r.run_wall_sec = system.profile().phase_sec("run");
+  r.sim_events = system.profile().events();
+  r.events_per_wall_sec = system.profile().events_per_sec();
+  r.sim_queue_peak = system.simulator().queue_high_water();
   r.resubmissions = c.total_resubmissions();
   r.requeues = c.total_requeues();
   const auto node_stats = system.aggregate_node_stats();
@@ -125,10 +146,18 @@ inline CellResult average(const std::vector<CellResult>& cells) {
     avg.completed_fraction += c.completed_fraction;
     avg.makespan_sec += c.makespan_sec;
     avg.messages += c.messages;
+    avg.messages_delivered += c.messages_delivered;
+    avg.bytes_sent += c.bytes_sent;
+    avg.bytes_delivered += c.bytes_delivered;
     avg.resubmissions += c.resubmissions;
     avg.requeues += c.requeues;
     avg.pushes += c.pushes;
     avg.forwards += c.forwards;
+    avg.build_wall_sec += c.build_wall_sec;
+    avg.run_wall_sec += c.run_wall_sec;
+    avg.sim_events += c.sim_events;
+    avg.events_per_wall_sec += c.events_per_wall_sec;
+    avg.sim_queue_peak = std::max(avg.sim_queue_peak, c.sim_queue_peak);
   }
   const auto n = static_cast<double>(cells.size());
   avg.wait_avg /= n;
@@ -139,6 +168,13 @@ inline CellResult average(const std::vector<CellResult>& cells) {
   avg.completed_fraction /= n;
   avg.makespan_sec /= n;
   avg.messages /= cells.size();
+  avg.messages_delivered /= cells.size();
+  avg.bytes_sent /= cells.size();
+  avg.bytes_delivered /= cells.size();
+  avg.build_wall_sec /= n;
+  avg.run_wall_sec /= n;
+  avg.sim_events /= cells.size();
+  avg.events_per_wall_sec /= n;
   return avg;
 }
 
@@ -146,5 +182,79 @@ inline void print_header(const std::string& title) {
   std::printf("\n%s\n", title.c_str());
   std::printf("%s\n", std::string(title.size(), '-').c_str());
 }
+
+/// The bench summary line: network traffic plus simulator throughput for one
+/// cell, printed under the result tables.
+inline void print_summary_line(const std::string& label, const CellResult& r) {
+  std::printf("summary %-14s msgs %" PRIu64 "/%" PRIu64
+              " (sent/delivered), bytes %" PRIu64 "/%" PRIu64
+              ", run %.2fs wall, %" PRIu64 " events, %.0fk ev/s\n",
+              label.c_str(), r.messages, r.messages_delivered, r.bytes_sent,
+              r.bytes_delivered, r.run_wall_sec, r.sim_events,
+              r.events_per_wall_sec / 1000.0);
+}
+
+/// JSONL writer for bench results: one object per cell so downstream tooling
+/// can track wait times *and* simulator throughput across commits. Enabled
+/// with --json=1 (default path BENCH_<name>.json) or --json=path.
+class BenchJson {
+ public:
+  BenchJson() = default;
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  BenchJson(BenchJson&& other) noexcept
+      : file_(other.file_), bench_(std::move(other.bench_)) {
+    other.file_ = nullptr;
+  }
+  ~BenchJson() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  static BenchJson open(const Config& config, const std::string& bench_name) {
+    BenchJson out;
+    std::string path = config.get_string("json", "");
+    if (path == "1" || path == "true") path = "BENCH_" + bench_name + ".json";
+    if (path.empty()) return out;
+    out.file_ = std::fopen(path.c_str(), "w");
+    if (out.file_ == nullptr) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n",
+                   path.c_str());
+    }
+    out.bench_ = bench_name;
+    out.path_ = path;
+    return out;
+  }
+
+  [[nodiscard]] bool active() const noexcept { return file_ != nullptr; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  void row(const std::string& label, const CellResult& r) {
+    if (file_ == nullptr) return;
+    std::fprintf(
+        file_,
+        "{\"bench\":\"%s\",\"cell\":\"%s\",\"wait_avg\":%.6f,"
+        "\"wait_stdev\":%.6f,\"match_hops_avg\":%.6f,"
+        "\"injection_hops_avg\":%.6f,\"jobs_per_node_cv\":%.6f,"
+        "\"completed_fraction\":%.6f,\"makespan_sec\":%.3f,"
+        "\"messages_sent\":%" PRIu64 ",\"messages_delivered\":%" PRIu64
+        ",\"bytes_sent\":%" PRIu64 ",\"bytes_delivered\":%" PRIu64
+        ",\"resubmissions\":%" PRIu64 ",\"requeues\":%" PRIu64
+        ",\"build_wall_sec\":%.6f,\"run_wall_sec\":%.6f,"
+        "\"sim_events\":%" PRIu64 ",\"events_per_wall_sec\":%.1f,"
+        "\"sim_queue_peak\":%" PRIu64 "}\n",
+        bench_.c_str(), label.c_str(), r.wait_avg, r.wait_stdev,
+        r.match_hops_avg, r.injection_hops_avg, r.jobs_per_node_cv,
+        r.completed_fraction, r.makespan_sec, r.messages,
+        r.messages_delivered, r.bytes_sent, r.bytes_delivered,
+        r.resubmissions, r.requeues, r.build_wall_sec, r.run_wall_sec,
+        r.sim_events, r.events_per_wall_sec,
+        static_cast<std::uint64_t>(r.sim_queue_peak));
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string bench_;
+  std::string path_;
+};
 
 }  // namespace pgrid::bench

@@ -127,5 +127,23 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
+
+  // Traffic + simulator-throughput summary, one line per cell average, and
+  // an optional JSONL dump for regression tracking (--json=1 or --json=path).
+  print_header("Traffic & throughput");
+  BenchJson json = BenchJson::open(config, "fig2_wait_time");
+  for (Mix mix : mixes) {
+    for (double p : constraints) {
+      for (MatchmakerKind kind : kinds) {
+        const std::string label = std::string(workload::mix_name(mix)) + "/" +
+                                  (p < 0.5 ? "light" : "heavy") + "/" +
+                                  grid::matchmaker_name(kind);
+        const CellResult r = cell_avg(mix, p, kind);
+        print_summary_line(label, r);
+        json.row(label, r);
+      }
+    }
+  }
+  if (json.active()) std::printf("\nwrote %s\n", json.path().c_str());
   return 0;
 }

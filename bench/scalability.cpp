@@ -74,6 +74,18 @@ int main(int argc, char** argv) {
                     static_cast<double>(cell.nodes * 5),
                 100.0 * r.completed_fraction);
   }
+
+  print_header("Traffic & throughput");
+  BenchJson json = BenchJson::open(config, "scalability");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const std::string label = std::to_string(cell.nodes) + "/" +
+                              grid::matchmaker_name(cell.kind);
+    print_summary_line(label, results[i]);
+    json.row(label, results[i]);
+  }
+  if (json.active()) std::printf("\nwrote %s\n", json.path().c_str());
+
   std::printf("\nExpected shape: hops/job grow ~log2(nodes) for RN and\n"
               "~(d/4)N^(1/d) for CAN; wait stays roughly flat.\n");
   return 0;

@@ -1,20 +1,29 @@
 // General-purpose experiment runner: the tool a downstream user reaches for
 // first. Configures a whole grid experiment from the command line (or a
 // key=value config file), runs it, prints a report with an ASCII wait-time
-// histogram, and optionally exports per-job CSV and the exact workload
-// trace for replay.
+// histogram, and optionally exports per-job CSV, the exact workload trace
+// for replay, a Chrome/Perfetto event trace, and a time-series CSV.
 //
 //   ./run_experiment --matchmaker=rn-tree --nodes=500 --jobs=2000
-//   ./run_experiment --config=experiment.cfg --csv=jobs.csv --trace=wl.csv
+//   ./run_experiment --config=experiment.cfg --csv=jobs.csv --workload-out=wl.csv
 //   ./run_experiment --replay=wl.csv --matchmaker=can   # same jobs, new scheme
+//   ./run_experiment --trace --timeseries   # trace.json + timeseries.csv
 //
 // Recognized keys (defaults in parentheses): matchmaker (rn-tree), nodes
 // (200), jobs (1000), runtime (100), interarrival (0.1), constraint (0.4),
 // clustered-nodes (0), clustered-jobs (0), seed (1), churn-lifetime (0 =
-// none), queue (fifo|fair-share), kill-factor (0), csv, trace, replay,
-// config.
+// none), queue (fifo|fair-share), kill-factor (0), csv, workload-out,
+// replay, config.
+//
+// Observability keys: --trace[=path] writes a Chrome trace_event JSON
+// (default trace.json, load at https://ui.perfetto.dev), --trace-jsonl=path
+// writes the raw events as JSONL, --trace-capacity=N sizes the event ring
+// (default 1M; oldest events are overwritten past that),
+// --timeseries[=path] writes per-interval gauges as CSV (default
+// timeseries.csv), --sample-period=sec sets the interval (default 5).
 
 #include <cstdio>
+#include <string>
 
 #include "common/config.h"
 #include "grid/grid_system.h"
@@ -43,7 +52,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: cannot read config file\n");
     return 2;
   }
-  config.parse_args(argc, argv);  // CLI overrides the file
+  // CLI overrides the file. parse_args only understands key=value, so the
+  // valueless forms of the observability switches come back as leftovers.
+  for (const std::string& token : config.parse_args(argc, argv)) {
+    if (token == "--trace") {
+      config.set("trace", "1");
+    } else if (token == "--timeseries") {
+      config.set("timeseries", "1");
+    } else {
+      std::fprintf(stderr, "error: unrecognized argument %s\n", token.c_str());
+      return 2;
+    }
+  }
 
   // --- workload: generate or replay ---------------------------------------
   workload::Workload w;
@@ -70,8 +90,8 @@ int main(int argc, char** argv) {
     spec.seed = static_cast<std::uint64_t>(config.get_int("seed", 1));
     w = workload::generate(spec);
   }
-  if (config.has("trace") &&
-      !workload::save_trace(w, config.get_string("trace", ""))) {
+  if (config.has("workload-out") &&
+      !workload::save_trace(w, config.get_string("workload-out", ""))) {
     std::fprintf(stderr, "error: cannot write workload trace\n");
     return 2;
   }
@@ -85,6 +105,24 @@ int main(int argc, char** argv) {
     gc.node.queue_policy = grid::QueuePolicy::kFairShare;
   }
   gc.node.runaway_kill_factor = config.get_double("kill-factor", 0.0);
+
+  // --- observability ----------------------------------------------------------
+  if (config.has("trace") || config.has("trace-jsonl")) {
+    gc.obs.trace = true;
+    std::string chrome = config.get_string("trace", "");
+    if (chrome == "1" || chrome == "true") chrome = "trace.json";
+    gc.obs.chrome_trace_path = chrome;
+    gc.obs.jsonl_path = config.get_string("trace-jsonl", "");
+    gc.obs.trace_capacity = static_cast<std::size_t>(
+        config.get_int("trace-capacity",
+                       static_cast<std::int64_t>(gc.obs.trace_capacity)));
+  }
+  if (config.has("timeseries") || config.has("sample-period")) {
+    std::string csv = config.get_string("timeseries", "1");
+    if (csv == "1" || csv == "true") csv = "timeseries.csv";
+    gc.obs.timeseries_csv_path = csv;
+    gc.obs.sample_period_sec = config.get_double("sample-period", 5.0);
+  }
 
   grid::GridSystem system(gc, w);
   const double lifetime = config.get_double("churn-lifetime", 0.0);
@@ -112,12 +150,18 @@ int main(int argc, char** argv) {
   }
   std::printf("makespan: %.0fs   load (jobs/node) cv: %.2f\n",
               c.makespan_sec(), c.jobs_per_node().cv());
-  std::printf("network: %llu msgs (%.1f per job), %.1f MB\n",
+  std::printf("network: %llu msgs sent / %llu delivered (%.1f per job), "
+              "%.1f MB sent / %.1f MB delivered\n",
               static_cast<unsigned long long>(
                   system.net_stats().messages_sent),
+              static_cast<unsigned long long>(
+                  system.net_stats().messages_delivered),
               static_cast<double>(system.net_stats().messages_sent) /
                   static_cast<double>(w.spec.job_count),
-              static_cast<double>(system.net_stats().bytes_sent) / 1048576.0);
+              static_cast<double>(system.net_stats().bytes_sent) / 1048576.0,
+              static_cast<double>(system.net_stats().bytes_delivered) /
+                  1048576.0);
+  std::printf("profile: %s\n", system.profile().summary().c_str());
   const auto stats = system.aggregate_node_stats();
   if (stats.run_recoveries + stats.owner_recoveries + stats.jobs_killed_quota) {
     std::printf("recovery: %llu reruns, %llu owner handoffs, %llu quota kills\n",
@@ -135,6 +179,31 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::printf("\nper-job CSV written to %s\n", path.c_str());
+  }
+
+  if (!system.write_observability()) {
+    std::fprintf(stderr, "error: cannot write observability outputs\n");
+    return 2;
+  }
+  if (const obs::TraceBus* bus = system.trace_bus()) {
+    std::printf("\ntrace: %llu events recorded, %llu overwritten (ring "
+                "capacity %zu)\n",
+                static_cast<unsigned long long>(bus->total_recorded()),
+                static_cast<unsigned long long>(bus->dropped()),
+                bus->capacity());
+    if (!gc.obs.chrome_trace_path.empty()) {
+      std::printf("trace: Chrome trace written to %s (load at "
+                  "https://ui.perfetto.dev)\n",
+                  gc.obs.chrome_trace_path.c_str());
+    }
+    if (!gc.obs.jsonl_path.empty()) {
+      std::printf("trace: JSONL written to %s\n", gc.obs.jsonl_path.c_str());
+    }
+  }
+  if (const obs::TimeSeriesSampler* ts = system.sampler()) {
+    std::printf("timeseries: %zu samples x %zu columns written to %s\n",
+                ts->row_count(), ts->column_count(),
+                gc.obs.timeseries_csv_path.c_str());
   }
   return system.finished() ? 0 : 1;
 }

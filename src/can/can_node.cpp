@@ -213,11 +213,17 @@ void CanNode::route_ask(const std::shared_ptr<RouteState>& st, Peer target) {
 void CanNode::route_done(const std::shared_ptr<RouteState>& st, Peer owner) {
   ++stats_.routes_ok;
   stats_.route_hops.add(st->hops);
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayLookup, addr(),
+                    static_cast<std::uint32_t>(owner.addr), 1,
+                    static_cast<std::uint64_t>(std::max(st->hops, 0)));
   st->cb(owner, st->hops);
 }
 
 void CanNode::route_failed(const std::shared_ptr<RouteState>& st) {
   ++stats_.routes_failed;
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayLookup, addr(),
+                    obs::kNoActor, 0,
+                    static_cast<std::uint64_t>(std::max(st->hops, 0)));
   st->cb(kNoPeer, st->hops);
 }
 
@@ -430,6 +436,9 @@ void CanNode::start_maintenance() {
 }
 
 void CanNode::do_update() {
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayMaintain, addr(),
+                    obs::kNoActor, 4, 0,
+                    static_cast<double>(neighbors_.size()));
   broadcast_zone_update();
   send_dim_load_reports();
   // Failure detection: schedule takeover for stale neighbors.
@@ -538,6 +547,8 @@ void CanNode::execute_takeover(net::NodeAddr dead) {
   for (const Zone& z : it->second.zones) zones_.push_back(z);
   neighbors_.erase(it);
   ++stats_.takeovers;
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayRepair, addr(),
+                    dead, 2, 0, static_cast<double>(zones_.size()));
   prune_neighbors();
   broadcast_zone_update(to_notify);
 }

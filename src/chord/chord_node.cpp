@@ -187,11 +187,17 @@ void ChordNode::lookup_done(const std::shared_ptr<LookupState>& st,
                             Peer result) {
   ++stats_.lookups_ok;
   stats_.lookup_hops.add(st->hops);
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayLookup, addr(),
+                    static_cast<std::uint32_t>(result.addr), 1,
+                    static_cast<std::uint64_t>(std::max(st->hops, 0)));
   st->cb(result, st->hops);
 }
 
 void ChordNode::lookup_failed(const std::shared_ptr<LookupState>& st) {
   ++stats_.lookups_failed;
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayLookup, addr(),
+                    obs::kNoActor, 0,
+                    static_cast<std::uint64_t>(std::max(st->hops, 0)));
   st->cb(kNoPeer, st->hops);
 }
 
@@ -277,6 +283,8 @@ void ChordNode::on_ping(net::NodeAddr from, const PingReq& req) {
 // --- maintenance -------------------------------------------------------------
 
 void ChordNode::do_stabilize() {
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayMaintain, addr(),
+                    obs::kNoActor, 1);
   if (successors_.empty()) return;
   const Peer succ = successor();
   if (succ.addr == addr()) {
@@ -323,6 +331,8 @@ void ChordNode::adopt_successor_list(Peer head,
 }
 
 void ChordNode::do_fix_fingers() {
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayMaintain, addr(),
+                    obs::kNoActor, 2);
   const auto i = next_finger_;
   next_finger_ = (next_finger_ + 1) % kBits;
   const Guid start{id_.value() + (std::uint64_t{1} << i)};
@@ -333,6 +343,8 @@ void ChordNode::do_fix_fingers() {
 }
 
 void ChordNode::do_check_predecessor() {
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayMaintain, addr(),
+                    obs::kNoActor, 3);
   if (!predecessor_.valid()) return;
   const Peer pred = predecessor_;
   rpc_.call_retry(pred.addr, [] { return std::make_unique<PingReq>(); },
@@ -346,6 +358,8 @@ void ChordNode::do_check_predecessor() {
 }
 
 void ChordNode::remove_failed(Peer peer) {
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayRepair, addr(),
+                    static_cast<std::uint32_t>(peer.addr), 1);
   successors_.erase(std::remove(successors_.begin(), successors_.end(), peer),
                     successors_.end());
   for (auto& f : fingers_) {

@@ -4,15 +4,34 @@
 
 namespace pgrid {
 
+namespace {
+// One simulated clock per thread: parallel sweeps run one simulator per
+// thread but share the Logger singleton.
+thread_local std::function<double()> t_time_source;
+}  // namespace
+
 Logger& Logger::instance() noexcept {
   static Logger logger;
   return logger;
 }
 
+void Logger::set_time_source(std::function<double()> now_sec) {
+  t_time_source = std::move(now_sec);
+}
+
+bool Logger::has_time_source() noexcept {
+  return static_cast<bool>(t_time_source);
+}
+
 void Logger::write(LogLevel level, const char* module, const std::string& msg) {
   std::FILE* out = sink_ ? sink_ : stderr;
-  std::fprintf(out, "[%s] %s: %s\n", log_level_name(level), module,
-               msg.c_str());
+  if (t_time_source) {
+    std::fprintf(out, "[t=%.6fs] [%s] %s: %s\n", t_time_source(),
+                 log_level_name(level), module, msg.c_str());
+  } else {
+    std::fprintf(out, "[%s] %s: %s\n", log_level_name(level), module,
+                 msg.c_str());
+  }
 }
 
 const char* log_level_name(LogLevel level) noexcept {

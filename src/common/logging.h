@@ -3,6 +3,7 @@
 // format strings); enable per-module for debugging protocol traces.
 
 #include <cstdio>
+#include <functional>
 #include <string>
 
 namespace pgrid {
@@ -23,6 +24,13 @@ class Logger {
 
   /// Redirect output (tests capture logs); nullptr restores stderr.
   void set_sink(std::FILE* sink) noexcept { sink_ = sink; }
+
+  /// Register a simulated-clock source for this thread: log lines gain a
+  /// "[t=12.345s]" prefix so they correlate with trace events. Thread-local
+  /// because parallel sweeps run one simulator per thread against this
+  /// shared singleton. Pass nullptr to unregister.
+  static void set_time_source(std::function<double()> now_sec);
+  [[nodiscard]] static bool has_time_source() noexcept;
 
  private:
   LogLevel level_ = LogLevel::kWarn;

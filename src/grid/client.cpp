@@ -33,6 +33,8 @@ void Client::schedule_job(std::uint64_t seq, double arrival_sec,
         job.output_kb = output_kb;
         pending_.emplace(seq, job);
         collector_->on_submit(seq, net_.simulator().now());
+        PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobSubmit, addr(),
+                          obs::kNoActor, 0, seq);
         submit(seq, config_.submit_retries);
         arm_deadline(seq);
       });
@@ -89,6 +91,9 @@ void Client::on_deadline(std::uint64_t seq) {
   }
   ++it->second.generation;
   collector_->on_resubmit(seq);
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobResubmit, addr(),
+                    obs::kNoActor, 1, seq,
+                    static_cast<double>(it->second.generation));
   submit(seq, config_.submit_retries);
   arm_deadline(seq);
 }
@@ -125,6 +130,9 @@ void Client::on_message(net::NodeAddr /*from*/, net::MessagePtr msg) {
     }
     ++it->second.generation;
     collector_->on_resubmit(m->seq);
+    PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobResubmit, addr(),
+                      obs::kNoActor, 2, m->seq,
+                      static_cast<double>(it->second.generation));
     submit(m->seq, config_.submit_retries);
     arm_deadline(m->seq);
     return;
@@ -135,6 +143,8 @@ void Client::on_message(net::NodeAddr /*from*/, net::MessagePtr msg) {
   // find no pending entry and are dropped.
   if (pending_.find(m->seq) == pending_.end()) return;
   collector_->on_completed(m->seq, net_.simulator().now());
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobResult, addr(),
+                    obs::kNoActor, 0, m->seq);
   finish(m->seq, /*completed_ok=*/true);
 }
 

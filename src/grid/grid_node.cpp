@@ -75,6 +75,8 @@ void GridNode::start() {
 }
 
 void GridNode::crash() {
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kNodeCrash, addr(),
+                    obs::kNoActor, 0, 0, queue_length());
   running_ = false;
   heartbeat_task_.reset();
   owner_monitor_task_.reset();
@@ -94,6 +96,9 @@ void GridNode::crash() {
 }
 
 void GridNode::restart(Peer bootstrap) {
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kNodeRestart, addr(),
+                    bootstrap.valid() ? static_cast<std::uint32_t>(bootstrap.addr)
+                                      : obs::kNoActor);
   if (chord_) {
     if (bootstrap.valid()) {
       chord_->join(bootstrap, nullptr);
@@ -482,6 +487,9 @@ void GridNode::become_owner(const JobProfile& profile, std::uint32_t hops,
   owned_.emplace(profile.guid, std::move(od));
   collector_->on_owner(profile.seq, net_.simulator().now(),
                        static_cast<int>(hops));
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobOwner, addr(),
+                    obs::kNoActor, static_cast<std::uint16_t>(hops),
+                    profile.seq, static_cast<double>(owned_.size()));
   match_and_dispatch(profile.guid);
 }
 
@@ -491,6 +499,10 @@ void GridNode::match_and_dispatch(Guid guid) {
   OwnedJob& od = it->second;
   if (++od.attempts > config_.match_max_attempts) {
     collector_->on_unmatched(od.profile.seq);
+    PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobUnmatched, addr(),
+                      obs::kNoActor,
+                      static_cast<std::uint16_t>(od.attempts),
+                      od.profile.seq);
     // Tell the client so it can resubmit straight away (new GUID lands the
     // job elsewhere) instead of waiting out its deadline timer.
     rpc_.send(od.profile.client,
@@ -640,6 +652,10 @@ void GridNode::dispatch(Guid guid, Peer run, int match_hops) {
     od.last_heartbeat = net_.simulator().now();
     collector_->on_matched(od.profile.seq, net_.simulator().now(), match_hops,
                            static_cast<std::uint32_t>(run.addr));
+    PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobMatched, addr(),
+                      static_cast<std::uint32_t>(run.addr),
+                      static_cast<std::uint16_t>(std::max(match_hops, 0)),
+                      od.profile.seq);
     net::MessagePtr self_msg =
         std::make_unique<DispatchJob>(od.profile, self_peer());
     on_dispatch(addr(), self_msg);
@@ -662,6 +678,11 @@ void GridNode::dispatch(Guid guid, Peer run, int match_hops) {
                 collector_->on_matched(job.profile.seq, net_.simulator().now(),
                                        match_hops,
                                        static_cast<std::uint32_t>(run.addr));
+                PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobMatched,
+                                  addr(), static_cast<std::uint32_t>(run.addr),
+                                  static_cast<std::uint16_t>(
+                                      std::max(match_hops, 0)),
+                                  job.profile.seq);
               } else {
                 // Dead or ineligible run node: go around again.
                 match_and_dispatch(guid);
@@ -683,6 +704,12 @@ void GridNode::monitor_owned_jobs() {
     OwnedJob& od = owned_.at(guid);
     ++stats_.run_recoveries;
     collector_->on_requeue(od.profile.seq);
+    PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kHeartbeatMiss, addr(),
+                      static_cast<std::uint32_t>(od.run.addr), 1,
+                      od.profile.seq);
+    PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kRunRecovery, addr(),
+                      static_cast<std::uint32_t>(od.run.addr), 0,
+                      od.profile.seq);
     od.dispatched = false;
     od.run = kNoPeer;
     od.attempts = 0;  // fresh matchmaking round for the re-run
@@ -734,6 +761,8 @@ void GridNode::on_dispatch(net::NodeAddr from, net::MessagePtr& msg) {
   if (config_.max_output_kb > 0.0 &&
       m->profile.output_kb > config_.max_output_kb) {
     ++stats_.quota_rejects;
+    PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobDispatchReject,
+                      addr(), from, 1, m->profile.seq);
     if (m->rpc_id != 0) {
       rpc_.reply(from, *m,
                  std::make_unique<DispatchResp>(false, queue_length()));
@@ -744,6 +773,8 @@ void GridNode::on_dispatch(net::NodeAddr from, net::MessagePtr& msg) {
   // stale owner view can still pick us wrongly; reject so it retries.
   if (!m->profile.constraints.satisfied_by(caps_)) {
     ++stats_.dispatch_rejects;
+    PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobDispatchReject,
+                      addr(), from, 2, m->profile.seq);
     if (m->rpc_id != 0) {
       rpc_.reply(from, *m,
                  std::make_unique<DispatchResp>(false, queue_length()));
@@ -780,6 +811,9 @@ void GridNode::maybe_start_next() {
   executing_ = true;
   const QueuedJob& job = queue_.front();
   collector_->on_started(job.profile.seq, net_.simulator().now());
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobStart, addr(),
+                    static_cast<std::uint32_t>(job.owner.addr), 0,
+                    job.profile.seq, queue_length());
 
   // §5 quota: a job whose actual demand exceeds its declared runtime by the
   // kill factor is terminated at the quota deadline instead of completing.
@@ -839,6 +873,11 @@ void GridNode::kill_front_for_quota() {
   executing_ = false;
   last_served_client_ = job.profile.client;
   ++stats_.jobs_killed_quota;
+  // `v` is the occupied duration: the Chrome exporter renders the slice.
+  PGRID_TRACE_EVENT(
+      net_.trace(), obs::EventKind::kJobKilled, addr(),
+      static_cast<std::uint32_t>(job.owner.addr), 0, job.profile.seq,
+      job.profile.declared_or_actual() * config_.runaway_kill_factor);
   // The node was occupied up to the quota deadline.
   collector_->add_node_busy(
       index_, job.profile.declared_or_actual() * config_.runaway_kill_factor);
@@ -863,6 +902,10 @@ void GridNode::complete_front() {
   last_served_client_ = job.profile.client;
   ++stats_.jobs_executed;
   collector_->add_node_busy(index_, job.profile.runtime_sec);
+  // `v` is the execution duration: the Chrome exporter renders the slice.
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobComplete, addr(),
+                    static_cast<std::uint32_t>(job.owner.addr), 0,
+                    job.profile.seq, job.profile.runtime_sec);
   // Fig. 1 step 6: result straight back to the client...
   rpc_.send(job.profile.client,
             std::make_unique<Result>(job.profile.seq, job.profile.generation));
@@ -901,6 +944,11 @@ void GridNode::do_heartbeats() {
                 if (reply == nullptr) {
                   if (++q->missed_acks >= config_.heartbeat_miss_threshold &&
                       !q->recovering_owner) {
+                    PGRID_TRACE_EVENT(net_.trace(),
+                                      obs::EventKind::kHeartbeatMiss, addr(),
+                                      static_cast<std::uint32_t>(
+                                          q->owner.addr),
+                                      2, q->profile.seq);
                     recover_owner(guid);
                   }
                   return;
@@ -935,6 +983,9 @@ void GridNode::recover_owner(Guid guid) {
     q->owner = new_owner;
     q->missed_acks = 0;
     ++stats_.owner_recoveries;
+    PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOwnerRecovery, addr(),
+                      static_cast<std::uint32_t>(new_owner.addr), 0,
+                      q->profile.seq);
   };
 
   const auto handoff_to = [this, profile, adopt](Peer target) {

@@ -111,6 +111,8 @@ class GridNode final : public net::MessageHandler {
   [[nodiscard]] Peer self_peer() const noexcept { return Peer{addr(), id_}; }
   [[nodiscard]] const ResourceVector& caps() const noexcept { return caps_; }
   [[nodiscard]] bool running() const noexcept { return running_; }
+  /// True while a job occupies the CPU (the sampler's busy gauge).
+  [[nodiscard]] bool executing() const noexcept { return executing_; }
   [[nodiscard]] const GridNodeStats& stats() const noexcept { return stats_; }
 
   /// Jobs in the queue (including the one executing): the load gauge every

@@ -1,9 +1,11 @@
 #include "grid/grid_system.h"
 
 #include <algorithm>
+#include <string>
 
 #include "can/space.h"
 #include "chord/ring.h"
+#include "common/logging.h"
 
 namespace pgrid::grid {
 
@@ -26,14 +28,26 @@ GridSystem::GridSystem(GridConfig config, workload::Workload workload)
   PGRID_EXPECTS(workload_.node_caps.size() == workload_.spec.node_count);
 }
 
-GridSystem::~GridSystem() = default;
+GridSystem::~GridSystem() {
+  if (owns_log_clock_) Logger::set_time_source(nullptr);
+}
 
 void GridSystem::build() {
   if (built_) return;
   built_ = true;
+  obs::RunProfile::Timer build_timer(profile_, "build");
+
+  // Log lines gain a sim-time prefix so they correlate with trace events.
+  // Thread-local: parallel sweeps register one clock per worker thread.
+  Logger::set_time_source([this] { return sim_.now().sec(); });
+  owns_log_clock_ = true;
 
   net_ = std::make_unique<net::Network>(sim_, rng_.fork(1), config_.latency,
                                         config_.loss_probability);
+  if (config_.obs.trace) {
+    trace_ = std::make_unique<obs::TraceBus>(sim_, config_.obs.trace_capacity);
+    net_->set_trace(trace_.get());
+  }
 
   GridNodeConfig node_config = config_.node;
   node_config.kind = config_.kind;
@@ -90,6 +104,71 @@ void GridSystem::build() {
     }
     last_arrival_sec_ = std::max(last_arrival_sec_, job.arrival_sec);
   }
+
+  if (trace_ != nullptr) {
+    for (const auto& n : nodes_) {
+      trace_->set_actor_name(n->addr(),
+                             "node " + std::to_string(n->index()));
+    }
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+      trace_->set_actor_name(clients_[c]->addr(),
+                             "client " + std::to_string(c));
+    }
+  }
+
+  if (config_.obs.sample_period_sec > 0.0) {
+    sampler_ = std::make_unique<obs::TimeSeriesSampler>(
+        sim_, sim::SimTime::seconds(config_.obs.sample_period_sec));
+    sampler_->add_gauge("live_nodes", [this] {
+      std::size_t live = 0;
+      for (const auto& n : nodes_) live += n->running() ? 1 : 0;
+      return static_cast<double>(live);
+    });
+    sampler_->add_gauge("busy_frac", [this] {
+      std::size_t live = 0;
+      std::size_t busy = 0;
+      for (const auto& n : nodes_) {
+        if (!n->running()) continue;
+        ++live;
+        busy += n->executing() ? 1 : 0;
+      }
+      return live == 0 ? 0.0
+                       : static_cast<double>(busy) / static_cast<double>(live);
+    });
+    sampler_->add_gauge("queue_depth_avg", [this] {
+      double total = 0.0;
+      std::size_t live = 0;
+      for (const auto& n : nodes_) {
+        if (!n->running()) continue;
+        ++live;
+        total += n->queue_length();
+      }
+      return live == 0 ? 0.0 : total / static_cast<double>(live);
+    });
+    sampler_->add_gauge("queue_depth_max", [this] {
+      double worst = 0.0;
+      for (const auto& n : nodes_) {
+        if (n->running()) worst = std::max(worst, n->queue_length());
+      }
+      return worst;
+    });
+    sampler_->add_gauge("sim_queue", [this] {
+      return static_cast<double>(sim_.queued());
+    });
+    sampler_->add_gauge("jobs_terminal", [this] {
+      return static_cast<double>(terminal_jobs_);
+    });
+    sampler_->add_rate("msgs_sent_per_sec", [this] {
+      return static_cast<double>(net_->stats().messages_sent);
+    });
+    sampler_->add_rate("msgs_delivered_per_sec", [this] {
+      return static_cast<double>(net_->stats().messages_delivered);
+    });
+    sampler_->add_rate("bytes_sent_per_sec", [this] {
+      return static_cast<double>(net_->stats().bytes_sent);
+    });
+    sampler_->start();
+  }
 }
 
 void GridSystem::submit_job(std::uint64_t seq, double delay_sec) {
@@ -105,6 +184,8 @@ void GridSystem::submit_job(std::uint64_t seq, double delay_sec) {
 
 void GridSystem::run() {
   build();
+  obs::RunProfile::Timer run_timer(profile_, "run");
+  const std::uint64_t events_before = sim_.executed();
   // The horizon trails the latest release time: DAG-style submissions can
   // extend the schedule long past the workload's nominal last arrival.
   while (!finished()) {
@@ -113,11 +194,15 @@ void GridSystem::run() {
     if (sim_.now().sec() >= horizon) break;
     sim_.run_until(sim_.now() + sim::SimTime::seconds(60.0));
   }
+  profile_.add_events(sim_.executed() - events_before);
 }
 
 void GridSystem::run_for(double sec) {
   build();
+  obs::RunProfile::Timer run_timer(profile_, "run");
+  const std::uint64_t events_before = sim_.executed();
   sim_.run_until(sim_.now() + sim::SimTime::seconds(sec));
+  profile_.add_events(sim_.executed() - events_before);
 }
 
 Peer GridSystem::find_bootstrap(std::size_t excluding) const {
@@ -154,6 +239,22 @@ void GridSystem::enable_churn(const sim::ChurnModel& model) {
       [this](std::size_t i) { crash_node(i); },
       [this](std::size_t i) { restart_node(i); });
   churn_->start();
+}
+
+bool GridSystem::write_observability() const {
+  bool ok = true;
+  if (trace_ != nullptr) {
+    if (!config_.obs.chrome_trace_path.empty()) {
+      ok &= trace_->export_chrome_trace(config_.obs.chrome_trace_path);
+    }
+    if (!config_.obs.jsonl_path.empty()) {
+      ok &= trace_->export_jsonl(config_.obs.jsonl_path);
+    }
+  }
+  if (sampler_ != nullptr && !config_.obs.timeseries_csv_path.empty()) {
+    ok &= sampler_->export_csv(config_.obs.timeseries_csv_path);
+  }
+  return ok;
 }
 
 GridNodeStats GridSystem::aggregate_node_stats() const {

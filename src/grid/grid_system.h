@@ -14,6 +14,10 @@
 #include "grid/grid_node.h"
 #include "metrics/metrics.h"
 #include "net/network.h"
+#include "obs/obs_config.h"
+#include "obs/profile.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 #include "sim/failure.h"
 #include "sim/simulator.h"
 #include "workload/workload.h"
@@ -36,6 +40,8 @@ struct GridConfig {
   /// Skip the automatic arrival-time schedule: jobs are released through
   /// submit_job() instead (used by the DAG runner, §5 future work).
   bool manual_submission = false;
+  /// Observability: event tracing, time-series sampling, output paths.
+  obs::ObsConfig obs;
 };
 
 class GridSystem {
@@ -79,6 +85,9 @@ class GridSystem {
   }
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] const sim::Simulator& simulator() const noexcept {
+    return sim_;
+  }
   [[nodiscard]] metrics::Collector& collector() noexcept { return collector_; }
   [[nodiscard]] const metrics::Collector& collector() const noexcept {
     return collector_;
@@ -104,6 +113,21 @@ class GridSystem {
   /// Aggregate grid-node statistics over all nodes.
   [[nodiscard]] GridNodeStats aggregate_node_stats() const;
 
+  // --- observability --------------------------------------------------------
+  /// The run's trace bus (null unless config.obs.trace).
+  [[nodiscard]] obs::TraceBus* trace_bus() noexcept { return trace_.get(); }
+  /// The run's sampler (null unless config.obs.sample_period_sec > 0).
+  [[nodiscard]] obs::TimeSeriesSampler* sampler() noexcept {
+    return sampler_.get();
+  }
+  [[nodiscard]] const obs::RunProfile& profile() const noexcept {
+    return profile_;
+  }
+
+  /// Write the artifacts named in config.obs (Chrome trace, JSONL,
+  /// time-series CSV). Returns false if any configured write failed.
+  bool write_observability() const;
+
  private:
   [[nodiscard]] Peer find_bootstrap(std::size_t excluding) const;
 
@@ -117,6 +141,10 @@ class GridSystem {
   std::vector<std::unique_ptr<GridNode>> nodes_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::unique_ptr<sim::FailureInjector> churn_;
+  std::unique_ptr<obs::TraceBus> trace_;
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
+  obs::RunProfile profile_;
+  bool owns_log_clock_ = false;
   std::uint64_t terminal_jobs_ = 0;
   double last_arrival_sec_ = 0.0;
   double latest_release_sec_ = 0.0;

@@ -1,6 +1,7 @@
 #include "metrics/report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 
@@ -35,6 +36,16 @@ bool write_job_csv(const Collector& collector, const std::string& path) {
 std::string wait_histogram(const Collector& collector, std::size_t buckets) {
   const Samples waits = collector.wait_times();
   if (waits.empty()) return "(no started jobs)\n";
+  if (waits.max() - waits.min() <= 0.0) {
+    // Degenerate: every started job shares one wait value, so a
+    // proportional bin split would have zero width. Clamp to a single full
+    // bucket around that value instead.
+    const double v = waits.min();
+    const double pad = std::max(std::fabs(v) * 1e-9, 1e-9);
+    Histogram h(v, v + pad, 1);
+    for (double w : waits.values()) h.add(w);
+    return h.ascii();
+  }
   const double hi = std::max(waits.max(), 1e-9);
   Histogram h(0.0, hi * (1.0 + 1e-9), buckets);  // include the max itself
   for (double w : waits.values()) h.add(w);

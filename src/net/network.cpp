@@ -40,15 +40,24 @@ void Network::send(NodeAddr from, NodeAddr to, MessagePtr msg) {
   PGRID_EXPECTS(msg != nullptr);
   PGRID_EXPECTS(from < handlers_.size());
   PGRID_EXPECTS(to < handlers_.size());
+  const std::uint16_t tag = msg->type();
+  const std::size_t wire_bytes = kHeaderBytes + msg->payload_size();
   ++stats_.messages_sent;
-  stats_.bytes_sent += kHeaderBytes + msg->payload_size();
+  ++stats_.sent_by_kind[tag & (NetworkStats::kKindSlots - 1)];
+  stats_.bytes_sent += wire_bytes;
+  PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgSend, from, to, tag,
+                    msg->rpc_id, static_cast<double>(wire_bytes));
 
   if (!alive_[from]) {
     ++stats_.messages_dropped_dead;
+    PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDropDead, from, to, tag,
+                      msg->rpc_id);
     return;
   }
   if (loss_probability_ > 0.0 && rng_.bernoulli(loss_probability_)) {
     ++stats_.messages_dropped_loss;
+    PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDropLoss, from, to, tag,
+                      msg->rpc_id);
     return;
   }
 
@@ -56,12 +65,18 @@ void Network::send(NodeAddr from, NodeAddr to, MessagePtr msg) {
   // std::function requires copyable callables, so box the unique_ptr in a
   // shared_ptr; the box guarantees cleanup even if the event never fires.
   auto box = std::make_shared<MessagePtr>(std::move(msg));
-  sim_.schedule_in(delay, [this, from, to, box] {
+  sim_.schedule_in(delay, [this, from, to, tag, wire_bytes, box] {
     if (!alive_[to]) {
       ++stats_.messages_dropped_dead;
+      PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDropDead, to, from, tag,
+                        (*box)->rpc_id);
       return;
     }
     ++stats_.messages_delivered;
+    ++stats_.delivered_by_kind[tag & (NetworkStats::kKindSlots - 1)];
+    stats_.bytes_delivered += wire_bytes;
+    PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDeliver, to, from, tag,
+                      (*box)->rpc_id, static_cast<double>(wire_bytes));
     handlers_[to]->on_message(from, std::move(*box));
   });
 }

@@ -8,11 +8,13 @@
 // protocol layers; "direct connections" (the paper's heartbeat sockets) are
 // single sends.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
 #include "net/message.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace pgrid::net {
@@ -37,6 +39,20 @@ struct NetworkStats {
   std::uint64_t messages_dropped_dead = 0;   // destination/source down
   std::uint64_t messages_dropped_loss = 0;   // random loss
   std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+
+  /// Per-message-kind counters, indexed by the low bits of the type tag.
+  /// All tag ranges in message.h fit in [0, kKindSlots) without aliasing.
+  static constexpr std::size_t kKindSlots = 2048;
+  std::array<std::uint64_t, kKindSlots> sent_by_kind{};
+  std::array<std::uint64_t, kKindSlots> delivered_by_kind{};
+
+  [[nodiscard]] std::uint64_t sent_of(std::uint16_t tag) const noexcept {
+    return sent_by_kind[tag & (kKindSlots - 1)];
+  }
+  [[nodiscard]] std::uint64_t delivered_of(std::uint16_t tag) const noexcept {
+    return delivered_by_kind[tag & (kKindSlots - 1)];
+  }
 };
 
 class Network {
@@ -61,6 +77,13 @@ class Network {
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+  /// Attach (or detach, with nullptr) a trace bus; not owned. Protocol
+  /// layers reach the run's bus through trace() so a single wiring point
+  /// instruments the whole stack.
+  void set_trace(obs::TraceBus* bus) noexcept { trace_ = bus; }
+  [[nodiscard]] obs::TraceBus* trace() const noexcept { return trace_; }
+
   [[nodiscard]] std::size_t size() const noexcept { return handlers_.size(); }
 
   /// Allocate a unique RPC id stream. Several RpcEndpoints can share one
@@ -81,6 +104,7 @@ class Network {
   std::vector<MessageHandler*> handlers_;
   std::vector<bool> alive_;
   NetworkStats stats_;
+  obs::TraceBus* trace_ = nullptr;
   std::uint64_t next_rpc_stream_ = 1;
 };
 

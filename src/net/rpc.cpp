@@ -19,14 +19,18 @@ std::uint64_t RpcEndpoint::call(NodeAddr to, MessagePtr request,
   const std::uint64_t id = next_id_++;
   request->rpc_id = id;
   request->is_reply = false;
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kRpcIssue, self_, to,
+                    request->type(), id);
 
   const sim::EventId timeout_event =
-      net_.simulator().schedule_in(timeout, [this, id] {
+      net_.simulator().schedule_in(timeout, [this, to, id] {
         auto it = pending_.find(id);
         if (it == pending_.end()) return;
         Continuation cont = std::move(it->second.k);
         pending_.erase(it);
         ++timeouts_;
+        PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kRpcTimeout, self_,
+                          to, 0, id);
         cont(nullptr);
       });
 
@@ -80,6 +84,8 @@ bool RpcEndpoint::consume_reply(MessagePtr& msg) {
   Continuation cont = std::move(it->second.k);
   net_.simulator().cancel(it->second.timeout_event);
   pending_.erase(it);
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kRpcComplete, self_,
+                    obs::kNoActor, msg->type(), msg->rpc_id);
   cont(std::move(msg));
   return true;
 }

@@ -1,0 +1,34 @@
+#pragma once
+// Observability configuration: carried inside GridConfig as the `obs`
+// section. Everything defaults to off so simulation hot paths pay at most a
+// null-pointer test per instrumentation point.
+
+#include <cstddef>
+#include <string>
+
+namespace pgrid::obs {
+
+struct ObsConfig {
+  /// Record trace events into the ring buffer.
+  bool trace = false;
+
+  /// Ring-buffer capacity in events (~40 bytes each). When full the oldest
+  /// events are overwritten; exporters note the dropped count.
+  std::size_t trace_capacity = 1u << 20;
+
+  /// Sampling period for the time-series gauges, in simulated seconds.
+  /// <= 0 disables the sampler.
+  double sample_period_sec = 0.0;
+
+  /// Output paths; empty means "do not write this artifact".
+  std::string chrome_trace_path;   // Chrome trace_event JSON (Perfetto)
+  std::string jsonl_path;          // one JSON object per trace event
+  std::string timeseries_csv_path; // sampler rows
+
+  [[nodiscard]] bool any_output() const {
+    return !chrome_trace_path.empty() || !jsonl_path.empty() ||
+           !timeseries_csv_path.empty();
+  }
+};
+
+}  // namespace pgrid::obs

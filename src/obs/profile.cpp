@@ -1,0 +1,50 @@
+#include "obs/profile.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace pgrid::obs {
+
+void RunProfile::add(std::string_view phase, double wall_sec) {
+  for (auto& [name, sec] : phases_) {
+    if (name == phase) {
+      sec += wall_sec;
+      return;
+    }
+  }
+  phases_.emplace_back(std::string(phase), wall_sec);
+}
+
+double RunProfile::phase_sec(std::string_view phase) const noexcept {
+  for (const auto& [name, sec] : phases_) {
+    if (name == phase) return sec;
+  }
+  return 0.0;
+}
+
+double RunProfile::total_sec() const noexcept {
+  double total = 0.0;
+  for (const auto& [name, sec] : phases_) total += sec;
+  return total;
+}
+
+double RunProfile::events_per_sec() const noexcept {
+  const double run = phase_sec("run");
+  return run > 0.0 ? static_cast<double>(events_) / run : 0.0;
+}
+
+std::string RunProfile::summary() const {
+  std::string out;
+  char buf[128];
+  for (const auto& [name, sec] : phases_) {
+    std::snprintf(buf, sizeof buf, "%s%s %.3fs", out.empty() ? "" : ", ",
+                  name.c_str(), sec);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "%s%" PRIu64 " events, %.0fk ev/s",
+                out.empty() ? "" : " | ", events_, events_per_sec() / 1000.0);
+  out += buf;
+  return out;
+}
+
+}  // namespace pgrid::obs

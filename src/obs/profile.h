@@ -1,0 +1,67 @@
+#pragma once
+// Run profiling: wall-clock phase timers and simulator throughput.
+//
+// A RunProfile accumulates named wall-clock phases (build / run / drain) and
+// a count of simulator events attributed to them, yielding the
+// events-per-wall-second figure surfaced in every BENCH_*.json row. This is
+// real time, not sim time: it measures the simulator itself.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pgrid::obs {
+
+class RunProfile {
+ public:
+  /// RAII wall-clock timer for one phase; accumulates on destruction.
+  class Timer {
+   public:
+    Timer(RunProfile& profile, const char* phase)
+        : profile_(profile),
+          phase_(phase),
+          start_(std::chrono::steady_clock::now()) {}
+    ~Timer() {
+      const auto end = std::chrono::steady_clock::now();
+      profile_.add(phase_, std::chrono::duration<double>(end - start_).count());
+    }
+    Timer(const Timer&) = delete;
+    Timer& operator=(const Timer&) = delete;
+
+   private:
+    RunProfile& profile_;
+    const char* phase_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Accumulate `wall_sec` into `phase` (created on first use).
+  void add(std::string_view phase, double wall_sec);
+
+  /// Attribute simulator events to the profile (delta of Simulator::executed).
+  void add_events(std::uint64_t n) noexcept { events_ += n; }
+
+  [[nodiscard]] double phase_sec(std::string_view phase) const noexcept;
+  [[nodiscard]] double total_sec() const noexcept;
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+
+  /// Simulator events per wall-clock second of the "run" phase (0 when the
+  /// run phase has not been timed).
+  [[nodiscard]] double events_per_sec() const noexcept;
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& phases()
+      const noexcept {
+    return phases_;
+  }
+
+  /// e.g. "build 0.012s, run 1.842s | 1523412 events, 826k ev/s"
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<std::pair<std::string, double>> phases_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace pgrid::obs

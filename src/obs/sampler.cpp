@@ -1,0 +1,74 @@
+#include "obs/sampler.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/expects.h"
+#include "common/logging.h"
+
+namespace pgrid::obs {
+
+TimeSeriesSampler::TimeSeriesSampler(sim::Simulator& sim, sim::SimTime period)
+    : sim_(sim), period_(period) {
+  PGRID_EXPECTS(period.ns() > 0);
+}
+
+void TimeSeriesSampler::add_gauge(std::string name, GaugeFn fn) {
+  PGRID_EXPECTS(task_ == nullptr);
+  PGRID_EXPECTS(fn != nullptr);
+  columns_.push_back(Column{std::move(name), std::move(fn), false, 0.0, false});
+}
+
+void TimeSeriesSampler::add_rate(std::string name, GaugeFn counter_fn) {
+  PGRID_EXPECTS(task_ == nullptr);
+  PGRID_EXPECTS(counter_fn != nullptr);
+  columns_.push_back(
+      Column{std::move(name), std::move(counter_fn), true, 0.0, false});
+}
+
+void TimeSeriesSampler::start() {
+  if (task_ != nullptr) return;
+  task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, period_, [this] { sample_once(); });
+}
+
+void TimeSeriesSampler::stop() {
+  if (task_ != nullptr) task_->stop();
+}
+
+void TimeSeriesSampler::sample_once() {
+  times_sec_.push_back(sim_.now().sec());
+  const double period_sec = period_.sec();
+  for (Column& c : columns_) {
+    const double raw = c.fn();
+    double out = raw;
+    if (c.rate) {
+      out = c.primed ? (raw - c.last) / period_sec : 0.0;
+      c.last = raw;
+      c.primed = true;
+    }
+    data_.push_back(out);
+  }
+}
+
+bool TimeSeriesSampler::export_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    PGRID_ERROR("obs", "cannot open %s for writing", path.c_str());
+    return false;
+  }
+  std::fputs("t_sec", f);
+  for (const Column& c : columns_) std::fprintf(f, ",%s", c.name.c_str());
+  std::fputc('\n', f);
+  for (std::size_t row = 0; row < row_count(); ++row) {
+    std::fprintf(f, "%.6f", times_sec_[row]);
+    for (std::size_t col = 0; col < columns_.size(); ++col) {
+      std::fprintf(f, ",%.17g", value(row, col));
+    }
+    std::fputc('\n', f);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace pgrid::obs

@@ -1,0 +1,191 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+#include "common/expects.h"
+#include "common/logging.h"
+
+namespace pgrid::obs {
+
+namespace {
+
+struct KindInfo {
+  const char* name;
+  const char* category;
+};
+
+constexpr KindInfo kKinds[] = {
+    {"msg_send", "net"},          {"msg_deliver", "net"},
+    {"msg_drop_dead", "net"},     {"msg_drop_loss", "net"},
+    {"rpc_issue", "rpc"},         {"rpc_complete", "rpc"},
+    {"rpc_timeout", "rpc"},       {"job_submit", "job"},
+    {"job_resubmit", "job"},      {"job_owner", "job"},
+    {"job_matched", "job"},       {"job_unmatched", "job"},
+    {"job_dispatch_reject", "job"}, {"job_start", "job"},
+    {"job_complete", "job"},      {"job_killed", "job"},
+    {"job_result", "job"},        {"match_step", "match"},
+    {"match_result", "match"},    {"overlay_lookup", "overlay"},
+    {"overlay_maintain", "overlay"}, {"overlay_repair", "overlay"},
+    {"heartbeat_miss", "robust"}, {"run_recovery", "robust"},
+    {"owner_recovery", "robust"}, {"node_crash", "robust"},
+    {"node_restart", "robust"},
+};
+static_assert(sizeof(kKinds) / sizeof(kKinds[0]) ==
+                  static_cast<std::size_t>(EventKind::kCount_),
+              "kKinds table out of sync with EventKind");
+
+/// Escape a string for embedding in a JSON string literal. Actor names are
+/// generated ASCII, but keep the exporter robust anyway.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_for_write(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) {
+    PGRID_ERROR("obs", "cannot open %s for writing", path.c_str());
+  }
+  return f;
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) noexcept {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < static_cast<std::size_t>(EventKind::kCount_) ? kKinds[i].name
+                                                          : "unknown";
+}
+
+const char* event_kind_category(EventKind kind) noexcept {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < static_cast<std::size_t>(EventKind::kCount_) ? kKinds[i].category
+                                                          : "unknown";
+}
+
+TraceBus::TraceBus(const sim::Simulator& sim, std::size_t capacity)
+    : sim_(sim), ring_(capacity == 0 ? 1 : capacity) {}
+
+const TraceEvent& TraceBus::at(std::size_t i) const {
+  PGRID_EXPECTS(i < size_);
+  // Oldest event sits at head_ once the ring has wrapped, else at 0.
+  const std::size_t start = size_ == ring_.size() ? head_ : 0;
+  std::size_t idx = start + i;
+  if (idx >= ring_.size()) idx -= ring_.size();
+  return ring_[idx];
+}
+
+void TraceBus::clear() noexcept {
+  head_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+void TraceBus::set_actor_name(std::uint32_t actor, std::string name) {
+  if (actor == kNoActor) return;
+  if (actor >= actor_names_.size()) actor_names_.resize(actor + 1);
+  actor_names_[actor] = std::move(name);
+}
+
+const std::string* TraceBus::actor_name(std::uint32_t actor) const {
+  if (actor >= actor_names_.size() || actor_names_[actor].empty()) {
+    return nullptr;
+  }
+  return &actor_names_[actor];
+}
+
+bool TraceBus::export_jsonl(const std::string& path) const {
+  FilePtr f = open_for_write(path);
+  if (f == nullptr) return false;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceEvent& e = at(i);
+    std::fprintf(
+        f.get(),
+        "{\"t_ns\":%" PRId64 ",\"kind\":\"%s\",\"cat\":\"%s\",\"node\":%u,"
+        "\"peer\":%d,\"tag\":%u,\"a\":%" PRIu64 ",\"v\":%.17g}\n",
+        e.t_ns, event_kind_name(e.kind), event_kind_category(e.kind), e.node,
+        e.peer == kNoActor ? -1 : static_cast<int>(e.peer), e.tag, e.a, e.v);
+  }
+  return true;
+}
+
+bool TraceBus::export_chrome_trace(const std::string& path) const {
+  FilePtr f = open_for_write(path);
+  if (f == nullptr) return false;
+  std::fputs("{\"traceEvents\":[\n", f.get());
+  bool first = true;
+  auto sep = [&] {
+    if (!first) std::fputs(",\n", f.get());
+    first = false;
+  };
+  // Metadata: one named "thread" per actor, sorted by address.
+  for (std::uint32_t actor = 0; actor < actor_names_.size(); ++actor) {
+    if (actor_names_[actor].empty()) continue;
+    sep();
+    std::fprintf(f.get(),
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                 "\"tid\":%u,\"args\":{\"name\":\"%s\"}},\n"
+                 "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,"
+                 "\"tid\":%u,\"args\":{\"sort_index\":%u}}",
+                 actor, json_escape(actor_names_[actor]).c_str(), actor,
+                 actor);
+  }
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceEvent& e = at(i);
+    const double ts_us = static_cast<double>(e.t_ns) / 1000.0;
+    sep();
+    if (e.kind == EventKind::kJobComplete || e.kind == EventKind::kJobKilled) {
+      // `v` carries the execution duration in seconds: render the whole run
+      // of the job as a complete ("X") slice on the run node's track.
+      const double dur_us = e.v * 1e6;
+      std::fprintf(f.get(),
+                   "{\"name\":\"job %" PRIu64
+                   "\",\"cat\":\"job\",\"ph\":\"X\",\"ts\":%.3f,"
+                   "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"seq\":%"
+                   PRIu64 ",\"outcome\":\"%s\"}}",
+                   e.a, ts_us - dur_us, dur_us, e.node, e.a,
+                   e.kind == EventKind::kJobComplete ? "completed" : "killed");
+      continue;
+    }
+    std::fprintf(f.get(),
+                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                 "\"ts\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"peer\":%d,"
+                 "\"tag\":%u,\"a\":%" PRIu64 ",\"v\":%.17g}}",
+                 event_kind_name(e.kind), event_kind_category(e.kind), ts_us,
+                 e.node, e.peer == kNoActor ? -1 : static_cast<int>(e.peer),
+                 e.tag, e.a, e.v);
+  }
+  std::fprintf(f.get(),
+               "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+               "\"dropped_events\":%" PRIu64 "}}\n",
+               dropped());
+  return true;
+}
+
+}  // namespace pgrid::obs

@@ -1,0 +1,154 @@
+#pragma once
+// Trace bus: typed, sim-timestamped events in a per-run ring buffer.
+//
+// Producers call record() through the PGRID_TRACE_EVENT macro, which is a
+// null-pointer test when tracing is wired but off and compiles away entirely
+// under -DPGRID_OBS_DISABLED. Events are fixed-size (no allocation on the
+// hot path); the ring overwrites the oldest events when full and counts what
+// it dropped. Exporters emit JSONL (one object per event) and Chrome
+// trace_event JSON (one "thread" per node, viewable in Perfetto or
+// chrome://tracing).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace pgrid::obs {
+
+/// Actor id for "no peer involved" (fits any NodeAddr-sized field).
+inline constexpr std::uint32_t kNoActor = 0xffffffffu;
+
+enum class EventKind : std::uint8_t {
+  // network
+  kMsgSend = 0,
+  kMsgDeliver,
+  kMsgDropDead,
+  kMsgDropLoss,
+  // rpc
+  kRpcIssue,
+  kRpcComplete,
+  kRpcTimeout,
+  // job lifecycle
+  kJobSubmit,
+  kJobResubmit,
+  kJobOwner,
+  kJobMatched,
+  kJobUnmatched,
+  kJobDispatchReject,
+  kJobStart,
+  kJobComplete,
+  kJobKilled,
+  kJobResult,
+  // matchmaking search
+  kMatchStep,
+  kMatchResult,
+  // overlay
+  kOverlayLookup,
+  kOverlayMaintain,
+  kOverlayRepair,
+  // robustness
+  kHeartbeatMiss,
+  kRunRecovery,
+  kOwnerRecovery,
+  kNodeCrash,
+  kNodeRestart,
+
+  kCount_,  // sentinel
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind kind) noexcept;
+[[nodiscard]] const char* event_kind_category(EventKind kind) noexcept;
+
+/// One trace record. Field meaning is kind-specific by convention:
+/// `node` is the acting node's address, `peer` the other party (or
+/// kNoActor), `tag` a message type / sub-kind / hop count, `a` a correlation
+/// value (job seq, rpc id, search id), `v` a measurement (bytes, seconds,
+/// queue depth, candidate count).
+struct TraceEvent {
+  std::int64_t t_ns = 0;
+  std::uint64_t a = 0;
+  double v = 0.0;
+  std::uint32_t node = kNoActor;
+  std::uint32_t peer = kNoActor;
+  EventKind kind = EventKind::kMsgSend;
+  std::uint16_t tag = 0;
+};
+
+class TraceBus {
+ public:
+  TraceBus(const sim::Simulator& sim, std::size_t capacity);
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+
+  void record(EventKind kind, std::uint32_t node,
+              std::uint32_t peer = kNoActor, std::uint16_t tag = 0,
+              std::uint64_t a = 0, double v = 0.0) noexcept {
+    if (!enabled_) return;
+    TraceEvent& e = ring_[head_];
+    e.t_ns = sim_.now().ns();
+    e.a = a;
+    e.v = v;
+    e.node = node;
+    e.peer = peer;
+    e.kind = kind;
+    e.tag = tag;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    if (size_ < ring_.size()) ++size_;
+    ++total_;
+  }
+
+  /// Events currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  /// Events recorded over the run, including overwritten ones.
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return total_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return total_ - size_;
+  }
+
+  /// i-th retained event, oldest first (i in [0, size())).
+  [[nodiscard]] const TraceEvent& at(std::size_t i) const;
+
+  void clear() noexcept;
+
+  /// Human-readable name for an actor ("node 3", "client 17"); used for
+  /// Chrome-trace thread names.
+  void set_actor_name(std::uint32_t actor, std::string name);
+  [[nodiscard]] const std::string* actor_name(std::uint32_t actor) const;
+
+  /// Exporters return false (and log) on I/O failure.
+  bool export_jsonl(const std::string& path) const;
+  bool export_chrome_trace(const std::string& path) const;
+
+ private:
+  const sim::Simulator& sim_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;   // next slot to write
+  std::size_t size_ = 0;   // retained events
+  std::uint64_t total_ = 0;
+  bool enabled_ = true;
+  std::vector<std::string> actor_names_;
+};
+
+}  // namespace pgrid::obs
+
+// Instrumentation entry point: `bus` is a (possibly null) obs::TraceBus*.
+// Wired-but-off costs one branch; PGRID_OBS_DISABLED removes the call site.
+#ifndef PGRID_OBS_DISABLED
+#define PGRID_TRACE_EVENT(bus, ...)                       \
+  do {                                                    \
+    ::pgrid::obs::TraceBus* pgrid_tb_ = (bus);            \
+    if (pgrid_tb_ != nullptr) pgrid_tb_->record(__VA_ARGS__); \
+  } while (0)
+#else
+#define PGRID_TRACE_EVENT(bus, ...) \
+  do {                              \
+  } while (0)
+#endif

@@ -112,6 +112,9 @@ void RnTreeService::expire_children() {
 
 void RnTreeService::do_aggregation_push() {
   if (!running_ || !chord_.running()) return;
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayMaintain,
+                    chord_.addr(), obs::kNoActor, 5, 0,
+                    static_cast<double>(children_.size()));
   expire_children();
   if (level() == 0) {
     parent_ = kNoPeer;  // we are the root
@@ -167,6 +170,11 @@ void RnTreeService::search(const Query& query, std::uint32_t k,
 void RnTreeService::process_token(std::unique_ptr<TokenPass> token) {
   if (!running_) return;  // token dies here; initiator's timeout handles it
   ++stats_.tokens_processed;
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kMatchStep, chord_.addr(),
+                    static_cast<std::uint32_t>(token->initiator.addr),
+                    static_cast<std::uint16_t>(token->hops),
+                    token->search_id,
+                    static_cast<double>(token->candidates.size()));
   const Guid self = chord_.id();
 
   if (!contains_id(token->visited, self)) {
@@ -295,6 +303,10 @@ void RnTreeService::on_search_result(const SearchResult& msg) {
   ++stats_.searches_completed;
   stats_.search_hops.add(msg.hops);
   stats_.candidates_found.add(static_cast<double>(msg.candidates.size()));
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kMatchResult, chord_.addr(),
+                    obs::kNoActor, static_cast<std::uint16_t>(msg.hops),
+                    msg.search_id,
+                    static_cast<double>(msg.candidates.size()));
   callback(msg.candidates, static_cast<int>(msg.hops));
 }
 

@@ -10,6 +10,7 @@ EventId Simulator::schedule_at(SimTime at, Callback fn) {
   const EventId id = next_id_++;
   queue_.push(Entry{at, next_seq_++, id});
   live_.emplace(id, std::move(fn));
+  if (live_.size() > queue_high_water_) queue_high_water_ = live_.size();
   return id;
 }
 

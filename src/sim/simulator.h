@@ -61,6 +61,12 @@ class Simulator {
   [[nodiscard]] std::size_t queued() const noexcept { return live_.size(); }
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Largest number of simultaneously pending (non-cancelled) events seen so
+  /// far — the run's peak working set, sampled by the observability layer.
+  [[nodiscard]] std::size_t queue_high_water() const noexcept {
+    return queue_high_water_;
+  }
+
  private:
   struct Entry {
     SimTime at;
@@ -78,6 +84,7 @@ class Simulator {
   std::uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t queue_high_water_ = 0;
   std::priority_queue<Entry> queue_;
   std::unordered_map<EventId, Callback> live_;
 };
