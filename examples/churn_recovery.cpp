@@ -6,7 +6,11 @@
 // monitoring through the overlay), and double failures (the client's
 // resubmission backstop).
 //
+// On top of the steady background churn, a correlated crash burst (a power
+// event or a lab closing for the night) can be injected at a chosen time:
+//
 //   ./churn_recovery [--nodes=100] [--jobs=300] [--lifetime=400]
+//                    [--burst=0.25] [--burst-at=300] [--burst-down=120]
 
 #include <cstdio>
 
@@ -46,9 +50,29 @@ int main(int argc, char** argv) {
   churn.churn_fraction = 0.6;  // 60% of machines are flaky desktops
   system.enable_churn(churn);
 
+  // Optional correlated crash burst riding on top of the background churn.
+  const double burst = config.get_double("burst", 0.0);
+  const double burst_at = config.get_double("burst-at", 300.0);
+  const double burst_down = config.get_double("burst-down", 120.0);
+  if (burst > 0.0) {
+    system.simulator().schedule_in(
+        sim::SimTime::seconds(burst_at), [&system, burst, burst_down] {
+          const std::size_t hit =
+              system.churn()->crash_burst(burst, burst_down);
+          std::printf("t=%6.0fs  *** crash burst: %zu nodes down for %.0f s "
+                      "***\n",
+                      system.simulator().now().sec(), hit, burst_down);
+        });
+  }
+
   std::printf("churn_recovery: %zu nodes (60%% flaky, mean lifetime %.0f s, "
-              "mean downtime 90 s), %zu jobs, CAN matchmaking\n\n",
+              "mean downtime 90 s), %zu jobs, CAN matchmaking\n",
               nodes, lifetime, jobs);
+  if (burst > 0.0) {
+    std::printf("plus a %.0f%% crash burst at t=%.0fs (down %.0f s)\n",
+                100.0 * burst, burst_at, burst_down);
+  }
+  std::printf("\n");
 
   // Periodic progress narration while the grid churns.
   double next_report = 120.0;

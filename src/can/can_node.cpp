@@ -30,6 +30,7 @@ CanNode::~CanNode() = default;
 
 void CanNode::create() {
   running_ = true;
+  joining_ = false;
   zones_.assign(1, Zone::whole(config_.dims));
   neighbors_.clear();
   start_maintenance();
@@ -38,8 +39,15 @@ void CanNode::create() {
 void CanNode::join(Peer bootstrap, std::function<void(bool ok)> done) {
   PGRID_EXPECTS(bootstrap.valid());
   running_ = true;
+  joining_ = true;
+  bootstrap_ = bootstrap;
   zones_.clear();
   neighbors_.clear();
+  pending_grants_.clear();
+  // Maintenance starts immediately, not on join success: if the join fails
+  // (bootstrap unreachable behind a partition), do_update keeps retrying
+  // instead of leaving a permanently zoneless orphan.
+  start_maintenance();
 
   // Phase 1: route to the owner of our representative point, driving the
   // greedy walk ourselves starting from the bootstrap node.
@@ -49,6 +57,8 @@ void CanNode::join(Peer bootstrap, std::function<void(bool ok)> done) {
   st->cb = [this, done = std::move(done)](Peer owner, int /*hops*/) {
     if (!running_) return;
     if (!owner.valid()) {
+      joining_ = false;
+      note_lost(bootstrap_);
       if (done) done(false);
       return;
     }
@@ -56,14 +66,17 @@ void CanNode::join(Peer bootstrap, std::function<void(bool ok)> done) {
     rpc_.call_retry(owner.addr,
               [this] { return std::make_unique<JoinReq>(self_peer(), rep_point_); },
               config_.rpc_timeout, config_.rpc_attempts,
-              [this, done](net::MessagePtr reply) {
+              [this, done, owner](net::MessagePtr reply) {
                 if (!running_) return;
+                joining_ = false;
                 if (reply == nullptr) {
+                  note_lost(owner);
                   if (done) done(false);
                   return;
                 }
                 const auto* resp = net::msg_cast<JoinResp>(reply.get());
                 if (!resp->accepted) {
+                  note_lost(owner);
                   if (done) done(false);
                   return;
                 }
@@ -79,7 +92,6 @@ void CanNode::join(Peer bootstrap, std::function<void(bool ok)> done) {
                   neighbors_.emplace(c.peer.addr, std::move(ns));
                 }
                 prune_neighbors();
-                start_maintenance();
                 broadcast_zone_update();
                 if (done) done(true);
               });
@@ -89,6 +101,7 @@ void CanNode::join(Peer bootstrap, std::function<void(bool ok)> done) {
 
 void CanNode::crash() {
   running_ = false;
+  joining_ = false;
   update_task_.reset();
   rpc_.cancel_all();
   for (auto& [addr, timer] : takeover_timers_) {
@@ -97,6 +110,9 @@ void CanNode::crash() {
   takeover_timers_.clear();
   zones_.clear();
   neighbors_.clear();
+  lost_.clear();
+  lost_cursor_ = 0;
+  pending_grants_.clear();
   std::fill(upstream_load_.begin(), upstream_load_.end(), -1.0);
 }
 
@@ -277,6 +293,16 @@ bool CanNode::handle(net::NodeAddr from, net::MessagePtr& msg) {
     case kDimLoadReport:
       on_dim_load(*net::msg_cast<DimLoadReport>(msg.get()));
       return true;
+    case kNeighborHint: {
+      // A third party saw our claim collide with this peer's: probe it so
+      // the pairwise conflict resolution can run.
+      const Peer peer = net::msg_cast<NeighborHint>(msg.get())->peer;
+      if (peer.addr != addr() && neighbors_.find(peer.addr) == neighbors_.end()) {
+        note_lost(peer);
+        send_zone_update(peer.addr);
+      }
+      return true;
+    }
     default:
       return false;
   }
@@ -298,6 +324,32 @@ void CanNode::on_join(net::NodeAddr from, const JoinReq& req) {
     return z.contains(req.point);
   });
   if (zit == zones_.end() || req.joiner.addr == addr()) {
+    // Idempotent re-grant: if we already split for this joiner and its point
+    // lies in the pending grant, the earlier JoinResp was lost in flight —
+    // re-issue the same grant instead of stranding the zone.
+    if (auto git = pending_grants_.find(req.joiner.addr);
+        git != pending_grants_.end() && git->second.contains(req.point) &&
+        req.joiner.addr != addr()) {
+      resp->accepted = true;
+      resp->zone = git->second;
+      NeighborInfo me;
+      me.peer = self_peer();
+      me.zones = zones_;
+      me.rep_point = rep_point_;
+      me.load = load_;
+      resp->contacts.push_back(std::move(me));
+      for (const auto& [naddr, ns] : neighbors_) {
+        if (naddr == req.joiner.addr) continue;
+        NeighborInfo info;
+        info.peer = Peer{naddr, ns.id};
+        info.zones = ns.zones;
+        info.rep_point = ns.rep_point;
+        info.load = ns.load;
+        resp->contacts.push_back(std::move(info));
+      }
+      rpc_.reply(from, req, std::move(resp));
+      return;
+    }
     resp->accepted = false;  // we no longer own the point; joiner retries
     rpc_.reply(from, req, std::move(resp));
     return;
@@ -338,12 +390,25 @@ void CanNode::on_join(net::NodeAddr from, const JoinReq& req) {
   ns.load = 0.0;
   ns.last_heard = net_.simulator().now();
   neighbors_[req.joiner.addr] = std::move(ns);
+  pending_grants_.insert_or_assign(req.joiner.addr, theirs);
   broadcast_zone_update();
   prune_neighbors();
 }
 
 void CanNode::on_zone_update(net::NodeAddr from, const ZoneUpdate& msg) {
   if (from == addr()) return;
+  // Drop stale copies (duplicated or reordered by the fault plane): acting
+  // on an out-of-date zone claim could roll our view backwards and, worse,
+  // make the conflict-resolution below subtract space the sender has since
+  // handed to a joiner.
+  if (auto it = neighbors_.find(from);
+      it != neighbors_.end() && msg.seq <= it->second.update_seq) {
+    return;
+  }
+  // The sender is demonstrably alive and talking: it is no longer "lost".
+  lost_.erase(std::remove_if(lost_.begin(), lost_.end(),
+                             [from](const Peer& p) { return p.addr == from; }),
+              lost_.end());
   // A live update cancels any pending takeover of the sender...
   if (auto it = takeover_timers_.find(from); it != takeover_timers_.end()) {
     net_.simulator().cancel(it->second);
@@ -375,31 +440,22 @@ void CanNode::on_zone_update(net::NodeAddr from, const ZoneUpdate& msg) {
     }
   }
 
-  // Conflict resolution for the rare double-claim race: if the sender holds
-  // a zone identical to one of ours, the lower GUID keeps it.
-  if (msg.sender.id < id_) {
-    bool relinquished = false;
-    for (auto zit = zones_.begin(); zit != zones_.end();) {
-      const bool duplicate = std::find(msg.zones.begin(), msg.zones.end(),
-                                       *zit) != msg.zones.end();
-      if (duplicate && zones_.size() > 1) {
-        zit = zones_.erase(zit);
-        relinquished = true;
-      } else {
-        ++zit;
-      }
-    }
-    if (relinquished) {
-      prune_neighbors();
-      broadcast_zone_update();
-    }
-  }
+  // A pending join grant is settled by the grantee's first update: covering
+  // zones confirm it, non-covering zones mean the joiner never installed it
+  // (lost JoinResp, rejoined elsewhere) and we reclaim the stranded space.
+  settle_grant(from, msg);
 
-  // Refresh or create the neighbor entry.
+  // Double-claim resolution (takeovers on both sides of a partition, or a
+  // plain takeover race): the lower GUID keeps contested space.
+  if (!resolve_conflict(msg)) return;  // we lost everything and are rejoining
+
+  // Refresh or create the neighbor entry. Overlap counts as adjacency: it
+  // only happens mid-conflict, and dropping the link then would stall the
+  // resolution above.
   bool abuts_me = false;
   for (const Zone& mz : zones_) {
     for (const Zone& oz : msg.zones) {
-      if (mz.abuts(oz)) {
+      if (mz.abuts(oz) || mz.overlaps(oz)) {
         abuts_me = true;
         break;
       }
@@ -417,6 +473,84 @@ void CanNode::on_zone_update(net::NodeAddr from, const ZoneUpdate& msg) {
   ns.load = msg.load;
   ns.last_heard = net_.simulator().now();
   ns.their_neighbors = msg.neighbor_addrs;
+  ns.update_seq = msg.seq;
+
+  // Transitive conflict discovery: if the sender's claim collides with
+  // another neighbor's known zones, the two claimants may not know each
+  // other (a double claim can sit between strangers after a heal).
+  // Introduce them; the pairwise rule does the rest. Healthy zone sets are
+  // disjoint, so this sends nothing in normal operation.
+  for (const auto& [oaddr, other] : neighbors_) {
+    if (oaddr == from) continue;
+    bool collide = false;
+    for (const Zone& sz : msg.zones) {
+      for (const Zone& oz : other.zones) {
+        if (sz.overlaps(oz)) {
+          collide = true;
+          break;
+        }
+      }
+      if (collide) break;
+    }
+    if (collide) {
+      rpc_.send(oaddr, std::make_unique<NeighborHint>(msg.sender));
+    }
+  }
+}
+
+void CanNode::settle_grant(net::NodeAddr from, const ZoneUpdate& msg) {
+  auto git = pending_grants_.find(from);
+  if (git == pending_grants_.end()) return;
+  bool covers = false;
+  for (const Zone& z : msg.zones) {
+    if (z.overlaps(git->second)) {
+      covers = true;
+      break;
+    }
+  }
+  if (!covers) {
+    // The grantee claims space elsewhere (or nothing): the granted zone is
+    // owned by nobody. Take it back; if the grantee did install it after
+    // all, the transient double claim resolves via the GUID rule.
+    zones_.push_back(git->second);
+    coalesce(zones_);
+    pending_grants_.erase(git);
+    prune_neighbors();
+    broadcast_zone_update();
+    return;
+  }
+  pending_grants_.erase(git);
+}
+
+bool CanNode::resolve_conflict(const ZoneUpdate& msg) {
+  if (!(msg.sender.id < id_)) return true;  // their problem, not ours
+  std::vector<Zone> kept;
+  bool changed = false;
+  for (const Zone& mine : zones_) {
+    std::vector<Zone> pieces{mine};
+    for (const Zone& w : msg.zones) {
+      std::vector<Zone> next;
+      for (const Zone& piece : pieces) {
+        std::vector<Zone> sub = subtract(piece, w);
+        next.insert(next.end(), sub.begin(), sub.end());
+      }
+      pieces = std::move(next);
+    }
+    if (pieces.size() != 1 || !(pieces.front() == mine)) changed = true;
+    kept.insert(kept.end(), pieces.begin(), pieces.end());
+  }
+  if (!changed) return true;
+  coalesce(kept);
+  zones_ = std::move(kept);
+  if (zones_.empty()) {
+    // The winner covers everything we held: start over as a fresh joiner
+    // through it (a clean split, no further conflict).
+    join(msg.sender, nullptr);
+    return false;
+  }
+  prune_neighbors();
+  broadcast_zone_update();
+  return true;
 }
 
 void CanNode::on_dim_load(const DimLoadReport& msg) {
@@ -429,6 +563,7 @@ void CanNode::on_dim_load(const DimLoadReport& msg) {
 
 void CanNode::start_maintenance() {
   if (!config_.run_maintenance) return;
+  if (update_task_ != nullptr) return;  // already ticking (rejoin path)
   const auto phase =
       sim::SimTime::nanos(rng_.range(0, config_.update_period.ns() - 1));
   update_task_ = std::make_unique<sim::PeriodicTask>(
@@ -436,11 +571,28 @@ void CanNode::start_maintenance() {
 }
 
 void CanNode::do_update() {
+  if (zones_.empty()) {
+    // Orphan: the join failed (bootstrap behind a partition) or every zone
+    // was relinquished to a lower-GUID claimant. Keep retrying entry
+    // through the last bootstrap or a recently lost peer.
+    if (!joining_) {
+      Peer target = bootstrap_;
+      if (!lost_.empty()) target = lost_[lost_cursor_++ % lost_.size()];
+      if (target.valid()) join(target, nullptr);
+    }
+    return;
+  }
   PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayMaintain, addr(),
                     obs::kNoActor, 4, 0,
                     static_cast<double>(neighbors_.size()));
   broadcast_zone_update();
   send_dim_load_reports();
+  // Probe one lost peer per round: if it is alive (healed partition,
+  // restarted node) the zone exchange re-links the tables and any double
+  // claim resolves via resolve_conflict.
+  if (!lost_.empty()) {
+    send_zone_update(lost_[lost_cursor_++ % lost_.size()].addr);
+  }
   // Failure detection: schedule takeover for stale neighbors.
   const auto now = net_.simulator().now();
   for (const auto& [naddr, ns] : neighbors_) {
@@ -450,12 +602,23 @@ void CanNode::do_update() {
   }
 }
 
+void CanNode::note_lost(Peer peer) {
+  if (!peer.valid() || peer.addr == addr()) return;
+  for (const Peer& p : lost_) {
+    if (p.addr == peer.addr) return;
+  }
+  if (lost_.size() >= kLostCap) lost_.erase(lost_.begin());
+  lost_.push_back(peer);
+}
+
 void CanNode::send_zone_update(net::NodeAddr to) {
   std::vector<net::NodeAddr> addrs;
   addrs.reserve(neighbors_.size());
   for (const auto& [naddr, ns] : neighbors_) addrs.push_back(naddr);
-  rpc_.send(to, std::make_unique<ZoneUpdate>(self_peer(), zones_, rep_point_,
-                                             load_, std::move(addrs)));
+  auto msg = std::make_unique<ZoneUpdate>(self_peer(), zones_, rep_point_,
+                                          load_, std::move(addrs));
+  msg->seq = ++update_seq_;
+  rpc_.send(to, std::move(msg));
 }
 
 void CanNode::broadcast_zone_update(const std::vector<net::NodeAddr>& extra) {
@@ -545,7 +708,9 @@ void CanNode::execute_takeover(net::NodeAddr dead) {
   // likewise defers zone coalescing to a background reassignment.)
   std::vector<net::NodeAddr> to_notify = it->second.their_neighbors;
   for (const Zone& z : it->second.zones) zones_.push_back(z);
+  note_lost(Peer{dead, it->second.id});
   neighbors_.erase(it);
+  pending_grants_.erase(dead);  // its zone view included any grant
   ++stats_.takeovers;
   PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayRepair, addr(),
                     dead, 2, 0, static_cast<double>(zones_.size()));

@@ -57,6 +57,8 @@ struct NeighborState {
   double load = 0.0;
   sim::SimTime last_heard;
   std::vector<net::NodeAddr> their_neighbors;
+  /// Highest ZoneUpdate::seq seen from this neighbor (staleness guard).
+  std::uint64_t update_seq = 0;
 };
 
 class CanNode {
@@ -151,6 +153,22 @@ class CanNode {
   void execute_takeover(net::NodeAddr dead);
   [[nodiscard]] double total_volume() const noexcept;
 
+  // --- partition-heal reconciliation ------------------------------------
+  // Nodes whose zones we took over are remembered (bounded) and sent one
+  // zone update per maintenance round. If such a node was not dead but
+  // merely unreachable — healed partition, restarted node — the exchange
+  // re-links the neighbor tables and the GUID-ordered subtraction rule in
+  // on_zone_update removes the double claim. Without this the two sides'
+  // zone views never reconnect.
+  void note_lost(Peer peer);
+  /// Resolve overlap between our zones and a lower-GUID claimant's: we
+  /// subtract theirs from ours. Returns false if we were left zoneless
+  /// (a full rejoin through the winner has been started).
+  bool resolve_conflict(const ZoneUpdate& msg);
+  /// Confirm or reclaim an outstanding join grant based on what the grantee
+  /// now claims (see pending_grants_).
+  void settle_grant(net::NodeAddr from, const ZoneUpdate& msg);
+
   net::Network& net_;
   net::RpcEndpoint rpc_;
   Guid id_;
@@ -159,11 +177,29 @@ class CanNode {
   Rng rng_;
 
   bool running_ = false;
+  bool joining_ = false;
+  Peer bootstrap_ = kNoPeer;  // last join target, for orphan rejoin
   std::vector<Zone> zones_;
   std::map<net::NodeAddr, NeighborState> neighbors_;
   std::map<net::NodeAddr, sim::EventId> takeover_timers_;
   double load_ = 0.0;
   std::vector<double> upstream_load_;
+  std::uint64_t update_seq_ = 0;  // outgoing ZoneUpdate counter
+
+  static constexpr std::size_t kLostCap = 16;
+  std::vector<Peer> lost_;  // candidates for zone-view re-linking
+  std::size_t lost_cursor_ = 0;
+
+  // Join splits are not idempotent on their own: once we hand half our zone
+  // to a joiner, a lost JoinResp leaves the half owned by nobody — we no
+  // longer contain the point, so a blind retry would be rejected. Each
+  // grant stays pending until the grantee's first ZoneUpdate: one covering
+  // the grant confirms it; one that does not (the joiner gave up and
+  // rejoined elsewhere) reclaims the zone. A retried JoinReq for a point
+  // inside a pending grant re-issues the same grant. Over-claiming is safe
+  // (double claims resolve via the GUID rule); under-claiming is a
+  // permanent hole in the space, so reclamation errs toward claiming.
+  std::map<net::NodeAddr, Zone> pending_grants_;
 
   std::unique_ptr<sim::PeriodicTask> update_task_;
   CanStats stats_;

@@ -181,4 +181,48 @@ std::string Zone::str() const {
   return lo_.str() + ".." + hi_.str();
 }
 
+std::vector<Zone> subtract(const Zone& a, const Zone& b) {
+  PGRID_ASSERT(a.dims() == b.dims());
+  if (!a.overlaps(b)) return {a};
+  // Peel off the slabs of `a` outside `b`, one dimension at a time; the
+  // remaining core is a ∩ b and is discarded. Every guard implies the slab
+  // has positive extent, so every emitted Zone is well-formed.
+  std::vector<Zone> out;
+  Point lo = a.lo();
+  Point hi = a.hi();
+  for (std::size_t d = 0; d < a.dims(); ++d) {
+    if (b.lo()[d] > lo[d]) {
+      Point slab_hi = hi;
+      slab_hi[d] = b.lo()[d];
+      out.emplace_back(lo, slab_hi);
+      lo[d] = b.lo()[d];
+    }
+    if (b.hi()[d] < hi[d]) {
+      Point slab_lo = lo;
+      slab_lo[d] = b.hi()[d];
+      out.emplace_back(slab_lo, hi);
+      hi[d] = b.hi()[d];
+    }
+  }
+  return out;
+}
+
+void coalesce(std::vector<Zone>& zones) {
+  bool merged_any = true;
+  while (merged_any) {
+    merged_any = false;
+    for (std::size_t i = 0; i < zones.size() && !merged_any; ++i) {
+      for (std::size_t j = i + 1; j < zones.size(); ++j) {
+        Zone m;
+        if (zones[i].try_merge(zones[j], &m)) {
+          zones[i] = m;
+          zones.erase(zones.begin() + static_cast<long>(j));
+          merged_any = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace pgrid::can

@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/expects.h"
 
@@ -136,5 +137,16 @@ class Zone {
   Point lo_;
   Point hi_;
 };
+
+/// Box subtraction a \ b: the part of `a` not covered by `b`, decomposed
+/// into at most 2*dims disjoint boxes ({a} when they do not overlap, empty
+/// when b covers a). Used to resolve conflicting zone claims after a
+/// partition heals: the loser subtracts the winner's zones, which keeps the
+/// space tiled exactly — no gaps, no overlap.
+[[nodiscard]] std::vector<Zone> subtract(const Zone& a, const Zone& b);
+
+/// Greedily merge zones that form a box until no pair merges (bounds the
+/// fragmentation subtraction introduces).
+void coalesce(std::vector<Zone>& zones);
 
 }  // namespace pgrid::can

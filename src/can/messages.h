@@ -24,6 +24,7 @@ enum MsgType : std::uint16_t {
   kJoinResp = net::kTagCanBase + 3,
   kZoneUpdate = net::kTagCanBase + 4,
   kDimLoadReport = net::kTagCanBase + 5,
+  kNeighborHint = net::kTagCanBase + 6,
 };
 
 /// Wire snapshot of a node's zone holdings, for join handoff.
@@ -46,6 +47,7 @@ struct RouteReq final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return target.dims() * 8 + avoid.size() * 8;
   }
+  PGRID_MESSAGE_CLONE(RouteReq)
 };
 
 struct RouteResp final : net::Message {
@@ -62,6 +64,7 @@ struct RouteResp final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 13;
   }
+  PGRID_MESSAGE_CLONE(RouteResp)
 };
 
 struct JoinReq final : net::Message {
@@ -75,6 +78,7 @@ struct JoinReq final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 12 + point.dims() * 8;
   }
+  PGRID_MESSAGE_CLONE(JoinReq)
 };
 
 struct JoinResp final : net::Message {
@@ -92,6 +96,7 @@ struct JoinResp final : net::Message {
     for (const auto& c : contacts) s += 12 + 8 + c.zones.size() * 2 * kMaxDims * 8;
     return s;
   }
+  PGRID_MESSAGE_CLONE(JoinResp)
 };
 
 /// Periodic neighbor refresh: zones + load + (for takeover) the sender's
@@ -114,10 +119,33 @@ struct ZoneUpdate final : net::Message {
   Point rep_point;
   double load;
   std::vector<net::NodeAddr> neighbor_addrs;
+  /// Per-sender send counter. Receivers drop updates at or below the last
+  /// seq seen from that sender, so duplicated or reordered copies (fault
+  /// plane) can never roll a neighbor's zone view backwards.
+  std::uint64_t seq = 0;
 
   [[nodiscard]] std::size_t payload_size() const noexcept override {
-    return 12 + zones.size() * 2 * kMaxDims * 8 + 8 + neighbor_addrs.size() * 4;
+    return 20 + zones.size() * 2 * kMaxDims * 8 + 8 + neighbor_addrs.size() * 4;
   }
+  PGRID_MESSAGE_CLONE(ZoneUpdate)
+};
+
+/// "You two should talk": sent when a node notices that the claims of two
+/// of its neighbors overlap — double claims after a partition heal can sit
+/// between nodes that do not know each other (e.g. a zone granted by a
+/// not-yet-reconciled owner). The receiver probes `peer` with a ZoneUpdate
+/// so the pairwise lower-GUID-wins resolution can run.
+struct NeighborHint final : net::Message {
+  static constexpr std::uint16_t kType = kNeighborHint;
+
+  explicit NeighborHint(Peer p) : Message(kType), peer(p) {}
+
+  Peer peer;
+
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 12;
+  }
+  PGRID_MESSAGE_CLONE(NeighborHint)
 };
 
 /// Exponentially-weighted load of the region "above" the sender along one
@@ -136,6 +164,7 @@ struct DimLoadReport final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 12;
   }
+  PGRID_MESSAGE_CLONE(DimLoadReport)
 };
 
 }  // namespace pgrid::can

@@ -37,15 +37,21 @@ void ChordNode::join(Peer bootstrap, std::function<void(bool ok)> done) {
   predecessor_ = kNoPeer;
   successors_.clear();
   fingers_.fill(kNoPeer);
+  // Maintenance runs from the start: if the bootstrap lookup fails (the
+  // bootstrap died or sits behind a partition), reconcile_lost keeps
+  // probing it until the ring becomes reachable, instead of leaving this
+  // node a permanent orphan.
+  start_maintenance();
 
   // Resolve successor(id) through the bootstrap node: a one-off remote
   // lookup driven by this node before it has any routing state.
   auto st = std::make_shared<LookupState>();
   st->key = id_;
   st->retries_left = config_.lookup_retries;
-  st->cb = [this, done = std::move(done)](Peer succ, int /*hops*/) {
+  st->cb = [this, bootstrap, done = std::move(done)](Peer succ, int /*hops*/) {
     if (!running_) return;
     if (!succ.valid()) {
+      note_lost(bootstrap);
       if (done) done(false);
       return;
     }
@@ -54,11 +60,11 @@ void ChordNode::join(Peer bootstrap, std::function<void(bool ok)> done) {
     if (succ.addr == addr()) succ = kNoPeer;
     if (succ.valid()) {
       successors_.assign(1, succ);
-      start_maintenance();
       rpc_.send(succ.addr, std::make_unique<Notify>(self_peer()));
       if (done) done(true);
-    } else if (done) {
-      done(false);
+    } else {
+      note_lost(bootstrap);
+      if (done) done(false);
     }
   };
   lookup_ask(st, bootstrap);
@@ -73,6 +79,8 @@ void ChordNode::crash() {
   predecessor_ = kNoPeer;
   successors_.clear();
   fingers_.fill(kNoPeer);
+  lost_.clear();
+  lost_cursor_ = 0;
 }
 
 void ChordNode::install_state(Peer predecessor, std::vector<Peer> successor_list,
@@ -285,6 +293,7 @@ void ChordNode::on_ping(net::NodeAddr from, const PingReq& req) {
 void ChordNode::do_stabilize() {
   PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayMaintain, addr(),
                     obs::kNoActor, 1);
+  reconcile_lost();
   if (successors_.empty()) return;
   const Peer succ = successor();
   if (succ.addr == addr()) {
@@ -360,12 +369,57 @@ void ChordNode::do_check_predecessor() {
 void ChordNode::remove_failed(Peer peer) {
   PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayRepair, addr(),
                     static_cast<std::uint32_t>(peer.addr), 1);
+  note_lost(peer);
   successors_.erase(std::remove(successors_.begin(), successors_.end(), peer),
                     successors_.end());
   for (auto& f : fingers_) {
     if (f == peer) f = kNoPeer;
   }
   if (predecessor_ == peer) predecessor_ = kNoPeer;
+}
+
+void ChordNode::note_lost(Peer peer) {
+  if (!peer.valid() || peer.addr == addr()) return;
+  if (std::find(lost_.begin(), lost_.end(), peer) != lost_.end()) return;
+  if (lost_.size() >= kLostCap) lost_.erase(lost_.begin());
+  lost_.push_back(peer);
+}
+
+void ChordNode::reconcile_lost() {
+  if (lost_.empty()) return;
+  const Peer peer = lost_[lost_cursor_++ % lost_.size()];
+  // One transmission only: this is a background probe that runs again next
+  // stabilize round; a lost datagram costs nothing.
+  rpc_.call_retry(peer.addr, [] { return std::make_unique<PingReq>(); },
+                  config_.rpc_timeout, 1, [this, peer](net::MessagePtr reply) {
+                    if (!running_ || reply == nullptr) return;
+                    lost_.erase(std::remove(lost_.begin(), lost_.end(), peer),
+                                lost_.end());
+                    revive(peer);
+                  });
+}
+
+void ChordNode::revive(Peer peer) {
+  if (peer.addr == addr()) return;
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayRepair, addr(),
+                    static_cast<std::uint32_t>(peer.addr), 2);
+  const Peer succ = successor();
+  if (!succ.valid() || succ.addr == addr() ||
+      in_interval_oo(peer.id, id_, succ.id)) {
+    // The revived peer sits between us and our current successor — or we
+    // degraded to a singleton — so it becomes the new head; stabilize
+    // against it walks the rest of the merge.
+    successors_.erase(
+        std::remove(successors_.begin(), successors_.end(), peer),
+        successors_.end());
+    successors_.insert(successors_.begin(), peer);
+    if (successors_.size() > config_.successor_list_len) {
+      successors_.resize(config_.successor_list_len);
+    }
+  }
+  // Either way, let the peer consider us as predecessor; its own
+  // reconciliation and stabilize rounds extend the merge from its side.
+  rpc_.send(peer.addr, std::make_unique<Notify>(self_peer()));
 }
 
 Peer ChordNode::random_peer(Rng& rng) const {

@@ -139,6 +139,16 @@ class ChordNode {
   void adopt_successor_list(Peer head, const std::vector<Peer>& tail);
   void remove_failed(Peer peer);
 
+  // --- partition-heal reconciliation ------------------------------------
+  // Peers evicted by remove_failed are remembered (bounded) and probed one
+  // per stabilize round. A probe answered means the peer was not dead but
+  // unreachable — a healed partition or a restarted node — and the two
+  // rings that formed in the meantime must merge again. Without this,
+  // stabilize alone never reconnects disjoint rings.
+  void note_lost(Peer peer);
+  void reconcile_lost();
+  void revive(Peer peer);
+
   net::Network& net_;
   net::RpcEndpoint rpc_;
   Guid id_;
@@ -150,6 +160,10 @@ class ChordNode {
   std::vector<Peer> successors_;  // front() is the successor
   std::array<Peer, kBits> fingers_{};
   int next_finger_ = 0;
+
+  static constexpr std::size_t kLostCap = 16;
+  std::vector<Peer> lost_;  // candidates for ring-merge probing
+  std::size_t lost_cursor_ = 0;
 
   std::unique_ptr<sim::PeriodicTask> stabilize_task_;
   std::unique_ptr<sim::PeriodicTask> fix_fingers_task_;

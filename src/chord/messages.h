@@ -36,6 +36,7 @@ struct NextHopReq final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 8 + avoid.size() * 8;
   }
+  PGRID_MESSAGE_CLONE(NextHopReq)
 };
 
 struct NextHopResp final : net::Message {
@@ -50,6 +51,7 @@ struct NextHopResp final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 1 + 12;
   }
+  PGRID_MESSAGE_CLONE(NextHopResp)
 };
 
 /// Stabilize: fetch the successor's predecessor and successor list in one
@@ -57,6 +59,7 @@ struct NextHopResp final : net::Message {
 struct StabilizeReq final : net::Message {
   static constexpr std::uint16_t kType = kStabilizeReq;
   StabilizeReq() : Message(kType) {}
+  PGRID_MESSAGE_CLONE(StabilizeReq)
 };
 
 struct StabilizeResp final : net::Message {
@@ -71,6 +74,7 @@ struct StabilizeResp final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 12 + successors.size() * 12;
   }
+  PGRID_MESSAGE_CLONE(StabilizeResp)
 };
 
 /// notify(n'): "I believe I might be your predecessor."
@@ -82,16 +86,19 @@ struct Notify final : net::Message {
   Peer peer;
 
   [[nodiscard]] std::size_t payload_size() const noexcept override { return 12; }
+  PGRID_MESSAGE_CLONE(Notify)
 };
 
 struct PingReq final : net::Message {
   static constexpr std::uint16_t kType = kPingReq;
   PingReq() : Message(kType) {}
+  PGRID_MESSAGE_CLONE(PingReq)
 };
 
 struct PingResp final : net::Message {
   static constexpr std::uint16_t kType = kPingResp;
   PingResp() : Message(kType) {}
+  PGRID_MESSAGE_CLONE(PingResp)
 };
 
 }  // namespace pgrid::chord

@@ -74,9 +74,11 @@ void Client::submit(std::uint64_t seq, int retries_left) {
 void Client::arm_deadline(std::uint64_t seq) {
   auto it = pending_.find(seq);
   if (it == pending_.end()) return;
-  const double wait =
-      config_.resubmit_base_sec +
-      config_.resubmit_runtime_factor * it->second.runtime_sec;
+  double wait = config_.resubmit_base_sec +
+                config_.resubmit_runtime_factor * it->second.runtime_sec;
+  if (config_.resubmit_jitter > 0.0) {
+    wait *= rng_.uniform(1.0, 1.0 + config_.resubmit_jitter);
+  }
   it->second.deadline_event = net_.simulator().schedule_in(
       sim::SimTime::seconds(wait), [this, seq] { on_deadline(seq); });
 }
@@ -139,9 +141,12 @@ void Client::on_message(net::NodeAddr /*from*/, net::MessagePtr msg) {
   }
   if (msg->type() != kResult) return;
   const auto* m = net::msg_cast<Result>(msg.get());
-  // Duplicate results (re-executed jobs) are accepted once; later copies
-  // find no pending entry and are dropped.
-  if (pending_.find(m->seq) == pending_.end()) return;
+  // Duplicate results (re-executed jobs, network duplication) are accepted
+  // once; later copies find no pending entry and are dropped.
+  if (pending_.find(m->seq) == pending_.end()) {
+    ++duplicate_results_;
+    return;
+  }
   collector_->on_completed(m->seq, net_.simulator().now());
   PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobResult, addr(),
                     obs::kNoActor, 0, m->seq);

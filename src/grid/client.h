@@ -22,9 +22,13 @@ namespace pgrid::grid {
 
 struct ClientConfig {
   sim::SimTime rpc_timeout = sim::SimTime::seconds(2.0);
-  /// Resubmission deadline = base + factor * expected runtime.
+  /// Resubmission deadline = (base + factor * expected runtime) scaled by
+  /// U(1, 1 + resubmit_jitter). Without jitter, jobs lost to one mass
+  /// failure all resubmit in the same instant — a thundering herd aimed at
+  /// the surviving matchmakers.
   double resubmit_base_sec = 120.0;
   double resubmit_runtime_factor = 6.0;
+  double resubmit_jitter = 0.2;
   /// Give up after this many generations (terminal "abandoned" state).
   std::uint32_t max_generations = 4;
   int submit_retries = 5;
@@ -58,6 +62,11 @@ class Client final : public net::MessageHandler {
   [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
   [[nodiscard]] std::uint64_t abandoned() const noexcept { return abandoned_; }
   [[nodiscard]] std::uint64_t scheduled() const noexcept { return scheduled_; }
+  /// Result messages for jobs already resolved (duplicate executions,
+  /// fault-plane duplication); dropped, but counted for chaos invariants.
+  [[nodiscard]] std::uint64_t duplicate_results() const noexcept {
+    return duplicate_results_;
+  }
   [[nodiscard]] std::size_t outstanding() const noexcept {
     return pending_.size();
   }
@@ -88,6 +97,7 @@ class Client final : public net::MessageHandler {
   std::uint64_t completed_ = 0;
   std::uint64_t abandoned_ = 0;
   std::uint64_t scheduled_ = 0;
+  std::uint64_t duplicate_results_ = 0;
 };
 
 }  // namespace pgrid::grid

@@ -520,13 +520,13 @@ void GridNode::match_and_dispatch(Guid guid) {
     }
     // No candidate here. In CAN mode, move ownership toward more capable
     // coordinates (the remaining forward budget bounds the walk)...
-    OwnedJob& od = jt->second;
-    if (uses_can(config_.kind) && od.forward_budget > 0) {
-      const Peer target = can_upward_target(od.profile);
+    OwnedJob& job = jt->second;
+    if (uses_can(config_.kind) && job.forward_budget > 0) {
+      const Peer target = can_upward_target(job.profile);
       if (target.valid()) {
         ++stats_.can_forwards;
-        const JobProfile profile = od.profile;
-        const std::uint32_t budget = od.forward_budget - 1;
+        const JobProfile profile = job.profile;
+        const std::uint32_t budget = job.forward_budget - 1;
         owned_.erase(jt);
         forward_to_owner(target, profile, 0, 0, budget, 0);
         return;
@@ -539,17 +539,17 @@ void GridNode::match_and_dispatch(Guid guid) {
       // that orthant (split_for guarantees point ownership), so repeated
       // samples land in a satisfying node's zone — or next to one, where
       // the neighbor fallback finishes the match.
-      can::Point sample = od.profile.can_coords;
+      can::Point sample = job.profile.can_coords;
       for (std::size_t r = 0; r < kNumResources; ++r) {
-        if (od.profile.constraints.active[r]) {
+        if (job.profile.constraints.active[r]) {
           sample[r] = rng_.uniform(sample[r], 1.0);
         } else {
           sample[r] = rng_.uniform();
         }
       }
       sample[kVirtualDim] = rng_.uniform();
-      const JobProfile profile = od.profile;
-      const std::uint32_t budget = od.forward_budget - 1;
+      const JobProfile profile = job.profile;
+      const std::uint32_t budget = job.forward_budget - 1;
       can_->route(sample, [this, profile, budget, guid](Peer owner, int) {
         auto kt = owned_.find(guid);
         if (!running_ || kt == owned_.end() || kt->second.dispatched) return;

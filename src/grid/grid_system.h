@@ -83,6 +83,8 @@ class GridSystem {
   [[nodiscard]] const sim::FailureInjector* churn() const noexcept {
     return churn_.get();
   }
+  /// Mutable access for targeted scenarios (crash bursts, forced crashes).
+  [[nodiscard]] sim::FailureInjector* churn() noexcept { return churn_.get(); }
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] const sim::Simulator& simulator() const noexcept {
@@ -95,6 +97,9 @@ class GridSystem {
   [[nodiscard]] const net::NetworkStats& net_stats() const {
     return net_->stats();
   }
+  /// The simulated network (valid after build()); chaos scenarios reach the
+  /// fault plane through this.
+  [[nodiscard]] net::Network& network() { return *net_; }
   [[nodiscard]] GridNode& node(std::size_t index) { return *nodes_.at(index); }
   [[nodiscard]] Client& client(std::size_t index) {
     return *clients_.at(index);

@@ -44,11 +44,13 @@ struct SubmitJob final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return kProfileWireBytes;
   }
+  PGRID_MESSAGE_CLONE(SubmitJob)
 };
 
 struct SubmitAck final : net::Message {
   static constexpr std::uint16_t kType = kSubmitAck;
   SubmitAck() : Message(kType) {}
+  PGRID_MESSAGE_CLONE(SubmitAck)
 };
 
 /// Job in flight toward (or between) owner nodes. Carries the remaining
@@ -65,11 +67,13 @@ struct JobToOwner final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return kProfileWireBytes + 16;
   }
+  PGRID_MESSAGE_CLONE(JobToOwner)
 };
 
 struct JobToOwnerAck final : net::Message {
   static constexpr std::uint16_t kType = kJobToOwnerAck;
   JobToOwnerAck() : Message(kType) {}
+  PGRID_MESSAGE_CLONE(JobToOwnerAck)
 };
 
 struct DispatchJob final : net::Message {
@@ -80,6 +84,7 @@ struct DispatchJob final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return kProfileWireBytes + 12;
   }
+  PGRID_MESSAGE_CLONE(DispatchJob)
 };
 
 struct DispatchResp final : net::Message {
@@ -90,6 +95,7 @@ struct DispatchResp final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 9;
   }
+  PGRID_MESSAGE_CLONE(DispatchResp)
 };
 
 /// Run node -> owner, periodically, for every job in the queue (§2: "the
@@ -103,6 +109,7 @@ struct Heartbeat final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 12;
   }
+  PGRID_MESSAGE_CLONE(Heartbeat)
 };
 
 struct HeartbeatAck final : net::Message {
@@ -110,6 +117,7 @@ struct HeartbeatAck final : net::Message {
   explicit HeartbeatAck(bool k) : Message(kType), known(k) {}
   /// False: the owner has no record of this job (it must be re-handed off).
   bool known;
+  PGRID_MESSAGE_CLONE(HeartbeatAck)
 };
 
 struct JobDone final : net::Message {
@@ -120,6 +128,7 @@ struct JobDone final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 12;
   }
+  PGRID_MESSAGE_CLONE(JobDone)
 };
 
 /// Run node -> client: result pointer/payload (Fig. 1 step 6). Output data
@@ -132,6 +141,7 @@ struct Result final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 2048;  // a few KB of output data
   }
+  PGRID_MESSAGE_CLONE(Result)
 };
 
 /// Run node -> new owner after the previous owner died: re-replicate the
@@ -144,11 +154,13 @@ struct OwnerHandoff final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return kProfileWireBytes + 12;
   }
+  PGRID_MESSAGE_CLONE(OwnerHandoff)
 };
 
 struct OwnerHandoffAck final : net::Message {
   static constexpr std::uint16_t kType = kOwnerHandoffAck;
   OwnerHandoffAck() : Message(kType) {}
+  PGRID_MESSAGE_CLONE(OwnerHandoffAck)
 };
 
 /// TTL-bounded random-walk resource probe (the related-work baseline of
@@ -166,6 +178,7 @@ struct WalkProbe final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 12 + 8 + 28 + 8;
   }
+  PGRID_MESSAGE_CLONE(WalkProbe)
 };
 
 struct WalkResult final : net::Message {
@@ -180,6 +193,7 @@ struct WalkResult final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 33;
   }
+  PGRID_MESSAGE_CLONE(WalkResult)
 };
 
 /// Owner -> client: matchmaking gave up on this generation. The client
@@ -194,6 +208,7 @@ struct JobFailed final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 12;
   }
+  PGRID_MESSAGE_CLONE(JobFailed)
 };
 
 }  // namespace pgrid::grid

@@ -1,0 +1,195 @@
+#include "net/fault_plane.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pgrid::net {
+
+FaultPlane::FaultPlane(sim::Simulator& simulator, Rng rng)
+    : sim_(simulator), rng_(rng) {}
+
+FaultPlane::PartitionId FaultPlane::cut(std::string name,
+                                        std::vector<NodeAddr> side_a,
+                                        std::vector<NodeAddr> side_b,
+                                        bool one_way) {
+  PGRID_EXPECTS(!side_a.empty() && !side_b.empty());
+  Partition p;
+  p.name = std::move(name);
+  p.side_a.insert(side_a.begin(), side_a.end());
+  p.side_b.insert(side_b.begin(), side_b.end());
+  p.one_way = one_way;
+  partitions_.push_back(std::move(p));
+  ++active_partitions_;
+  ++partitions_cut_;
+  const auto id = static_cast<PartitionId>(partitions_.size() - 1);
+  PGRID_TRACE_EVENT(trace_, obs::EventKind::kFaultPartitionCut, obs::kNoActor,
+                    obs::kNoActor, one_way ? 1 : 0, id,
+                    static_cast<double>(side_a.size() + side_b.size()));
+  return id;
+}
+
+void FaultPlane::heal(PartitionId id) {
+  PGRID_EXPECTS(id < partitions_.size());
+  if (!partitions_[id].active) return;
+  partitions_[id].active = false;
+  --active_partitions_;
+  ++partitions_healed_;
+  PGRID_TRACE_EVENT(trace_, obs::EventKind::kFaultPartitionHeal, obs::kNoActor,
+                    obs::kNoActor, 0, id);
+}
+
+void FaultPlane::heal_after(PartitionId id, sim::SimTime delay) {
+  PGRID_EXPECTS(id < partitions_.size());
+  sim_.schedule_in(delay, [this, id] { heal(id); });
+}
+
+bool FaultPlane::partition_active(PartitionId id) const {
+  PGRID_EXPECTS(id < partitions_.size());
+  return partitions_[id].active;
+}
+
+std::size_t FaultPlane::active_partitions() const noexcept {
+  return active_partitions_;
+}
+
+void FaultPlane::set_link(NodeAddr from, NodeAddr to, LinkFault fault,
+                          bool symmetric) {
+  PGRID_EXPECTS(fault.loss >= 0.0 && fault.loss <= 1.0);
+  PGRID_EXPECTS(fault.extra_latency_min <= fault.extra_latency_max);
+  links_[link_key(from, to)] = fault;
+  if (symmetric) links_[link_key(to, from)] = fault;
+}
+
+void FaultPlane::clear_link(NodeAddr from, NodeAddr to, bool symmetric) {
+  links_.erase(link_key(from, to));
+  if (symmetric) links_.erase(link_key(to, from));
+}
+
+void FaultPlane::set_congestion(double extra_loss, double latency_scale) {
+  PGRID_EXPECTS(extra_loss >= 0.0 && extra_loss <= 1.0);
+  PGRID_EXPECTS(latency_scale >= 1.0);
+  congestion_loss_ = extra_loss;
+  congestion_scale_ = latency_scale;
+}
+
+void FaultPlane::set_duplication(double p) {
+  PGRID_EXPECTS(p >= 0.0 && p <= 1.0);
+  duplication_p_ = p;
+}
+
+void FaultPlane::set_reorder(double p, sim::SimTime window) {
+  PGRID_EXPECTS(p >= 0.0 && p <= 1.0);
+  reorder_p_ = p;
+  reorder_window_ = window;
+}
+
+void FaultPlane::set_gray(NodeAddr node, GrayFault fault) {
+  PGRID_EXPECTS(fault.latency_scale >= 1.0);
+  PGRID_EXPECTS(fault.loss >= 0.0 && fault.loss <= 1.0);
+  gray_[node] = fault;
+  PGRID_TRACE_EVENT(trace_, obs::EventKind::kFaultGray, node, obs::kNoActor, 1,
+                    0, fault.latency_scale);
+}
+
+void FaultPlane::clear_gray(NodeAddr node) {
+  if (gray_.erase(node) != 0) {
+    PGRID_TRACE_EVENT(trace_, obs::EventKind::kFaultGray, node, obs::kNoActor,
+                      0, 0);
+  }
+}
+
+void FaultPlane::clear_all() {
+  for (PartitionId id = 0; id < partitions_.size(); ++id) heal(id);
+  links_.clear();
+  while (!gray_.empty()) clear_gray(gray_.begin()->first);
+  congestion_loss_ = 0.0;
+  congestion_scale_ = 1.0;
+  duplication_p_ = 0.0;
+  reorder_p_ = 0.0;
+  reorder_window_ = sim::SimTime::zero();
+}
+
+bool FaultPlane::quiescent() const noexcept {
+  return active_partitions_ == 0 && links_.empty() && gray_.empty() &&
+         congestion_loss_ == 0.0 && congestion_scale_ == 1.0 &&
+         duplication_p_ == 0.0 && reorder_p_ == 0.0;
+}
+
+bool FaultPlane::partition_blocks(NodeAddr from, NodeAddr to) const {
+  for (const Partition& p : partitions_) {
+    if (!p.active) continue;
+    const bool a_to_b = p.side_a.count(from) != 0 && p.side_b.count(to) != 0;
+    if (a_to_b) return true;
+    if (!p.one_way && p.side_b.count(from) != 0 && p.side_a.count(to) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultPlane::Verdict FaultPlane::judge(NodeAddr from, NodeAddr to,
+                                      bool cloneable) {
+  Verdict v;
+  if (active_partitions_ != 0 && partition_blocks(from, to)) {
+    v.drop = true;
+    v.cause = DropCause::kPartition;
+    return v;
+  }
+
+  // Per-link fault: extra loss and delay.
+  if (!links_.empty()) {
+    const auto it = links_.find(link_key(from, to));
+    if (it != links_.end()) {
+      const LinkFault& f = it->second;
+      if (f.loss > 0.0 && rng_.bernoulli(f.loss)) {
+        v.drop = true;
+        v.cause = DropCause::kFault;
+        return v;
+      }
+      if (f.extra_latency_max > sim::SimTime::zero()) {
+        const auto lo = f.extra_latency_min.ns();
+        const auto hi = f.extra_latency_max.ns();
+        v.extra_delay = v.extra_delay +
+                        sim::SimTime::nanos(lo == hi ? lo : rng_.range(lo, hi));
+      }
+    }
+  }
+
+  // Gray endpoints: slowdown compounds when both ends are gray.
+  if (!gray_.empty()) {
+    for (const NodeAddr end : {from, to}) {
+      const auto it = gray_.find(end);
+      if (it == gray_.end()) continue;
+      if (it->second.loss > 0.0 && rng_.bernoulli(it->second.loss)) {
+        v.drop = true;
+        v.cause = DropCause::kFault;
+        return v;
+      }
+      v.latency_scale *= it->second.latency_scale;
+    }
+  }
+
+  // Congestion window.
+  if (congestion_loss_ > 0.0 && rng_.bernoulli(congestion_loss_)) {
+    v.drop = true;
+    v.cause = DropCause::kFault;
+    return v;
+  }
+  v.latency_scale *= congestion_scale_;
+
+  // Bounded reordering: extra jitter large enough to slip behind later sends.
+  if (reorder_p_ > 0.0 && reorder_window_ > sim::SimTime::zero() &&
+      rng_.bernoulli(reorder_p_)) {
+    v.reordered = true;
+    v.extra_delay =
+        v.extra_delay + sim::SimTime::nanos(rng_.range(0, reorder_window_.ns()));
+  }
+
+  // Duplication (only meaningful for cloneable message types).
+  if (duplication_p_ > 0.0 && cloneable && rng_.bernoulli(duplication_p_)) {
+    v.copies = 2;
+  }
+  return v;
+}
+
+}  // namespace pgrid::net

@@ -1,0 +1,162 @@
+#pragma once
+// Adversarial fault plane for the simulated network.
+//
+// The base Network models only crash-death and uniform Bernoulli loss; real
+// desktop grids also see partitions (including asymmetric one-way cuts),
+// congested or lossy individual links, duplicated and reordered datagrams,
+// and gray nodes that are alive but pathologically slow. The FaultPlane
+// composes those failure classes into Network::send: the network asks it to
+// judge() every message, and the verdict says drop/deliver, how many copies,
+// and how much extra delay each copy suffers.
+//
+// Every decision is drawn from an Rng forked off the run seed, and heal
+// times ride the simulator's event queue, so an entire fault schedule is
+// reproducible from the seed alone — the property the chaos harness's
+// failing-seed replay relies on.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/message.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace pgrid::net {
+
+/// Extra loss and delay on one directed link (flaky last mile, congested
+/// uplink). Delay is uniform in [extra_latency_min, extra_latency_max].
+struct LinkFault {
+  double loss = 0.0;
+  sim::SimTime extra_latency_min = sim::SimTime::zero();
+  sim::SimTime extra_latency_max = sim::SimTime::zero();
+};
+
+/// A gray (slow-but-alive) node: every message to or from it has its
+/// sampled latency multiplied by `latency_scale` and is dropped with
+/// probability `loss`. The node never looks dead — that is the point.
+struct GrayFault {
+  double latency_scale = 8.0;
+  double loss = 0.0;
+};
+
+class FaultPlane {
+ public:
+  using PartitionId = std::uint32_t;
+  static constexpr PartitionId kNoPartition = 0xffffffffu;
+
+  FaultPlane(sim::Simulator& simulator, Rng rng);
+
+  // --- partitions ----------------------------------------------------------
+  /// Cut the links between `side_a` and `side_b`. Bidirectional by default;
+  /// with `one_way` only a -> b traffic is blocked (asymmetric cut: a can
+  /// still hear b). Returns a handle for heal().
+  PartitionId cut(std::string name, std::vector<NodeAddr> side_a,
+                  std::vector<NodeAddr> side_b, bool one_way = false);
+
+  /// Reconnect a cut. Idempotent; healing twice is a no-op.
+  void heal(PartitionId id);
+  /// Schedule heal(id) `delay` from now on the simulator.
+  void heal_after(PartitionId id, sim::SimTime delay);
+  [[nodiscard]] bool partition_active(PartitionId id) const;
+  [[nodiscard]] std::size_t active_partitions() const noexcept;
+
+  // --- per-link faults -----------------------------------------------------
+  void set_link(NodeAddr from, NodeAddr to, LinkFault fault,
+                bool symmetric = true);
+  void clear_link(NodeAddr from, NodeAddr to, bool symmetric = true);
+  void clear_links() { links_.clear(); }
+
+  // --- global congestion window --------------------------------------------
+  /// Extra loss and a latency multiplier applied to every message (a
+  /// network-wide congestion episode). Scale must be >= 1.
+  void set_congestion(double extra_loss, double latency_scale);
+  void clear_congestion() { set_congestion(0.0, 1.0); }
+
+  // --- duplication and reordering ------------------------------------------
+  /// Deliver a second copy of a message with probability `p` (applies only
+  /// to message types that implement clone()).
+  void set_duplication(double p);
+  /// With probability `p`, add uniform extra delay in [0, window] — enough
+  /// to reorder a message behind later sends.
+  void set_reorder(double p, sim::SimTime window);
+
+  // --- gray nodes ----------------------------------------------------------
+  void set_gray(NodeAddr node, GrayFault fault);
+  void clear_gray(NodeAddr node);
+  [[nodiscard]] bool is_gray(NodeAddr node) const {
+    return gray_.count(node) != 0;
+  }
+  [[nodiscard]] std::size_t gray_count() const noexcept { return gray_.size(); }
+
+  /// Heal every partition and clear every override — the "all faults healed"
+  /// barrier the chaos harness schedules at the end of its fault window.
+  void clear_all();
+
+  /// True iff no fault of any kind is currently armed.
+  [[nodiscard]] bool quiescent() const noexcept;
+
+  // --- the verdict ---------------------------------------------------------
+  enum class DropCause : std::uint8_t { kNone, kPartition, kFault };
+
+  struct Verdict {
+    bool drop = false;
+    DropCause cause = DropCause::kNone;
+    int copies = 1;                 // 2 when the message is duplicated
+    double latency_scale = 1.0;     // gray slowdown x congestion
+    sim::SimTime extra_delay = sim::SimTime::zero();  // link + reorder jitter
+    bool reordered = false;
+  };
+
+  /// Judge one send. `cloneable` gates duplication (non-cloneable messages
+  /// cannot be copied). Consumes fault-plane randomness deterministically.
+  Verdict judge(NodeAddr from, NodeAddr to, bool cloneable);
+
+  /// Trace bus for fault lifecycle events (cut/heal/gray); not owned.
+  void set_trace(obs::TraceBus* bus) noexcept { trace_ = bus; }
+
+  // --- counters ------------------------------------------------------------
+  [[nodiscard]] std::uint64_t partitions_cut() const noexcept {
+    return partitions_cut_;
+  }
+  [[nodiscard]] std::uint64_t partitions_healed() const noexcept {
+    return partitions_healed_;
+  }
+
+ private:
+  struct Partition {
+    std::string name;
+    std::unordered_set<NodeAddr> side_a;
+    std::unordered_set<NodeAddr> side_b;
+    bool one_way = false;
+    bool active = true;
+  };
+
+  [[nodiscard]] static std::uint64_t link_key(NodeAddr from,
+                                              NodeAddr to) noexcept {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+  [[nodiscard]] bool partition_blocks(NodeAddr from, NodeAddr to) const;
+
+  sim::Simulator& sim_;
+  Rng rng_;
+  obs::TraceBus* trace_ = nullptr;
+
+  std::vector<Partition> partitions_;
+  std::size_t active_partitions_ = 0;
+  std::unordered_map<std::uint64_t, LinkFault> links_;
+  std::unordered_map<NodeAddr, GrayFault> gray_;
+  double congestion_loss_ = 0.0;
+  double congestion_scale_ = 1.0;
+  double duplication_p_ = 0.0;
+  double reorder_p_ = 0.0;
+  sim::SimTime reorder_window_ = sim::SimTime::zero();
+
+  std::uint64_t partitions_cut_ = 0;
+  std::uint64_t partitions_healed_ = 0;
+};
+
+}  // namespace pgrid::net

@@ -23,12 +23,14 @@ inline constexpr std::uint16_t kTagRnTreeBase = 0x300;
 inline constexpr std::uint16_t kTagGridBase = 0x400;
 inline constexpr std::uint16_t kTagTestBase = 0x700;
 
+class Message;
+using MessagePtr = std::unique_ptr<Message>;
+
 class Message {
  public:
   explicit Message(std::uint16_t type) noexcept : type_(type) {}
   virtual ~Message() = default;
 
-  Message(const Message&) = delete;
   Message& operator=(const Message&) = delete;
 
   [[nodiscard]] std::uint16_t type() const noexcept { return type_; }
@@ -37,16 +39,29 @@ class Message {
   /// charged by the network; subclasses add payload.
   [[nodiscard]] virtual std::size_t payload_size() const noexcept { return 0; }
 
+  /// Deep copy of this datagram, including the correlation header — the
+  /// fault plane uses it to model duplicate delivery. Message types opt in
+  /// with PGRID_MESSAGE_CLONE; types that do not are never duplicated.
+  [[nodiscard]] virtual MessagePtr clone() const { return nullptr; }
+
   /// RPC correlation id; 0 means "not part of an RPC exchange".
   std::uint64_t rpc_id = 0;
   /// True for RPC replies (routed to the caller's continuation).
   bool is_reply = false;
 
+ protected:
+  /// Copying is reserved for clone() implementations.
+  Message(const Message&) = default;
+
  private:
   std::uint16_t type_;
 };
 
-using MessagePtr = std::unique_ptr<Message>;
+/// Drop into a Message subclass to make it duplicable by the fault plane.
+#define PGRID_MESSAGE_CLONE(Type)                                 \
+  [[nodiscard]] ::pgrid::net::MessagePtr clone() const override { \
+    return std::make_unique<Type>(*this);                         \
+  }
 
 /// Checked downcast by type tag.
 template <typename T>

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "net/fault_plane.h"
+
 namespace pgrid::net {
 
 Network::Network(sim::Simulator& simulator, Rng rng, LatencyModel latency,
@@ -13,6 +15,8 @@ Network::Network(sim::Simulator& simulator, Rng rng, LatencyModel latency,
   PGRID_EXPECTS(loss_probability >= 0.0 && loss_probability < 1.0);
   PGRID_EXPECTS(latency.min <= latency.max);
 }
+
+Network::~Network() = default;
 
 NodeAddr Network::add_handler(MessageHandler* handler) {
   PGRID_EXPECTS(handler != nullptr);
@@ -36,6 +40,42 @@ bool Network::alive(NodeAddr addr) const {
   return alive_[addr];
 }
 
+void Network::set_trace(obs::TraceBus* bus) noexcept {
+  trace_ = bus;
+  if (fault_ != nullptr) fault_->set_trace(bus);
+}
+
+FaultPlane& Network::fault_plane() {
+  if (fault_ == nullptr) {
+    fault_ = std::make_unique<FaultPlane>(sim_, fork_rng());
+    fault_->set_trace(trace_);
+  }
+  return *fault_;
+}
+
+void Network::deliver(NodeAddr from, NodeAddr to, sim::SimTime delay,
+                      MessagePtr msg) {
+  const std::uint16_t tag = msg->type();
+  const std::size_t wire_bytes = kHeaderBytes + msg->payload_size();
+  // std::function requires copyable callables, so box the unique_ptr in a
+  // shared_ptr; the box guarantees cleanup even if the event never fires.
+  auto box = std::make_shared<MessagePtr>(std::move(msg));
+  sim_.schedule_in(delay, [this, from, to, tag, wire_bytes, box] {
+    if (!alive_[to]) {
+      ++stats_.messages_dropped_dead;
+      PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDropDead, to, from, tag,
+                        (*box)->rpc_id);
+      return;
+    }
+    ++stats_.messages_delivered;
+    ++stats_.delivered_by_kind[tag & (NetworkStats::kKindSlots - 1)];
+    stats_.bytes_delivered += wire_bytes;
+    PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDeliver, to, from, tag,
+                      (*box)->rpc_id, static_cast<double>(wire_bytes));
+    handlers_[to]->on_message(from, std::move(*box));
+  });
+}
+
 void Network::send(NodeAddr from, NodeAddr to, MessagePtr msg) {
   PGRID_EXPECTS(msg != nullptr);
   PGRID_EXPECTS(from < handlers_.size());
@@ -54,6 +94,35 @@ void Network::send(NodeAddr from, NodeAddr to, MessagePtr msg) {
                       msg->rpc_id);
     return;
   }
+
+  // The fault plane judges every message before the base loss model: a
+  // partitioned or faulted link eats the datagram regardless of global loss.
+  FaultPlane::Verdict verdict;
+  MessagePtr duplicate;
+  if (fault_ != nullptr) {
+    verdict = fault_->judge(from, to, /*cloneable=*/true);
+    if (verdict.drop) {
+      if (verdict.cause == FaultPlane::DropCause::kPartition) {
+        ++stats_.messages_dropped_partition;
+        PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDropPartition, from, to,
+                          tag, msg->rpc_id);
+      } else {
+        ++stats_.messages_dropped_fault;
+        PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDropFault, from, to,
+                          tag, msg->rpc_id);
+      }
+      return;
+    }
+    if (verdict.copies > 1) {
+      duplicate = msg->clone();  // null for non-cloneable types: no copy
+    }
+    if (verdict.reordered) {
+      ++stats_.messages_reordered;
+      PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgReorder, from, to, tag,
+                        msg->rpc_id, verdict.extra_delay.sec());
+    }
+  }
+
   if (loss_probability_ > 0.0 && rng_.bernoulli(loss_probability_)) {
     ++stats_.messages_dropped_loss;
     PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDropLoss, from, to, tag,
@@ -61,24 +130,20 @@ void Network::send(NodeAddr from, NodeAddr to, MessagePtr msg) {
     return;
   }
 
-  const sim::SimTime delay = latency_.sample(rng_);
-  // std::function requires copyable callables, so box the unique_ptr in a
-  // shared_ptr; the box guarantees cleanup even if the event never fires.
-  auto box = std::make_shared<MessagePtr>(std::move(msg));
-  sim_.schedule_in(delay, [this, from, to, tag, wire_bytes, box] {
-    if (!alive_[to]) {
-      ++stats_.messages_dropped_dead;
-      PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDropDead, to, from, tag,
-                        (*box)->rpc_id);
-      return;
-    }
-    ++stats_.messages_delivered;
-    ++stats_.delivered_by_kind[tag & (NetworkStats::kKindSlots - 1)];
-    stats_.bytes_delivered += wire_bytes;
-    PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDeliver, to, from, tag,
-                      (*box)->rpc_id, static_cast<double>(wire_bytes));
-    handlers_[to]->on_message(from, std::move(*box));
-  });
+  const auto delay_once = [&] {
+    const sim::SimTime base = latency_.sample(rng_);
+    return sim::SimTime::nanos(static_cast<std::int64_t>(
+               static_cast<double>(base.ns()) * verdict.latency_scale)) +
+           verdict.extra_delay;
+  };
+
+  if (duplicate != nullptr) {
+    ++stats_.messages_duplicated;
+    PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDuplicate, from, to, tag,
+                      msg->rpc_id);
+    deliver(from, to, delay_once(), std::move(duplicate));
+  }
+  deliver(from, to, delay_once(), std::move(msg));
 }
 
 }  // namespace pgrid::net

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -18,6 +19,8 @@
 #include "sim/simulator.h"
 
 namespace pgrid::net {
+
+class FaultPlane;
 
 /// Latency model for one-way point-to-point delivery.
 struct LatencyModel {
@@ -38,6 +41,12 @@ struct NetworkStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped_dead = 0;   // destination/source down
   std::uint64_t messages_dropped_loss = 0;   // random loss
+  // Fault-plane outcomes. Duplicated copies also count as delivered, so
+  // messages_delivered can exceed messages_sent under duplication.
+  std::uint64_t messages_dropped_partition = 0;
+  std::uint64_t messages_dropped_fault = 0;  // link/gray/congestion loss
+  std::uint64_t messages_duplicated = 0;     // extra copies injected
+  std::uint64_t messages_reordered = 0;      // reorder jitter applied
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
 
@@ -59,6 +68,7 @@ class Network {
  public:
   Network(sim::Simulator& simulator, Rng rng, LatencyModel latency = {},
           double loss_probability = 0.0);
+  ~Network();
 
   /// Register a handler and get its address. Handlers must outlive the
   /// network or be detached first.
@@ -81,8 +91,18 @@ class Network {
   /// Attach (or detach, with nullptr) a trace bus; not owned. Protocol
   /// layers reach the run's bus through trace() so a single wiring point
   /// instruments the whole stack.
-  void set_trace(obs::TraceBus* bus) noexcept { trace_ = bus; }
+  void set_trace(obs::TraceBus* bus) noexcept;
   [[nodiscard]] obs::TraceBus* trace() const noexcept { return trace_; }
+
+  /// The adversarial fault layer, created on first use (a network that
+  /// never asks for it pays nothing per send).
+  [[nodiscard]] FaultPlane& fault_plane();
+  [[nodiscard]] bool has_fault_plane() const noexcept {
+    return fault_ != nullptr;
+  }
+
+  /// Derive an independent RNG stream (RPC backoff jitter, tests).
+  [[nodiscard]] Rng fork_rng() noexcept { return rng_.fork(++rng_forks_); }
 
   [[nodiscard]] std::size_t size() const noexcept { return handlers_.size(); }
 
@@ -97,6 +117,8 @@ class Network {
   static constexpr std::size_t kHeaderBytes = 48;
 
  private:
+  void deliver(NodeAddr from, NodeAddr to, sim::SimTime delay, MessagePtr msg);
+
   sim::Simulator& sim_;
   Rng rng_;
   LatencyModel latency_;
@@ -105,7 +127,9 @@ class Network {
   std::vector<bool> alive_;
   NetworkStats stats_;
   obs::TraceBus* trace_ = nullptr;
+  std::unique_ptr<FaultPlane> fault_;
   std::uint64_t next_rpc_stream_ = 1;
+  std::uint64_t rng_forks_ = 0;
 };
 
 }  // namespace pgrid::net

@@ -1,14 +1,28 @@
 #include "net/rpc.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace pgrid::net {
+
+RetryPolicy RetryPolicy::from_timeout(sim::SimTime timeout, int attempts) {
+  RetryPolicy policy;
+  policy.base_timeout = timeout;
+  policy.timeout_factor = 2.0;
+  policy.max_timeout = timeout * 4;
+  policy.base_backoff = sim::SimTime::nanos(timeout.ns() / 4);
+  policy.max_backoff = timeout;
+  policy.attempts = attempts;
+  return policy;
+}
 
 RpcEndpoint::RpcEndpoint(Network& network, NodeAddr self)
     : net_(network),
       self_(self),
       stream_(network.next_rpc_stream()),
-      next_id_(stream_ << 32 | 1) {}
+      next_id_(stream_ << 32 | 1),
+      rng_(network.fork_rng()) {}
 
 RpcEndpoint::~RpcEndpoint() { cancel_all(); }
 
@@ -39,26 +53,75 @@ std::uint64_t RpcEndpoint::call(NodeAddr to, MessagePtr request,
   return id;
 }
 
+struct RpcEndpoint::RetryState {
+  NodeAddr to = kNullAddr;
+  std::function<MessagePtr()> make;
+  Continuation k;
+  RetryPolicy policy;
+  int attempt = 0;
+  sim::SimTime started;
+  sim::SimTime prev_backoff;
+};
+
 void RpcEndpoint::call_retry(NodeAddr to, std::function<MessagePtr()> make,
-                             sim::SimTime timeout, int attempts,
-                             Continuation k) {
+                             const RetryPolicy& policy, Continuation k) {
   PGRID_EXPECTS(make != nullptr);
-  PGRID_EXPECTS(attempts >= 1);
-  // Box the continuation so the retry chain can move it along.
-  auto boxed = std::make_shared<Continuation>(std::move(k));
-  // Build the request *before* the lambda captures `make` by move
-  // (evaluation order between the two is unspecified otherwise).
-  MessagePtr request = make();
-  call(to, std::move(request), timeout,
-       [this, to, make = std::move(make), timeout, attempts,
-        boxed](MessagePtr reply) mutable {
-         if (reply != nullptr || attempts <= 1) {
-           (*boxed)(std::move(reply));
-           return;
-         }
-         call_retry(to, std::move(make), timeout, attempts - 1,
-                    [boxed](MessagePtr r) { (*boxed)(std::move(r)); });
-       });
+  PGRID_EXPECTS(k != nullptr);
+  PGRID_EXPECTS(policy.attempts >= 1);
+  PGRID_EXPECTS(policy.timeout_factor >= 1.0);
+  auto st = std::make_shared<RetryState>();
+  st->to = to;
+  st->make = std::move(make);
+  st->k = std::move(k);
+  st->policy = policy;
+  st->started = net_.simulator().now();
+  st->prev_backoff = policy.base_backoff;
+  retry_attempt(std::move(st));
+}
+
+void RpcEndpoint::retry_attempt(std::shared_ptr<RetryState> st) {
+  const RetryPolicy& policy = st->policy;
+  sim::SimTime timeout = sim::SimTime::nanos(static_cast<std::int64_t>(
+      static_cast<double>(policy.base_timeout.ns()) *
+      std::pow(policy.timeout_factor, st->attempt)));
+  timeout = std::min(timeout, policy.max_timeout);
+  if (policy.deadline > sim::SimTime::zero()) {
+    // The deadline budget bounds the whole exchange: the final attempt's
+    // timeout shrinks to fit, and an exhausted budget fails immediately.
+    const sim::SimTime elapsed = net_.simulator().now() - st->started;
+    const sim::SimTime remaining = policy.deadline - elapsed;
+    if (remaining <= sim::SimTime::zero()) {
+      st->k(nullptr);
+      return;
+    }
+    timeout = std::min(timeout, remaining);
+  }
+
+  call(st->to, st->make(), timeout, [this, st](MessagePtr reply) mutable {
+    const RetryPolicy& p = st->policy;
+    const bool budget_left =
+        p.deadline <= sim::SimTime::zero() ||
+        net_.simulator().now() - st->started < p.deadline;
+    if (reply != nullptr || st->attempt + 1 >= p.attempts || !budget_left) {
+      st->k(std::move(reply));
+      return;
+    }
+    ++st->attempt;
+    // Decorrelated jitter: pause ~ U(base, 3 * previous pause), capped.
+    const std::int64_t lo = p.base_backoff.ns();
+    const std::int64_t hi =
+        std::min(p.max_backoff.ns(), std::max(lo, st->prev_backoff.ns() * 3));
+    const sim::SimTime pause =
+        sim::SimTime::nanos(lo >= hi ? lo : rng_.range(lo, hi));
+    st->prev_backoff = pause;
+    auto event = std::make_shared<sim::EventId>(sim::kInvalidEvent);
+    *event = net_.simulator().schedule_in(
+        pause, [this, st = std::move(st), event] {
+          backoff_waits_.erase(*event);
+          retry_attempt(st);
+        });
+    backoff_waits_.insert(*event);
+  });
 }
 
 void RpcEndpoint::reply(NodeAddr to, const Message& request,
@@ -102,6 +165,12 @@ void RpcEndpoint::cancel_all() {
     net_.simulator().cancel(p.timeout_event);
   }
   pending_.clear();
+  // Also stop retry chains waiting out a backoff pause; without this a
+  // crashed node would keep retransmitting from beyond the grave.
+  for (const sim::EventId id : backoff_waits_) {
+    net_.simulator().cancel(id);
+  }
+  backoff_waits_.clear();
 }
 
 }  // namespace pgrid::net

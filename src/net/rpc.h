@@ -9,13 +9,41 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "common/rng.h"
 #include "net/message.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
 namespace pgrid::net {
+
+/// Retransmission policy for call_retry: exponentially growing per-attempt
+/// timeouts, decorrelated-jitter pauses between attempts (so concurrent
+/// callers hitting the same dead peer do not retransmit in lockstep), and an
+/// optional per-call deadline budget across all attempts.
+struct RetryPolicy {
+  /// Timeout of attempt i is min(base_timeout * timeout_factor^i,
+  /// max_timeout) — the classic growing RTO.
+  sim::SimTime base_timeout = sim::SimTime::seconds(2.0);
+  double timeout_factor = 2.0;
+  sim::SimTime max_timeout = sim::SimTime::seconds(16.0);
+  /// Pause before retransmit i+1 ~ U(base_backoff, 3 * previous pause),
+  /// capped at max_backoff ("decorrelated jitter").
+  sim::SimTime base_backoff = sim::SimTime::millis(250);
+  sim::SimTime max_backoff = sim::SimTime::seconds(4.0);
+  int attempts = 3;
+  /// Total budget from the first transmission; once exceeded the call fails
+  /// even if attempts remain. zero() disables the deadline.
+  sim::SimTime deadline = sim::SimTime::zero();
+
+  /// The policy the legacy (timeout, attempts) signature maps onto: growing
+  /// timeouts and jittered pauses derived from the single timeout value.
+  [[nodiscard]] static RetryPolicy from_timeout(sim::SimTime timeout,
+                                                int attempts);
+};
 
 class RpcEndpoint {
  public:
@@ -33,11 +61,19 @@ class RpcEndpoint {
   std::uint64_t call(NodeAddr to, MessagePtr request, sim::SimTime timeout,
                      Continuation k);
 
-  /// Like call(), but retransmit up to `attempts` times (total) before
-  /// reporting failure: one lost datagram must not condemn a live peer.
-  /// `make` builds a fresh copy of the request for each transmission.
+  /// Like call(), but retransmit under `policy` before reporting failure:
+  /// one lost datagram must not condemn a live peer. `make` builds a fresh
+  /// copy of the request for each transmission.
   void call_retry(NodeAddr to, std::function<MessagePtr()> make,
-                  sim::SimTime timeout, int attempts, Continuation k);
+                  const RetryPolicy& policy, Continuation k);
+
+  /// Legacy fixed-timeout signature; maps onto RetryPolicy::from_timeout,
+  /// so retransmits back off exponentially with jitter.
+  void call_retry(NodeAddr to, std::function<MessagePtr()> make,
+                  sim::SimTime timeout, int attempts, Continuation k) {
+    call_retry(to, std::move(make), RetryPolicy::from_timeout(timeout, attempts),
+               std::move(k));
+  }
 
   /// Send a reply correlated with `request` back to `to`.
   void reply(NodeAddr to, const Message& request, MessagePtr response);
@@ -68,13 +104,19 @@ class RpcEndpoint {
     Continuation k;
     sim::EventId timeout_event;
   };
+  struct RetryState;
+
+  void retry_attempt(std::shared_ptr<RetryState> st);
 
   Network& net_;
   NodeAddr self_;
   std::uint64_t stream_;
   std::uint64_t next_id_;
   std::uint64_t timeouts_ = 0;
+  Rng rng_;
   std::unordered_map<std::uint64_t, Pending> pending_;
+  /// Pending between-attempt backoff pauses; cancelled with the calls.
+  std::unordered_set<sim::EventId> backoff_waits_;
 };
 
 }  // namespace pgrid::net

@@ -30,7 +30,11 @@ constexpr KindInfo kKinds[] = {
     {"overlay_maintain", "overlay"}, {"overlay_repair", "overlay"},
     {"heartbeat_miss", "robust"}, {"run_recovery", "robust"},
     {"owner_recovery", "robust"}, {"node_crash", "robust"},
-    {"node_restart", "robust"},
+    {"node_restart", "robust"},   {"msg_drop_partition", "fault"},
+    {"msg_drop_fault", "fault"},  {"msg_duplicate", "fault"},
+    {"msg_reorder", "fault"},     {"fault_partition_cut", "fault"},
+    {"fault_partition_heal", "fault"}, {"fault_gray", "fault"},
+    {"crash_burst", "fault"},
 };
 static_assert(sizeof(kKinds) / sizeof(kKinds[0]) ==
                   static_cast<std::size_t>(EventKind::kCount_),

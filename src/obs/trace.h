@@ -56,6 +56,15 @@ enum class EventKind : std::uint8_t {
   kOwnerRecovery,
   kNodeCrash,
   kNodeRestart,
+  // fault plane
+  kMsgDropPartition,   // blocked by an active partition
+  kMsgDropFault,       // link/gray/congestion loss
+  kMsgDuplicate,       // second copy injected
+  kMsgReorder,         // reorder jitter applied
+  kFaultPartitionCut,  // tag: 1 = one-way; a: partition id; v: member count
+  kFaultPartitionHeal, // a: partition id
+  kFaultGray,          // tag: 1 = set, 0 = cleared; v: latency scale
+  kCrashBurst,         // a: members crashed
 
   kCount_,  // sentinel
 };

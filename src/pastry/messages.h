@@ -39,6 +39,7 @@ struct NextHopReq final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 9 + avoid.size() * 8;
   }
+  PGRID_MESSAGE_CLONE(NextHopReq)
 };
 
 struct NextHopResp final : net::Message {
@@ -53,12 +54,14 @@ struct NextHopResp final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 13 + (routing_row.size() + leaves.size()) * 12;
   }
+  PGRID_MESSAGE_CLONE(NextHopResp)
 };
 
 /// Leaf-set maintenance: exchange leaf sets with leaf neighbors.
 struct LeafSetReq final : net::Message {
   static constexpr std::uint16_t kType = kLeafSetReq;
   LeafSetReq() : Message(kType) {}
+  PGRID_MESSAGE_CLONE(LeafSetReq)
 };
 
 struct LeafSetResp final : net::Message {
@@ -68,6 +71,7 @@ struct LeafSetResp final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return leaves.size() * 12;
   }
+  PGRID_MESSAGE_CLONE(LeafSetResp)
 };
 
 /// "I exist": a joined node announces itself so others fold it into their
@@ -79,6 +83,7 @@ struct Announce final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 12;
   }
+  PGRID_MESSAGE_CLONE(Announce)
 };
 
 }  // namespace pgrid::pastry

@@ -33,6 +33,7 @@ struct AggUpdate final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 12 + kMaxResources * 8 + 12;
   }
+  PGRID_MESSAGE_CLONE(AggUpdate)
 };
 
 /// A matchmaking candidate discovered by the search.
@@ -63,11 +64,13 @@ struct TokenPass final : net::Message {
     return 12 + kMaxResources * 9 + 16 + visited.size() * 8 +
            candidates.size() * 20;
   }
+  PGRID_MESSAGE_CLONE(TokenPass)
 };
 
 struct TokenAck final : net::Message {
   static constexpr std::uint16_t kType = kTokenAck;
   TokenAck() : Message(kType) {}
+  PGRID_MESSAGE_CLONE(TokenAck)
 };
 
 /// Final answer, sent directly to the initiator.
@@ -83,6 +86,7 @@ struct SearchResult final : net::Message {
   [[nodiscard]] std::size_t payload_size() const noexcept override {
     return 12 + candidates.size() * 20;
   }
+  PGRID_MESSAGE_CLONE(SearchResult)
 };
 
 }  // namespace pgrid::rntree

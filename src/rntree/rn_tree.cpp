@@ -65,6 +65,8 @@ void RnTreeService::stop() {
   }
   pending_searches_.clear();
   children_.clear();
+  seen_tokens_.clear();
+  seen_cursor_ = 0;
   parent_ = kNoPeer;
 }
 
@@ -288,6 +290,28 @@ void RnTreeService::on_agg_update(const AggUpdate& msg) {
 }
 
 void RnTreeService::on_token(net::NodeAddr from, net::MessagePtr& msg) {
+  const auto* t = net::msg_cast<TokenPass>(msg.get());
+  // Duplicate suppression: a network-duplicated token would fork the walk
+  // (both copies keep walking), which compounds exponentially per hop. A
+  // genuine revisit of this node arrives with a different hop count, so
+  // (initiator, search_id, hops) seen before means this copy is a twin.
+  for (const SeenToken& s : seen_tokens_) {
+    if (s.initiator == t->initiator.addr && s.search_id == t->search_id &&
+        s.hops == t->hops) {
+      ++stats_.tokens_deduplicated;
+      // Still ack: the reply correlates to the sender's single call; an
+      // extra reply is dropped by RPC correlation.
+      rpc_.reply(from, *msg, std::make_unique<TokenAck>());
+      return;
+    }
+  }
+  if (seen_tokens_.size() < kSeenTokenCap) {
+    seen_tokens_.push_back(
+        SeenToken{t->initiator.addr, t->search_id, t->hops});
+  } else {
+    seen_tokens_[seen_cursor_++ % kSeenTokenCap] =
+        SeenToken{t->initiator.addr, t->search_id, t->hops};
+  }
   // Acknowledge custody, then take ownership and process.
   rpc_.reply(from, *msg, std::make_unique<TokenAck>());
   std::unique_ptr<TokenPass> token(net::msg_cast<TokenPass>(msg.release()));

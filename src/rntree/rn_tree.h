@@ -46,6 +46,8 @@ struct RnTreeStats {
   std::uint64_t searches_completed = 0;
   std::uint64_t searches_timed_out = 0;
   std::uint64_t tokens_processed = 0;
+  /// Duplicate token instances suppressed (network-level duplication).
+  std::uint64_t tokens_deduplicated = 0;
   RunningStats search_hops;
   RunningStats candidates_found;
 };
@@ -134,6 +136,21 @@ class RnTreeService {
 
   std::uint64_t next_search_id_ = 1;
   std::map<std::uint64_t, PendingSearch> pending_searches_;
+
+  // A token is a mobile agent: if the network duplicates the message, both
+  // copies would resume the walk and fork it — exponential token growth
+  // under sustained duplication. (initiator, search_id, hops) identifies a
+  // token instance exactly: a legitimate revisit of this node (descend then
+  // ascend) always carries a different hop count, a network-level duplicate
+  // never does. Bounded ring of recently seen instances.
+  struct SeenToken {
+    net::NodeAddr initiator = net::kNullAddr;
+    std::uint64_t search_id = 0;
+    std::uint32_t hops = 0;
+  };
+  static constexpr std::size_t kSeenTokenCap = 128;
+  std::vector<SeenToken> seen_tokens_;
+  std::size_t seen_cursor_ = 0;
 
   RnTreeStats stats_;
 };

@@ -22,8 +22,11 @@ FailureInjector::FailureInjector(Simulator& simulator, Rng rng,
 }
 
 void FailureInjector::start() {
-  if (running_ || model_.mean_lifetime_sec <= 0.0) return;
+  // Arm even when lifetimes are disabled: a burst-only scenario still needs
+  // running_ so its scheduled recoveries fire.
+  if (running_) return;
   running_ = true;
+  if (model_.mean_lifetime_sec <= 0.0) return;
   for (std::size_t i = 0; i < up_.size(); ++i) {
     if (eligible_[i]) schedule_crash(i);
   }
@@ -60,8 +63,45 @@ void FailureInjector::schedule_recover(std::size_t member) {
     pending_[member] = kInvalidEvent;
     if (!running_ || up_[member]) return;
     recover_now(member);
-    schedule_crash(member);
+    if (model_.mean_lifetime_sec > 0.0 && eligible_[member]) {
+      schedule_crash(member);
+    }
   });
+}
+
+std::size_t FailureInjector::crash_burst(double fraction,
+                                         double recover_after_sec) {
+  PGRID_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  std::vector<std::size_t> up_members;
+  up_members.reserve(up_.size());
+  for (std::size_t i = 0; i < up_.size(); ++i) {
+    if (up_[i]) up_members.push_back(i);
+  }
+  const auto count = static_cast<std::size_t>(
+      static_cast<double>(up_members.size()) * fraction + 0.5);
+  if (count == 0) return 0;
+  rng_.shuffle(up_members);
+  for (std::size_t v = 0; v < count; ++v) {
+    const std::size_t member = up_members[v];
+    // A pending lifetime/recovery event for the victim is now stale.
+    sim_.cancel(pending_[member]);
+    pending_[member] = kInvalidEvent;
+    crash_now(member);
+    if (recover_after_sec > 0.0) {
+      const double jittered =
+          recover_after_sec * (1.0 + 0.25 * rng_.uniform());
+      pending_[member] =
+          sim_.schedule_in(SimTime::seconds(jittered), [this, member] {
+            pending_[member] = kInvalidEvent;
+            if (!running_ || up_[member]) return;
+            recover_now(member);
+            if (model_.mean_lifetime_sec > 0.0 && eligible_[member]) {
+              schedule_crash(member);
+            }
+          });
+    }
+  }
+  return count;
 }
 
 void FailureInjector::crash_now(std::size_t member) {

@@ -51,6 +51,15 @@ class FailureInjector {
   /// Force a recovery now.
   void recover_now(std::size_t member);
 
+  /// Correlated mass failure: crash `fraction` of the currently-up members
+  /// at once (rack power loss, datacenter cut). Victims are chosen
+  /// uniformly from the up set, ignoring churn eligibility — a blackout
+  /// does not respect the stable core. If `recover_after_sec > 0` each
+  /// victim rejoins after that long, staggered by up to 25% jitter so the
+  /// rejoin wave does not arrive as a single thundering herd. Returns the
+  /// number of members actually crashed.
+  std::size_t crash_burst(double fraction, double recover_after_sec = 0.0);
+
  private:
   void schedule_crash(std::size_t member);
   void schedule_recover(std::size_t member);

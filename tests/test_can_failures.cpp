@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "can/space.h"
+#include "net/fault_plane.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
@@ -150,6 +151,43 @@ TEST(CanTakeover, CrashedNodeRejoins) {
   const Peer owner = fx.route_from(0, back.rep_point());
   ASSERT_TRUE(owner.valid());
   EXPECT_EQ(owner.id, fx.space.oracle_owner(back.rep_point()).id);
+}
+
+TEST(CanPartitionHeal, DoubleClaimsReconcileAfterHeal) {
+  // Both sides of a partition take over the other side's zones; after the
+  // heal every contested region has two claimants. The lost-peer probes plus
+  // the lower-GUID-wins subtraction must restore an exact tiling.
+  Fixture fx{8};
+  fx.build(16);
+  std::vector<net::NodeAddr> side_a, side_b;
+  for (std::size_t i = 0; i < fx.space.size(); ++i) {
+    (i % 2 == 0 ? side_a : side_b).push_back(fx.space.host(i).addr());
+  }
+  net::FaultPlane& fp = fx.net.fault_plane();
+  const auto id = fp.cut("split", side_a, side_b);
+  fx.settle(120);  // suspicion + takeover on both sides
+  fp.heal(id);
+  fx.settle(240);  // probes re-link the sides, conflicts subtract away
+  EXPECT_TRUE(fx.space.zones_tile_space());
+  EXPECT_NEAR(fx.live_volume(), 1.0, 1e-9);
+}
+
+TEST(CanPartitionHeal, OneWayCutReconcilesToo) {
+  // Asymmetric cut: only one side suspects the other, so only one side
+  // double-claims; reconciliation must still converge after the heal.
+  Fixture fx{9};
+  fx.build(12);
+  std::vector<net::NodeAddr> side_a, side_b;
+  for (std::size_t i = 0; i < fx.space.size(); ++i) {
+    (i < 6 ? side_a : side_b).push_back(fx.space.host(i).addr());
+  }
+  net::FaultPlane& fp = fx.net.fault_plane();
+  const auto id = fp.cut("oneway", side_a, side_b, /*one_way=*/true);
+  fx.settle(120);
+  fp.heal(id);
+  fx.settle(240);
+  EXPECT_TRUE(fx.space.zones_tile_space());
+  EXPECT_NEAR(fx.live_volume(), 1.0, 1e-9);
 }
 
 TEST(CanTakeover, RouteDuringOutageEventuallyResolvesViaRetries) {

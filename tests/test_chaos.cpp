@@ -1,0 +1,100 @@
+// Chaos matrix: randomized fault schedules against every P2P matchmaker,
+// with the harness's safety invariants (exactly-once completion, overlay
+// re-convergence, no monitor leaks) checked after every run.
+//
+// Each (matchmaker, seed) cell is an independent schedule of partitions,
+// crash bursts, congestion, gray nodes, duplication, and reordering. A
+// failing cell prints the replay command so the schedule can be reproduced
+// outside the test binary.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "grid/job.h"
+#include "sim/chaos.h"
+
+namespace pgrid {
+namespace {
+
+using grid::MatchmakerKind;
+
+class ChaosMatrix
+    : public testing::TestWithParam<std::tuple<MatchmakerKind, int>> {};
+
+TEST_P(ChaosMatrix, InvariantsHoldUnderRandomFaultSchedule) {
+  sim::ChaosConfig cfg;
+  cfg.kind = std::get<0>(GetParam());
+  cfg.seed = static_cast<std::uint64_t>(std::get<1>(GetParam()));
+  const sim::ChaosReport report = sim::run_chaos(cfg);
+  EXPECT_TRUE(report.ok) << report.summary();
+  for (const std::string& v : report.violations) {
+    ADD_FAILURE() << "invariant violated: " << v
+                  << "\n  replay: " << report.replay_command;
+  }
+  // The workload must actually finish: abandoned jobs would let the leak
+  // check pass vacuously.
+  EXPECT_EQ(report.stats.completed, cfg.jobs);
+  EXPECT_EQ(report.stats.abandoned, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, ChaosMatrix,
+    testing::Combine(testing::Values(MatchmakerKind::kRnTree,
+                                     MatchmakerKind::kCanBasic,
+                                     MatchmakerKind::kCanPush),
+                     testing::Range(1, 21)),
+    [](const testing::TestParamInfo<ChaosMatrix::ParamType>& info) {
+      std::string name = grid::matchmaker_name(std::get<0>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Chaos, DeterministicReport) {
+  sim::ChaosConfig cfg;
+  cfg.kind = MatchmakerKind::kCanPush;
+  cfg.seed = 42;
+  const sim::ChaosReport a = sim::run_chaos(cfg);
+  const sim::ChaosReport b = sim::run_chaos(cfg);
+  EXPECT_EQ(a.summary(), b.summary());
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.stats.completed, b.stats.completed);
+  EXPECT_EQ(a.stats.crashes, b.stats.crashes);
+  EXPECT_EQ(a.stats.dropped_partition, b.stats.dropped_partition);
+  EXPECT_EQ(a.stats.dropped_fault, b.stats.dropped_fault);
+  EXPECT_EQ(a.stats.duplicated, b.stats.duplicated);
+  EXPECT_EQ(a.stats.reordered, b.stats.reordered);
+}
+
+TEST(Chaos, ReplayCommandNamesTheSchedule) {
+  sim::ChaosConfig cfg;
+  cfg.kind = MatchmakerKind::kRnTree;
+  cfg.seed = 977;
+  cfg.nodes = 12;
+  cfg.jobs = 17;
+  const std::string cmd = cfg.replay_command();
+  EXPECT_NE(cmd.find("--kind=rn-tree"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("--seed=977"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("--nodes=12"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("--jobs=17"), std::string::npos) << cmd;
+}
+
+TEST(Chaos, ParseMatchmakerRoundTrips) {
+  for (const MatchmakerKind kind :
+       {MatchmakerKind::kCentralized, MatchmakerKind::kRandom,
+        MatchmakerKind::kRnTree, MatchmakerKind::kCanBasic,
+        MatchmakerKind::kCanPush, MatchmakerKind::kTtlWalk}) {
+    MatchmakerKind parsed{};
+    ASSERT_TRUE(sim::parse_matchmaker(grid::matchmaker_name(kind), &parsed))
+        << grid::matchmaker_name(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  MatchmakerKind parsed{};
+  EXPECT_FALSE(sim::parse_matchmaker("no-such-matchmaker", &parsed));
+}
+
+}  // namespace
+}  // namespace pgrid

@@ -1,0 +1,253 @@
+// FaultPlane: partitions (two-way, one-way, scheduled heal), link faults,
+// duplication, reordering, gray nodes, and the quiescence/clear_all barrier.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/fault_plane.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace pgrid::net {
+namespace {
+
+struct CloneMsg final : Message {
+  static constexpr std::uint16_t kType = kTagTestBase + 2;
+  explicit CloneMsg(int v) : Message(kType), value(v) {}
+  int value;
+  PGRID_MESSAGE_CLONE(CloneMsg)
+};
+
+/// Not cloneable: duplication must silently skip it.
+struct PlainMsg final : Message {
+  static constexpr std::uint16_t kType = kTagTestBase + 3;
+  PlainMsg() : Message(kType) {}
+};
+
+struct Recorder final : MessageHandler {
+  explicit Recorder(sim::Simulator& simulator) : sim(&simulator) {}
+  void on_message(NodeAddr from, MessagePtr /*msg*/) override {
+    froms.push_back(from);
+    times.push_back(sim->now());
+  }
+  sim::Simulator* sim;
+  std::vector<NodeAddr> froms;
+  std::vector<sim::SimTime> times;
+};
+
+class FaultPlaneTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator;
+  LatencyModel latency{sim::SimTime::millis(10), sim::SimTime::millis(10)};
+  Network net{simulator, Rng{7}, latency};
+  Recorder a{simulator}, b{simulator}, c{simulator};
+  NodeAddr addr_a = net.add_handler(&a);
+  NodeAddr addr_b = net.add_handler(&b);
+  NodeAddr addr_c = net.add_handler(&c);
+
+  void send_ab(int n = 1) {
+    for (int i = 0; i < n; ++i) {
+      net.send(addr_a, addr_b, std::make_unique<CloneMsg>(i));
+    }
+  }
+};
+
+TEST_F(FaultPlaneTest, LazyCreation) {
+  EXPECT_FALSE(net.has_fault_plane());
+  net.fault_plane();
+  EXPECT_TRUE(net.has_fault_plane());
+  EXPECT_TRUE(net.fault_plane().quiescent());
+}
+
+TEST_F(FaultPlaneTest, PartitionBlocksBothDirections) {
+  FaultPlane& fp = net.fault_plane();
+  const auto id = fp.cut("split", {addr_a}, {addr_b});
+  send_ab();
+  net.send(addr_b, addr_a, std::make_unique<CloneMsg>(0));
+  simulator.run();
+  EXPECT_TRUE(b.froms.empty());
+  EXPECT_TRUE(a.froms.empty());
+  EXPECT_EQ(net.stats().messages_dropped_partition, 2u);
+  EXPECT_TRUE(fp.partition_active(id));
+
+  fp.heal(id);
+  EXPECT_FALSE(fp.partition_active(id));
+  send_ab();
+  simulator.run();
+  EXPECT_EQ(b.froms.size(), 1u);
+}
+
+TEST_F(FaultPlaneTest, OneWayCutIsAsymmetric) {
+  FaultPlane& fp = net.fault_plane();
+  fp.cut("oneway", {addr_a}, {addr_b}, /*one_way=*/true);
+  send_ab();
+  net.send(addr_b, addr_a, std::make_unique<CloneMsg>(0));
+  simulator.run();
+  EXPECT_TRUE(b.froms.empty());        // a -> b cut
+  EXPECT_EQ(a.froms.size(), 1u);       // b -> a still flows
+}
+
+TEST_F(FaultPlaneTest, PartitionDoesNotAffectThirdParties) {
+  net.fault_plane().cut("split", {addr_a}, {addr_b});
+  net.send(addr_a, addr_c, std::make_unique<CloneMsg>(0));
+  net.send(addr_c, addr_b, std::make_unique<CloneMsg>(0));
+  simulator.run();
+  EXPECT_EQ(c.froms.size(), 1u);
+  EXPECT_EQ(b.froms.size(), 1u);
+}
+
+TEST_F(FaultPlaneTest, HealAfterReconnectsOnSchedule) {
+  FaultPlane& fp = net.fault_plane();
+  const auto id = fp.cut("timed", {addr_a}, {addr_b});
+  fp.heal_after(id, sim::SimTime::seconds(5.0));
+  send_ab();
+  simulator.run_until(sim::SimTime::seconds(1.0));
+  EXPECT_TRUE(b.froms.empty());
+  simulator.run_until(sim::SimTime::seconds(6.0));
+  EXPECT_FALSE(fp.partition_active(id));
+  send_ab();
+  simulator.run();
+  EXPECT_EQ(b.froms.size(), 1u);
+}
+
+TEST_F(FaultPlaneTest, LinkFaultFullLossEatsEverything) {
+  net.fault_plane().set_link(addr_a, addr_b, LinkFault{1.0, {}, {}});
+  send_ab(20);
+  simulator.run();
+  EXPECT_TRUE(b.froms.empty());
+  EXPECT_EQ(net.stats().messages_dropped_fault, 20u);
+
+  net.fault_plane().clear_link(addr_a, addr_b);
+  send_ab();
+  simulator.run();
+  EXPECT_EQ(b.froms.size(), 1u);
+}
+
+TEST_F(FaultPlaneTest, LinkExtraLatencyDelaysDelivery) {
+  net.fault_plane().set_link(
+      addr_a, addr_b,
+      LinkFault{0.0, sim::SimTime::seconds(1.0), sim::SimTime::seconds(1.0)});
+  send_ab();
+  simulator.run();
+  ASSERT_EQ(b.times.size(), 1u);
+  EXPECT_EQ(b.times[0], sim::SimTime::seconds(1.0) + sim::SimTime::millis(10));
+}
+
+TEST_F(FaultPlaneTest, DuplicationDeliversTwoCopies) {
+  net.fault_plane().set_duplication(1.0);
+  send_ab();
+  simulator.run();
+  EXPECT_EQ(b.froms.size(), 2u);
+  EXPECT_EQ(net.stats().messages_duplicated, 1u);
+  // Duplicated copies count as delivered: delivered exceeds sent.
+  EXPECT_GT(net.stats().messages_delivered, net.stats().messages_sent);
+}
+
+TEST_F(FaultPlaneTest, DuplicationSkipsNonCloneableMessages) {
+  net.fault_plane().set_duplication(1.0);
+  net.send(addr_a, addr_b, std::make_unique<PlainMsg>());
+  simulator.run();
+  EXPECT_EQ(b.froms.size(), 1u);
+  EXPECT_EQ(net.stats().messages_duplicated, 0u);
+}
+
+TEST_F(FaultPlaneTest, ReorderJitterCountsAndDelays) {
+  net.fault_plane().set_reorder(1.0, sim::SimTime::seconds(2.0));
+  send_ab(10);
+  simulator.run();
+  EXPECT_EQ(b.froms.size(), 10u);
+  EXPECT_EQ(net.stats().messages_reordered, 10u);
+  // With a 2 s jitter window over 10 ms base latency, arrival order is no
+  // longer send order for at least one pair (overwhelmingly likely at p=1).
+  bool delayed = false;
+  for (const sim::SimTime t : b.times) {
+    if (t > sim::SimTime::millis(10)) delayed = true;
+  }
+  EXPECT_TRUE(delayed);
+}
+
+TEST_F(FaultPlaneTest, GrayNodeSlowsTraffic) {
+  net.fault_plane().set_gray(addr_b, GrayFault{100.0, 0.0});
+  EXPECT_TRUE(net.fault_plane().is_gray(addr_b));
+  send_ab();
+  simulator.run();
+  ASSERT_EQ(b.times.size(), 1u);
+  // 10 ms base latency x100 = 1 s.
+  EXPECT_EQ(b.times[0], sim::SimTime::seconds(1.0));
+
+  net.fault_plane().clear_gray(addr_b);
+  b.times.clear();
+  send_ab();
+  simulator.run();
+  ASSERT_EQ(b.times.size(), 1u);
+  // Back to plain base latency once the gray fault clears.
+  EXPECT_EQ(b.times[0], sim::SimTime::seconds(1.0) + sim::SimTime::millis(10));
+}
+
+TEST_F(FaultPlaneTest, GrayLossDropsAsFault) {
+  net.fault_plane().set_gray(addr_b, GrayFault{1.0, 1.0});
+  send_ab(5);
+  simulator.run();
+  EXPECT_TRUE(b.froms.empty());
+  EXPECT_EQ(net.stats().messages_dropped_fault, 5u);
+}
+
+TEST_F(FaultPlaneTest, CongestionAddsLossAndLatency) {
+  net.fault_plane().set_congestion(1.0, 1.0);
+  send_ab(3);
+  simulator.run();
+  EXPECT_TRUE(b.froms.empty());
+  EXPECT_EQ(net.stats().messages_dropped_fault, 3u);
+  net.fault_plane().clear_congestion();
+  send_ab();
+  simulator.run();
+  EXPECT_EQ(b.froms.size(), 1u);
+}
+
+TEST_F(FaultPlaneTest, ClearAllRestoresQuiescence) {
+  FaultPlane& fp = net.fault_plane();
+  fp.cut("p", {addr_a}, {addr_b});
+  fp.set_link(addr_b, addr_c, LinkFault{0.5, {}, {}});
+  fp.set_congestion(0.1, 2.0);
+  fp.set_duplication(0.5);
+  fp.set_reorder(0.5, sim::SimTime::seconds(1.0));
+  fp.set_gray(addr_c, GrayFault{});
+  EXPECT_FALSE(fp.quiescent());
+  fp.clear_all();
+  EXPECT_TRUE(fp.quiescent());
+  EXPECT_EQ(fp.active_partitions(), 0u);
+  send_ab(10);
+  simulator.run();
+  EXPECT_EQ(b.froms.size(), 10u);
+}
+
+TEST_F(FaultPlaneTest, NoFaultPlaneKeepsDeterministicDelivery) {
+  // Two identical networks, one of which instantiates (but never arms) a
+  // fault plane: delivery times must match exactly — the lazy plane must
+  // not perturb the base rng stream.
+  sim::Simulator s1, s2;
+  Network n1{s1, Rng{99}, latency, 0.2};
+  Network n2{s2, Rng{99}, latency, 0.2};
+  Recorder r1{s1}, r2{s2};
+  const NodeAddr src1 = n1.add_handler(&r1);
+  const NodeAddr dst1 = n1.add_handler(&r1);
+  const NodeAddr src2 = n2.add_handler(&r2);
+  const NodeAddr dst2 = n2.add_handler(&r2);
+  n2.fault_plane();  // created, quiescent
+  for (int i = 0; i < 50; ++i) {
+    n1.send(src1, dst1, std::make_unique<CloneMsg>(i));
+    n2.send(src2, dst2, std::make_unique<CloneMsg>(i));
+  }
+  s1.run();
+  s2.run();
+  ASSERT_EQ(r1.times.size(), r2.times.size());
+  for (std::size_t i = 0; i < r1.times.size(); ++i) {
+    EXPECT_EQ(r1.times[i], r2.times[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pgrid::net

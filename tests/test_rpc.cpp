@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/fault_plane.h"
 #include "net/message.h"
 #include "net/network.h"
 #include "net/rpc.h"
@@ -15,6 +16,7 @@ struct Echo final : Message {
   static constexpr std::uint16_t kType = kTagTestBase + 2;
   explicit Echo(int v) : Message(kType), value(v) {}
   int value;
+  PGRID_MESSAGE_CLONE(Echo)
 };
 
 /// Server that echoes every request back, optionally with a handler delay.
@@ -179,6 +181,127 @@ TEST_F(RpcTest, CallRetryGivesUpAfterAllAttempts) {
   EXPECT_TRUE(failed);
   EXPECT_EQ(transmissions, 3);
   EXPECT_EQ(client.rpc.timeouts(), 3u);
+}
+
+TEST_F(RpcTest, CallRetryOvercomesSustainedLoss) {
+  // 40% loss each way makes single-shot calls fail often; the growing-RTO
+  // retransmit schedule must still push nearly every call through.
+  net.fault_plane().set_congestion(0.4, 1.0);
+  constexpr int kCalls = 20;
+  int ok = 0, failed = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    RetryPolicy policy;
+    policy.base_timeout = sim::SimTime::millis(50);
+    policy.base_backoff = sim::SimTime::millis(10);
+    policy.max_backoff = sim::SimTime::millis(50);
+    policy.attempts = 8;
+    client.rpc.call_retry(
+        server.rpc.self(), [i]() -> MessagePtr { return std::make_unique<Echo>(i); },
+        policy, [&](MessagePtr reply) { (reply != nullptr ? ok : failed)++; });
+  }
+  simulator.run();
+  EXPECT_EQ(ok + failed, kCalls);
+  EXPECT_GE(ok, kCalls - 2);
+  // The loss was real: some transmissions died and forced retries.
+  EXPECT_GT(net.stats().messages_dropped_fault, 0u);
+  EXPECT_GT(client.rpc.timeouts(), 0u);
+}
+
+TEST_F(RpcTest, CallRetryDuplicatedRepliesFireContinuationOnce) {
+  net.fault_plane().set_duplication(1.0);  // every message sent twice
+  int fired = 0;
+  int got = -1;
+  client.rpc.call_retry(
+      server.rpc.self(), []() -> MessagePtr { return std::make_unique<Echo>(9); },
+      sim::SimTime::millis(100), 3, [&](MessagePtr reply) {
+        ++fired;
+        ASSERT_NE(reply, nullptr);
+        got = msg_cast<Echo>(reply.get())->value;
+      });
+  simulator.run();
+  EXPECT_EQ(fired, 1);  // twin replies are consumed, not re-delivered
+  EXPECT_EQ(got, 18);
+  EXPECT_GT(net.stats().messages_duplicated, 0u);
+}
+
+TEST_F(RpcTest, CallRetryLateReplyToEarlierAttemptIsNotMisdelivered) {
+  // Round trip is 10ms; attempt 1 times out at 8ms, so its reply arrives
+  // while attempt 2 is outstanding. The stale reply must be swallowed and
+  // attempt 2's own reply must complete the call — exactly one firing.
+  RetryPolicy policy;
+  policy.base_timeout = sim::SimTime::millis(8);
+  policy.timeout_factor = 4.0;  // attempt 2 waits long enough
+  policy.base_backoff = sim::SimTime::millis(1);
+  policy.max_backoff = sim::SimTime::millis(1);
+  policy.attempts = 3;
+  int transmissions = 0;
+  int fired = 0;
+  int got = -1;
+  client.rpc.call_retry(server.rpc.self(),
+                        [&]() -> MessagePtr {
+                          ++transmissions;
+                          return std::make_unique<Echo>(11);
+                        },
+                        policy, [&](MessagePtr reply) {
+                          ++fired;
+                          ASSERT_NE(reply, nullptr);
+                          got = msg_cast<Echo>(reply.get())->value;
+                        });
+  simulator.run();
+  EXPECT_EQ(transmissions, 2);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(got, 22);
+  EXPECT_EQ(server.served, 2);  // both attempts reached the server
+}
+
+TEST_F(RpcTest, CallRetryDeadlineCutsAttemptsShort) {
+  server.mute = true;
+  RetryPolicy policy;
+  policy.base_timeout = sim::SimTime::millis(50);
+  policy.base_backoff = sim::SimTime::millis(10);
+  policy.max_backoff = sim::SimTime::millis(10);
+  policy.attempts = 10;
+  policy.deadline = sim::SimTime::millis(150);
+  int transmissions = 0;
+  bool failed = false;
+  const auto t0 = simulator.now();
+  client.rpc.call_retry(server.rpc.self(),
+                        [&]() -> MessagePtr {
+                          ++transmissions;
+                          return std::make_unique<Echo>(1);
+                        },
+                        policy,
+                        [&](MessagePtr reply) { failed = (reply == nullptr); });
+  simulator.run();
+  EXPECT_TRUE(failed);
+  EXPECT_LT(transmissions, 10);  // the budget, not the attempt count, ended it
+  EXPECT_GE(transmissions, 1);
+  // The call concluded within the deadline plus one attempt's timeout.
+  EXPECT_LE((simulator.now() - t0).sec(), 0.5);
+}
+
+TEST_F(RpcTest, CallRetryGapsGrowWithTheTimeout) {
+  // Fixed backoff isolates the exponential RTO: successive retransmission
+  // gaps must widen as the per-attempt timeout doubles.
+  server.mute = true;
+  RetryPolicy policy;
+  policy.base_timeout = sim::SimTime::millis(50);
+  policy.timeout_factor = 2.0;
+  policy.base_backoff = sim::SimTime::millis(100);
+  policy.max_backoff = sim::SimTime::millis(100);
+  policy.attempts = 3;
+  std::vector<sim::SimTime> sent;
+  client.rpc.call_retry(server.rpc.self(),
+                        [&]() -> MessagePtr {
+                          sent.push_back(simulator.now());
+                          return std::make_unique<Echo>(1);
+                        },
+                        policy, [](MessagePtr) {});
+  simulator.run();
+  ASSERT_EQ(sent.size(), 3u);
+  const auto gap1 = sent[1] - sent[0];
+  const auto gap2 = sent[2] - sent[1];
+  EXPECT_GT(gap2.ns(), gap1.ns());
 }
 
 /// Two endpoints on the same address must not steal each other's replies.
