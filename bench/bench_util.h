@@ -97,6 +97,7 @@ struct CellResult {
   std::uint64_t sim_events = 0;
   double events_per_wall_sec = 0.0;
   std::uint64_t sim_queue_peak = 0;
+  std::uint64_t sim_tombstone_peak = 0;
 };
 
 inline CellResult summarize(const grid::GridSystem& system) {
@@ -126,6 +127,7 @@ inline CellResult summarize(const grid::GridSystem& system) {
   r.sim_events = system.profile().events();
   r.events_per_wall_sec = system.profile().events_per_sec();
   r.sim_queue_peak = system.simulator().queue_high_water();
+  r.sim_tombstone_peak = system.simulator().tombstone_high_water();
   r.resubmissions = c.total_resubmissions();
   r.requeues = c.total_requeues();
   const auto node_stats = system.aggregate_node_stats();
@@ -158,6 +160,8 @@ inline CellResult average(const std::vector<CellResult>& cells) {
     avg.sim_events += c.sim_events;
     avg.events_per_wall_sec += c.events_per_wall_sec;
     avg.sim_queue_peak = std::max(avg.sim_queue_peak, c.sim_queue_peak);
+    avg.sim_tombstone_peak =
+        std::max(avg.sim_tombstone_peak, c.sim_tombstone_peak);
   }
   const auto n = static_cast<double>(cells.size());
   avg.wait_avg /= n;
@@ -241,14 +245,16 @@ class BenchJson {
         ",\"resubmissions\":%" PRIu64 ",\"requeues\":%" PRIu64
         ",\"build_wall_sec\":%.6f,\"run_wall_sec\":%.6f,"
         "\"sim_events\":%" PRIu64 ",\"events_per_wall_sec\":%.1f,"
-        "\"sim_queue_peak\":%" PRIu64 "}\n",
+        "\"sim_queue_peak\":%" PRIu64 ",\"sim_tombstone_peak\":%" PRIu64
+        "}\n",
         bench_.c_str(), label.c_str(), r.wait_avg, r.wait_stdev,
         r.match_hops_avg, r.injection_hops_avg, r.jobs_per_node_cv,
         r.completed_fraction, r.makespan_sec, r.messages,
         r.messages_delivered, r.bytes_sent, r.bytes_delivered,
         r.resubmissions, r.requeues, r.build_wall_sec, r.run_wall_sec,
         r.sim_events, r.events_per_wall_sec,
-        static_cast<std::uint64_t>(r.sim_queue_peak));
+        static_cast<std::uint64_t>(r.sim_queue_peak),
+        static_cast<std::uint64_t>(r.sim_tombstone_peak));
   }
 
  private:

@@ -1,0 +1,141 @@
+#pragma once
+// Small-buffer-optimized, move-only callable wrapper.
+//
+// The simulator schedules millions of callbacks per run; std::function heap-
+// allocates every capture larger than (typically) two pointers and requires
+// copyability, which forces shared_ptr boxing of move-only payloads such as
+// MessagePtr. SmallFn fixes both: captures up to kInlineBytes live inline in
+// the wrapper (no allocation on the schedule hot path), larger or throwing-
+// move callables fall back to the heap, and move-only callables — a lambda
+// owning a unique_ptr — are first-class, enabling move-through message
+// delivery in the network layer.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pgrid {
+
+template <typename Signature>
+class SmallFn;  // undefined; specialized for function signatures below
+
+template <typename R, typename... Args>
+class SmallFn<R(Args...)> {
+ public:
+  /// Inline capture budget. Sized for the repo's hot callbacks: a `this`
+  /// pointer, a few ids, and an owning MessagePtr all fit without spilling.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(&storage_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      *reinterpret_cast<void**>(&storage_) = new Fn(std::forward<F>(f));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(&other.storage_, &storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(&other.storage_, &storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  R operator()(Args... args) {
+    return ops_->invoke(&storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  friend bool operator==(const SmallFn& f, std::nullptr_t) noexcept {
+    return f.ops_ == nullptr;
+  }
+  friend bool operator!=(const SmallFn& f, std::nullptr_t) noexcept {
+    return f.ops_ != nullptr;
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    /// Move the callable from src storage into dst storage and destroy src.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* s, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(s)))(
+            std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* s, Args&&... args) -> R {
+        return (**static_cast<Fn**>(s))(std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) noexcept {
+        *static_cast<void**>(dst) = *static_cast<void**>(src);
+      },
+      [](void* s) noexcept { delete *static_cast<Fn**>(s); },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace pgrid

@@ -43,6 +43,14 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stdev() const noexcept { return std::sqrt(variance()); }
 
+double RunningStats::sample_variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::sample_stdev() const noexcept {
+  return std::sqrt(sample_variance());
+}
+
 double RunningStats::cv() const noexcept {
   return (n_ == 0 || mean_ == 0.0) ? 0.0 : stdev() / mean_;
 }
@@ -59,7 +67,7 @@ double Samples::stdev() const noexcept {
   const double m = mean();
   double s = 0.0;
   for (double x : data_) s += (x - m) * (x - m);
-  return std::sqrt(s / static_cast<double>(data_.size()));
+  return std::sqrt(s / static_cast<double>(data_.size() - 1));
 }
 
 void Samples::ensure_sorted() const {

@@ -17,8 +17,13 @@ class RunningStats {
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
-  [[nodiscard]] double variance() const noexcept;  // population variance
+  /// Population variance (divide by N): the spread of exactly these values.
+  [[nodiscard]] double variance() const noexcept;
   [[nodiscard]] double stdev() const noexcept;
+  /// Unbiased sample variance (divide by N−1): estimates the spread of the
+  /// distribution the values were drawn from. Matches Samples::stdev().
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double sample_stdev() const noexcept;
   [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
   [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
   [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
@@ -43,6 +48,9 @@ class Samples {
   [[nodiscard]] std::size_t count() const noexcept { return data_.size(); }
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
   [[nodiscard]] double mean() const noexcept;
+  /// Sample standard deviation (N−1 denominator). The benches report this
+  /// as a spread *estimate* over replicate measurements, so the unbiased
+  /// estimator is the right convention; 0 for fewer than two samples.
   [[nodiscard]] double stdev() const noexcept;
   /// Exact quantile by linear interpolation, q in [0, 1].
   [[nodiscard]] double quantile(double q) const;

@@ -155,6 +155,12 @@ void GridSystem::build() {
     sampler_->add_gauge("sim_queue", [this] {
       return static_cast<double>(sim_.queued());
     });
+    sampler_->add_gauge("sim_tombstones", [this] {
+      return static_cast<double>(sim_.tombstones());
+    });
+    sampler_->add_rate("sim_events_per_sec", [this] {
+      return static_cast<double>(sim_.executed());
+    });
     sampler_->add_gauge("jobs_terminal", [this] {
       return static_cast<double>(terminal_jobs_);
     });
@@ -195,6 +201,7 @@ void GridSystem::run() {
     sim_.run_until(sim_.now() + sim::SimTime::seconds(60.0));
   }
   profile_.add_events(sim_.executed() - events_before);
+  profile_.note_queue_peaks(sim_.queue_high_water(), sim_.tombstone_high_water());
 }
 
 void GridSystem::run_for(double sec) {
@@ -203,6 +210,7 @@ void GridSystem::run_for(double sec) {
   const std::uint64_t events_before = sim_.executed();
   sim_.run_until(sim_.now() + sim::SimTime::seconds(sec));
   profile_.add_events(sim_.executed() - events_before);
+  profile_.note_queue_peaks(sim_.queue_high_water(), sim_.tombstone_high_water());
 }
 
 Peer GridSystem::find_bootstrap(std::size_t excluding) const {

@@ -13,7 +13,7 @@ Network::Network(sim::Simulator& simulator, Rng rng, LatencyModel latency,
       latency_(latency),
       loss_probability_(loss_probability) {
   PGRID_EXPECTS(loss_probability >= 0.0 && loss_probability < 1.0);
-  PGRID_EXPECTS(latency.min <= latency.max);
+  latency.validate();
 }
 
 Network::~Network() = default;
@@ -57,23 +57,25 @@ void Network::deliver(NodeAddr from, NodeAddr to, sim::SimTime delay,
                       MessagePtr msg) {
   const std::uint16_t tag = msg->type();
   const std::size_t wire_bytes = kHeaderBytes + msg->payload_size();
-  // std::function requires copyable callables, so box the unique_ptr in a
-  // shared_ptr; the box guarantees cleanup even if the event never fires.
-  auto box = std::make_shared<MessagePtr>(std::move(msg));
-  sim_.schedule_in(delay, [this, from, to, tag, wire_bytes, box] {
-    if (!alive_[to]) {
-      ++stats_.messages_dropped_dead;
-      PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDropDead, to, from, tag,
-                        (*box)->rpc_id);
-      return;
-    }
-    ++stats_.messages_delivered;
-    ++stats_.delivered_by_kind[tag & (NetworkStats::kKindSlots - 1)];
-    stats_.bytes_delivered += wire_bytes;
-    PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDeliver, to, from, tag,
-                      (*box)->rpc_id, static_cast<double>(wire_bytes));
-    handlers_[to]->on_message(from, std::move(*box));
-  });
+  // Move-through delivery: the event callback owns the datagram directly
+  // (SmallFn accepts move-only captures), so the payload is never copied or
+  // boxed between send and handler. If the event never fires the callback's
+  // destructor still frees the message.
+  sim_.schedule_in(
+      delay, [this, from, to, tag, wire_bytes, msg = std::move(msg)]() mutable {
+        if (!alive_[to]) {
+          ++stats_.messages_dropped_dead;
+          PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDropDead, to, from,
+                            tag, msg->rpc_id);
+          return;
+        }
+        ++stats_.messages_delivered;
+        ++stats_.delivered_by_kind[tag & (NetworkStats::kKindSlots - 1)];
+        stats_.bytes_delivered += wire_bytes;
+        PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDeliver, to, from, tag,
+                          msg->rpc_id, static_cast<double>(wire_bytes));
+        handlers_[to]->on_message(from, std::move(msg));
+      });
 }
 
 void Network::send(NodeAddr from, NodeAddr to, MessagePtr msg) {

@@ -28,11 +28,21 @@ struct LatencyModel {
   sim::SimTime min = sim::SimTime::millis(20);
   sim::SimTime max = sim::SimTime::millis(80);
 
+  /// Single validation point: a config with max < min is a programming
+  /// error, caught here rather than as UB-adjacent wraparound inside the
+  /// RNG range call. Network's constructor validates its model once.
+  void validate() const { PGRID_EXPECTS(min <= max); }
+
+  /// Uniform in [min, max) at nanosecond granularity: offset + below(width)
+  /// covers {min .. max-1ns} exactly, including the width == 1ns edge where
+  /// the only representable value is min.
   [[nodiscard]] sim::SimTime sample(Rng& rng) const {
+    validate();
     if (min == max) return min;
     const auto lo = min.ns();
-    const auto hi = max.ns();
-    return sim::SimTime::nanos(rng.range(lo, hi - 1));
+    const auto width = static_cast<std::uint64_t>(max.ns() - lo);
+    return sim::SimTime::nanos(
+        lo + static_cast<std::int64_t>(rng.below(width)));
   }
 };
 

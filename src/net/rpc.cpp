@@ -21,34 +21,67 @@ RpcEndpoint::RpcEndpoint(Network& network, NodeAddr self)
     : net_(network),
       self_(self),
       stream_(network.next_rpc_stream()),
-      next_id_(stream_ << 32 | 1),
       rng_(network.fork_rng()) {}
 
 RpcEndpoint::~RpcEndpoint() { cancel_all(); }
+
+RpcEndpoint::Pending* RpcEndpoint::find_pending(std::uint64_t rpc_id) noexcept {
+  const auto slot = static_cast<std::uint16_t>(rpc_id & 0xffff);
+  const auto gen = static_cast<std::uint16_t>((rpc_id >> 16) & 0xffff);
+  if (slot >= pending_.size()) return nullptr;
+  Pending& p = pending_[slot];
+  return (p.live && p.generation == gen) ? &p : nullptr;
+}
+
+void RpcEndpoint::release_pending(std::uint16_t slot) noexcept {
+  Pending& p = pending_[slot];
+  p.k = nullptr;
+  p.live = false;
+  // A recycled slot's generation no longer matches stale correlation ids, so
+  // a reply that outlives its call can never complete a newer one. (16-bit
+  // generations wrap after 65536 reuses of one slot — far beyond any
+  // message's in-flight lifetime.)
+  if (++p.generation == 0) p.generation = 1;
+  p.next_free = free_head_;
+  free_head_ = slot;
+  --outstanding_;
+}
 
 std::uint64_t RpcEndpoint::call(NodeAddr to, MessagePtr request,
                                 sim::SimTime timeout, Continuation k) {
   PGRID_EXPECTS(request != nullptr);
   PGRID_EXPECTS(k != nullptr);
-  const std::uint64_t id = next_id_++;
+  std::uint16_t slot;
+  if (free_head_ != kNoFreeSlot) {
+    slot = free_head_;
+    free_head_ = pending_[slot].next_free;
+  } else {
+    PGRID_EXPECTS(pending_.size() < kMaxPending);
+    pending_.emplace_back();
+    slot = static_cast<std::uint16_t>(pending_.size() - 1);
+  }
+  Pending& p = pending_[slot];
+  p.live = true;
+  p.k = std::move(k);
+  ++outstanding_;
+  const std::uint64_t id =
+      stream_ << 32 | std::uint64_t{p.generation} << 16 | slot;
   request->rpc_id = id;
   request->is_reply = false;
   PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kRpcIssue, self_, to,
                     request->type(), id);
 
-  const sim::EventId timeout_event =
-      net_.simulator().schedule_in(timeout, [this, to, id] {
-        auto it = pending_.find(id);
-        if (it == pending_.end()) return;
-        Continuation cont = std::move(it->second.k);
-        pending_.erase(it);
-        ++timeouts_;
-        PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kRpcTimeout, self_,
-                          to, 0, id);
-        cont(nullptr);
-      });
+  p.timeout_event = net_.simulator().schedule_in(timeout, [this, to, id] {
+    Pending* pending = find_pending(id);
+    if (pending == nullptr) return;
+    Continuation cont = std::move(pending->k);
+    release_pending(static_cast<std::uint16_t>(id & 0xffff));
+    ++timeouts_;
+    PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kRpcTimeout, self_, to, 0,
+                      id);
+    cont(nullptr);
+  });
 
-  pending_.emplace(id, Pending{std::move(k), timeout_event});
   net_.send(self_, to, std::move(request));
   return id;
 }
@@ -142,11 +175,11 @@ bool RpcEndpoint::consume_reply(MessagePtr& msg) {
   PGRID_EXPECTS(msg != nullptr);
   if (!msg->is_reply || msg->rpc_id == 0) return false;
   if ((msg->rpc_id >> 32) != stream_) return false;  // another endpoint's
-  auto it = pending_.find(msg->rpc_id);
-  if (it == pending_.end()) return true;  // late reply after timeout: drop
-  Continuation cont = std::move(it->second.k);
-  net_.simulator().cancel(it->second.timeout_event);
-  pending_.erase(it);
+  Pending* p = find_pending(msg->rpc_id);
+  if (p == nullptr) return true;  // late reply after timeout: drop
+  Continuation cont = std::move(p->k);
+  net_.simulator().cancel(p->timeout_event);
+  release_pending(static_cast<std::uint16_t>(msg->rpc_id & 0xffff));
   PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kRpcComplete, self_,
                     obs::kNoActor, msg->type(), msg->rpc_id);
   cont(std::move(msg));
@@ -154,17 +187,18 @@ bool RpcEndpoint::consume_reply(MessagePtr& msg) {
 }
 
 void RpcEndpoint::cancel(std::uint64_t rpc_id) {
-  auto it = pending_.find(rpc_id);
-  if (it == pending_.end()) return;
-  net_.simulator().cancel(it->second.timeout_event);
-  pending_.erase(it);
+  Pending* p = find_pending(rpc_id);
+  if (p == nullptr) return;
+  net_.simulator().cancel(p->timeout_event);
+  release_pending(static_cast<std::uint16_t>(rpc_id & 0xffff));
 }
 
 void RpcEndpoint::cancel_all() {
-  for (auto& [id, p] : pending_) {
-    net_.simulator().cancel(p.timeout_event);
+  for (std::size_t slot = 0; slot < pending_.size(); ++slot) {
+    if (!pending_[slot].live) continue;
+    net_.simulator().cancel(pending_[slot].timeout_event);
+    release_pending(static_cast<std::uint16_t>(slot));
   }
-  pending_.clear();
   // Also stop retry chains waiting out a backoff pause; without this a
   // crashed node would keep retransmitting from beyond the grave.
   for (const sim::EventId id : backoff_waits_) {

@@ -10,8 +10,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/rng.h"
 #include "net/message.h"
@@ -95,26 +95,40 @@ class RpcEndpoint {
 
   [[nodiscard]] NodeAddr self() const noexcept { return self_; }
   [[nodiscard]] std::size_t outstanding() const noexcept {
-    return pending_.size();
+    return outstanding_;
   }
   [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
 
  private:
+  /// Pending calls live in a slab addressed by the correlation id itself:
+  /// rpc_id = stream << 32 | generation << 16 | slot. Reply matching is an
+  /// O(1) array probe with generation-tagged staleness (a late reply whose
+  /// slot was recycled fails the generation check), mirroring the
+  /// simulator's event pool. No per-call map node allocation.
   struct Pending {
     Continuation k;
-    sim::EventId timeout_event;
+    sim::EventId timeout_event = sim::kInvalidEvent;
+    std::uint16_t generation = 1;
+    bool live = false;
+    std::uint16_t next_free = 0;
   };
   struct RetryState;
 
+  static constexpr std::uint16_t kNoFreeSlot = 0xffff;
+  static constexpr std::uint64_t kMaxPending = 0x10000;
+
   void retry_attempt(std::shared_ptr<RetryState> st);
+  [[nodiscard]] Pending* find_pending(std::uint64_t rpc_id) noexcept;
+  void release_pending(std::uint16_t slot) noexcept;
 
   Network& net_;
   NodeAddr self_;
   std::uint64_t stream_;
-  std::uint64_t next_id_;
   std::uint64_t timeouts_ = 0;
+  std::size_t outstanding_ = 0;
   Rng rng_;
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::vector<Pending> pending_;
+  std::uint16_t free_head_ = kNoFreeSlot;
   /// Pending between-attempt backoff pauses; cancelled with the calls.
   std::unordered_set<sim::EventId> backoff_waits_;
 };

@@ -44,6 +44,11 @@ std::string RunProfile::summary() const {
   std::snprintf(buf, sizeof buf, "%s%" PRIu64 " events, %.0fk ev/s",
                 out.empty() ? "" : " | ", events_, events_per_sec() / 1000.0);
   out += buf;
+  if (queue_peak_ > 0) {
+    std::snprintf(buf, sizeof buf, ", queue peak %zu (+%zu tombstones)",
+                  queue_peak_, tombstone_peak_);
+    out += buf;
+  }
   return out;
 }
 

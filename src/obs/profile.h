@@ -43,9 +43,21 @@ class RunProfile {
   /// Attribute simulator events to the profile (delta of Simulator::executed).
   void add_events(std::uint64_t n) noexcept { events_ += n; }
 
+  /// Record the simulator's queue working-set peaks (high-water of pending
+  /// events and of cancelled-event tombstones); keeps the max across calls.
+  void note_queue_peaks(std::size_t queue_peak,
+                        std::size_t tombstone_peak) noexcept {
+    if (queue_peak > queue_peak_) queue_peak_ = queue_peak;
+    if (tombstone_peak > tombstone_peak_) tombstone_peak_ = tombstone_peak;
+  }
+
   [[nodiscard]] double phase_sec(std::string_view phase) const noexcept;
   [[nodiscard]] double total_sec() const noexcept;
   [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+  [[nodiscard]] std::size_t queue_peak() const noexcept { return queue_peak_; }
+  [[nodiscard]] std::size_t tombstone_peak() const noexcept {
+    return tombstone_peak_;
+  }
 
   /// Simulator events per wall-clock second of the "run" phase (0 when the
   /// run phase has not been timed).
@@ -62,6 +74,8 @@ class RunProfile {
  private:
   std::vector<std::pair<std::string, double>> phases_;
   std::uint64_t events_ = 0;
+  std::size_t queue_peak_ = 0;
+  std::size_t tombstone_peak_ = 0;
 };
 
 }  // namespace pgrid::obs

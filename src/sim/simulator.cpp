@@ -1,37 +1,90 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace pgrid::sim {
 
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  PGRID_EXPECTS(slots_.size() < kNoFreeSlot);
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t index) noexcept {
+  Slot& slot = slots_[index];
+  slot.fn = nullptr;
+  // Bumping the generation invalidates every outstanding EventId and heap
+  // entry referring to this incarnation; 0 is skipped so ids are never 0.
+  if (++slot.generation == 0) slot.generation = 1;
+  slot.next_free = free_head_;
+  free_head_ = index;
+  --live_;
+}
+
 EventId Simulator::schedule_at(SimTime at, Callback fn) {
   PGRID_EXPECTS(at >= now_);
   PGRID_EXPECTS(fn != nullptr);
-  const EventId id = next_id_++;
-  queue_.push(Entry{at, next_seq_++, id});
-  live_.emplace(id, std::move(fn));
-  if (live_.size() > queue_high_water_) queue_high_water_ = live_.size();
-  return id;
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  heap_.push_back(Entry{at, next_seq_++, index, slot.generation});
+  std::push_heap(heap_.begin(), heap_.end(), fires_after);
+  ++live_;
+  if (live_ > queue_high_water_) queue_high_water_ = live_;
+  return static_cast<EventId>(slot.generation) << 32 | index;
 }
 
 bool Simulator::cancel(EventId id) {
-  // The heap entry stays behind as a tombstone and is skipped on pop; the
-  // callback (and any captured state) is released immediately.
-  return live_.erase(id) != 0;
+  if (!pending(id)) return false;
+  release_slot(slot_of(id));
+  // The heap entry stays behind as a tombstone (its generation no longer
+  // matches the slot) and is skipped on pop; the callback and any captured
+  // state are released immediately. Compaction bounds tombstone buildup.
+  ++tombstones_;
+  if (tombstones_ > tombstone_high_water_) tombstone_high_water_ = tombstones_;
+  maybe_compact();
+  return true;
+}
+
+void Simulator::pop_heap_entry() noexcept {
+  std::pop_heap(heap_.begin(), heap_.end(), fires_after);
+  heap_.pop_back();
+}
+
+void Simulator::maybe_compact() {
+  // Rebuild when tombstones dominate: O(n) filter + make_heap amortizes to
+  // O(1) per cancel, and keeps the heap at O(live) entries. Pop order is
+  // unchanged — (at, seq) is a total order, so heap layout is irrelevant.
+  if (tombstones_ <= live_ || tombstones_ < kCompactionFloor) return;
+  std::erase_if(heap_, [this](const Entry& e) {
+    return slots_[e.slot].generation != e.gen;
+  });
+  std::make_heap(heap_.begin(), heap_.end(), fires_after);
+  tombstones_ = 0;
+  ++compactions_;
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Entry top = queue_.top();
-    auto it = live_.find(top.id);
-    if (it == live_.end()) {
-      queue_.pop();  // tombstone from cancel()
+  while (!heap_.empty()) {
+    const Entry top = heap_.front();
+    Slot& slot = slots_[top.slot];
+    if (slot.generation != top.gen) {
+      pop_heap_entry();  // tombstone from cancel()
+      --tombstones_;
       continue;
     }
-    queue_.pop();
+    pop_heap_entry();
     now_ = top.at;
-    Callback fn = std::move(it->second);
-    live_.erase(it);
+    // Move the callback out and free the slot *before* invoking: the
+    // callback may schedule (reusing this slot) or cancel other events.
+    Callback fn = std::move(slot.fn);
+    release_slot(top.slot);
     ++executed_;
     fn();
     return true;
@@ -41,14 +94,15 @@ bool Simulator::step() {
 
 std::uint64_t Simulator::run_until(SimTime horizon) {
   std::uint64_t n = 0;
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Skip tombstones without advancing time.
-    auto it = live_.find(queue_.top().id);
-    if (it == live_.end()) {
-      queue_.pop();
+    const Entry& top = heap_.front();
+    if (slots_[top.slot].generation != top.gen) {
+      pop_heap_entry();
+      --tombstones_;
       continue;
     }
-    if (queue_.top().at > horizon) break;
+    if (top.at > horizon) break;
     step();
     ++n;
   }

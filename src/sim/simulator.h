@@ -5,25 +5,33 @@
 // simulator" (§3.3); this is that substrate. Determinism contract: events at
 // equal timestamps fire in scheduling order (FIFO tie-break via a sequence
 // number), so a fixed seed reproduces a run exactly.
+//
+// Hot-path design (DESIGN.md §11): callbacks live in a slab-allocated event
+// pool addressed by generation-tagged handles — an EventId packs (generation,
+// slot index) so cancel/pending are O(1) array probes with stale-handle
+// safety, and the small-buffer callback type (SmallFn) keeps the common
+// captures off the heap entirely. Cancelled events leave tombstones in the
+// binary heap; when tombstones outnumber live events the heap is rebuilt in
+// O(n), bounding memory at O(live) even under cancel-heavy workloads (every
+// successful RPC cancels its timeout).
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/expects.h"
+#include "common/small_fn.h"
 #include "sim/time.h"
 
 namespace pgrid::sim {
 
-/// Handle for cancelling a scheduled event. Value 0 is "invalid/none".
+/// Handle for cancelling a scheduled event: (generation << 32) | slot index.
+/// Value 0 is "invalid/none" (generations start at 1, so no live handle is 0).
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn<void()>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -43,9 +51,12 @@ class Simulator {
   /// a no-op. Returns true iff the event was pending.
   bool cancel(EventId id);
 
-  /// True iff the event is still pending.
-  [[nodiscard]] bool pending(EventId id) const {
-    return live_.count(id) != 0;
+  /// True iff the event is still pending. A handle whose slot has been
+  /// recycled fails the generation check, so stale ids are always "not
+  /// pending" rather than aliasing a newer event.
+  [[nodiscard]] bool pending(EventId id) const noexcept {
+    const std::uint32_t index = slot_of(id);
+    return index < slots_.size() && slots_[index].generation == gen_of(id);
   }
 
   /// Run a single event; returns false if the queue is empty.
@@ -58,7 +69,8 @@ class Simulator {
   /// Run until the queue drains.
   std::uint64_t run() { return run_until(SimTime::max()); }
 
-  [[nodiscard]] std::size_t queued() const noexcept { return live_.size(); }
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t queued() const noexcept { return live_; }
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
   /// Largest number of simultaneously pending (non-cancelled) events seen so
@@ -67,26 +79,69 @@ class Simulator {
     return queue_high_water_;
   }
 
+  /// Cancelled-but-not-yet-popped heap entries right now, and the peak seen.
+  /// queued() + tombstones() == heap_size() always.
+  [[nodiscard]] std::size_t tombstones() const noexcept { return tombstones_; }
+  [[nodiscard]] std::size_t tombstone_high_water() const noexcept {
+    return tombstone_high_water_;
+  }
+  /// Total heap entries (live + tombstones), and O(n) rebuilds performed.
+  [[nodiscard]] std::size_t heap_size() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::uint64_t compactions() const noexcept {
+    return compactions_;
+  }
+
  private:
+  /// Pooled event state. A slot is live iff its generation matches the heap
+  /// entry / handle that references it; freeing bumps the generation, which
+  /// atomically invalidates every outstanding reference.
+  struct Slot {
+    Callback fn;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = 0;
+  };
+
+  /// Heap entry: ordering key plus the generation-tagged slot reference.
+  /// Entries whose generation no longer matches their slot are tombstones.
   struct Entry {
     SimTime at;
     std::uint64_t seq;
-    EventId id;
-
-    /// Min-heap by (time, seq): std::priority_queue is a max-heap, so invert.
-    friend bool operator<(const Entry& a, const Entry& b) noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
+
+  /// Min-heap by (time, seq): comparator says "a fires after b".
+  static bool fires_after(const Entry& a, const Entry& b) noexcept {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+
+  static constexpr std::uint32_t kNoFreeSlot = 0xffffffff;
+  static constexpr std::size_t kCompactionFloor = 64;
+
+  static std::uint32_t slot_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id);
+  }
+  static std::uint32_t gen_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index) noexcept;
+  void pop_heap_entry() noexcept;
+  void maybe_compact();
 
   SimTime now_;
   std::uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::size_t live_ = 0;
+  std::size_t tombstones_ = 0;
   std::size_t queue_high_water_ = 0;
-  std::priority_queue<Entry> queue_;
-  std::unordered_map<EventId, Callback> live_;
+  std::size_t tombstone_high_water_ = 0;
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFreeSlot;
 };
 
 /// RAII periodic task: reschedules itself every `period` until stopped or

@@ -57,7 +57,7 @@ class FaultPlaneTest : public ::testing::Test {
 
 TEST_F(FaultPlaneTest, LazyCreation) {
   EXPECT_FALSE(net.has_fault_plane());
-  net.fault_plane();
+  static_cast<void>(net.fault_plane());
   EXPECT_TRUE(net.has_fault_plane());
   EXPECT_TRUE(net.fault_plane().quiescent());
 }
@@ -236,7 +236,7 @@ TEST_F(FaultPlaneTest, NoFaultPlaneKeepsDeterministicDelivery) {
   const NodeAddr dst1 = n1.add_handler(&r1);
   const NodeAddr src2 = n2.add_handler(&r2);
   const NodeAddr dst2 = n2.add_handler(&r2);
-  n2.fault_plane();  // created, quiescent
+  static_cast<void>(n2.fault_plane());  // created, quiescent
   for (int i = 0; i < 50; ++i) {
     n1.send(src1, dst1, std::make_unique<CloneMsg>(i));
     n2.send(src2, dst2, std::make_unique<CloneMsg>(i));

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "metrics/metrics.h"
 
 namespace pgrid::metrics {
@@ -48,7 +50,8 @@ TEST(Collector, WaitTimesOnlyCoverStartedJobs) {
   const Samples waits = c.wait_times();
   EXPECT_EQ(waits.count(), 2u);
   EXPECT_DOUBLE_EQ(waits.mean(), 6.0);
-  EXPECT_DOUBLE_EQ(waits.stdev(), 2.0);
+  // Sample (N−1) estimator: deviations ±2 over two samples → sqrt(8/1).
+  EXPECT_DOUBLE_EQ(waits.stdev(), std::sqrt(8.0));
 }
 
 TEST(Collector, CountersAccumulate) {

@@ -136,5 +136,28 @@ TEST(NetworkLatency, UniformRangeSampled) {
   EXPECT_NEAR(mean / 2000.0, 0.050, 0.002);
 }
 
+// Regression for the [min, max) edge cases: a 1ns-wide window has exactly
+// one representable value (min), and min == max is the constant-latency
+// degenerate case. Neither may consult the RNG out of range.
+TEST(NetworkLatency, OneNanosecondWindowAlwaysReturnsMin) {
+  Rng rng{7};
+  const LatencyModel hair{sim::SimTime::nanos(100), sim::SimTime::nanos(101)};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(hair.sample(rng), sim::SimTime::nanos(100));
+  }
+  Rng rng2{8};
+  const LatencyModel point{sim::SimTime::millis(3), sim::SimTime::millis(3)};
+  EXPECT_EQ(point.sample(rng2), sim::SimTime::millis(3));
+}
+
+TEST(NetworkLatency, InvertedBoundsAreRejected) {
+  Rng rng{9};
+  const LatencyModel inverted{sim::SimTime::millis(80),
+                              sim::SimTime::millis(20)};
+  EXPECT_DEATH(static_cast<void>(inverted.sample(rng)), "min <= max");
+  sim::Simulator simulator;
+  EXPECT_DEATH(Network(simulator, Rng{10}, inverted), "min <= max");
+}
+
 }  // namespace
 }  // namespace pgrid::net

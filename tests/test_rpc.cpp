@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "net/fault_plane.h"
 #include "net/message.h"
 #include "net/network.h"
@@ -342,6 +344,68 @@ TEST(RpcMultiEndpoint, DisjointIdStreams) {
   simulator.run();
   EXPECT_EQ(got1, 101);
   EXPECT_EQ(got2, 102);
+}
+
+// The pending-call slab recycles slots; correlation ids carry a generation
+// tag so every call still gets a unique id and slot reuse can never route a
+// reply to the wrong continuation.
+TEST_F(RpcTest, SlabReuseKeepsCorrelationIdsUnique) {
+  std::set<std::uint64_t> ids;
+  int completed = 0;
+  for (int round = 0; round < 1000; ++round) {
+    const std::uint64_t id =
+        client.rpc.call(server.rpc.self(), std::make_unique<Echo>(round),
+                        sim::SimTime::seconds(1), [&](MessagePtr reply) {
+                          ASSERT_NE(reply, nullptr);
+                          ++completed;
+                        });
+    EXPECT_TRUE(ids.insert(id).second) << "correlation id reused live";
+    simulator.run();  // complete the call; its slot is recycled next round
+    EXPECT_EQ(client.rpc.outstanding(), 0u);
+  }
+  EXPECT_EQ(completed, 1000);
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST_F(RpcTest, StaleReplyForRecycledSlotIsDropped) {
+  // First call times out (mute server): its slot is freed. A second call
+  // then occupies the same slot with a bumped generation. The late reply to
+  // the first call must not complete the second.
+  server.mute = true;
+  bool first_timed_out = false;
+  client.rpc.call(server.rpc.self(), std::make_unique<Echo>(1),
+                  sim::SimTime::millis(8),
+                  [&](MessagePtr reply) { first_timed_out = reply == nullptr; });
+  simulator.run();
+  ASSERT_TRUE(first_timed_out);
+  server.mute = false;
+  int second_value = -1;
+  client.rpc.call(server.rpc.self(), std::make_unique<Echo>(50),
+                  sim::SimTime::seconds(1), [&](MessagePtr reply) {
+                    ASSERT_NE(reply, nullptr);
+                    second_value = msg_cast<Echo>(reply.get())->value;
+                  });
+  simulator.run();
+  EXPECT_EQ(second_value, 100);
+  EXPECT_EQ(server.served, 2);
+}
+
+TEST_F(RpcTest, OutstandingTracksSlabOccupancy) {
+  server.mute = true;
+  for (int i = 0; i < 16; ++i) {
+    client.rpc.call(server.rpc.self(), std::make_unique<Echo>(i),
+                    sim::SimTime::seconds(1), [](MessagePtr) {});
+  }
+  EXPECT_EQ(client.rpc.outstanding(), 16u);
+  // Each call holds one timeout event; the 16 request datagrams are also
+  // still in flight as delivery events.
+  EXPECT_EQ(simulator.queued(), 32u);
+  client.rpc.cancel_all();
+  EXPECT_EQ(client.rpc.outstanding(), 0u);
+  // cancel_all released exactly the timeout events; deliveries remain.
+  EXPECT_EQ(simulator.queued(), 16u);
+  simulator.run();
+  EXPECT_EQ(client.rpc.outstanding(), 0u);
 }
 
 }  // namespace

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -161,6 +166,124 @@ TEST(PeriodicTask, StoppingFromInsideCallback) {
   handle = &task;
   simulator.run();
   EXPECT_EQ(count, 3);
+}
+
+// Regression for the tombstone leak: before compaction, N cancelled
+// far-future events (one per successful call_retry attempt) kept the heap at
+// size N until their deadlines popped. Compaction must bound the heap at
+// O(live events), and the live/tombstone counters must always reconcile with
+// the heap size.
+TEST(Simulator, CancelledFarFutureEventsDoNotBloatHeap) {
+  Simulator simulator;
+  constexpr int kCancelled = 100'000;
+  std::size_t heap_peak = 0;
+  // Mimic an RPC-heavy run: each iteration schedules a far-future timeout
+  // (the RTO) and immediately cancels it (the reply arrived).
+  for (int i = 0; i < kCancelled; ++i) {
+    const EventId timeout =
+        simulator.schedule_in(SimTime::seconds(3600), [] {});
+    EXPECT_TRUE(simulator.cancel(timeout));
+    heap_peak = std::max(heap_peak, simulator.heap_size());
+    // Invariant: every heap entry is either live or a counted tombstone.
+    ASSERT_EQ(simulator.queued() + simulator.tombstones(),
+              simulator.heap_size());
+  }
+  EXPECT_EQ(simulator.queued(), 0u);
+  // With zero live events, compaction fires as soon as tombstones pass the
+  // floor, so the heap never accumulates anywhere near kCancelled entries.
+  EXPECT_LT(heap_peak, 256u);
+  EXPECT_LT(simulator.heap_size(), 256u);
+  EXPECT_GT(simulator.compactions(), 0u);
+  EXPECT_GE(simulator.tombstone_high_water(), 64u);
+}
+
+TEST(Simulator, CompactionKeepsHeapProportionalToLiveEvents) {
+  Simulator simulator;
+  // A realistic mix: 1000 live far-future events plus a cancel churn.
+  std::vector<EventId> live;
+  for (int i = 0; i < 1000; ++i) {
+    live.push_back(simulator.schedule_in(SimTime::seconds(7200 + i), [] {}));
+  }
+  for (int i = 0; i < 50'000; ++i) {
+    simulator.cancel(simulator.schedule_in(SimTime::seconds(3600), [] {}));
+  }
+  EXPECT_EQ(simulator.queued(), 1000u);
+  // Tombstones can linger only while they do not outnumber live events.
+  EXPECT_LE(simulator.heap_size(), 2 * 1000u + 1);
+  for (EventId id : live) EXPECT_TRUE(simulator.cancel(id));
+}
+
+TEST(Simulator, StaleHandleAfterSlotReuseIsInert) {
+  Simulator simulator;
+  bool second_fired = false;
+  const EventId first = simulator.schedule_in(SimTime::seconds(1), [] {});
+  ASSERT_TRUE(simulator.cancel(first));
+  // The freed slot is recycled for a new event; the stale handle must not
+  // alias it.
+  const EventId second =
+      simulator.schedule_in(SimTime::seconds(2), [&] { second_fired = true; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(simulator.pending(first));
+  EXPECT_FALSE(simulator.cancel(first));  // stale: no-op
+  EXPECT_TRUE(simulator.pending(second));
+  simulator.run();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(Simulator, MoveOnlyCallbackCaptures) {
+  // SmallFn accepts move-only captures; std::function could not. This is
+  // what lets the network move MessagePtr payloads straight through
+  // delivery events without boxing.
+  Simulator simulator;
+  auto payload = std::make_unique<int>(42);
+  int seen = 0;
+  simulator.schedule_in(SimTime::seconds(1),
+                        [p = std::move(payload), &seen] { seen = *p; });
+  simulator.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Simulator, LargeCaptureSpillsToHeapCorrectly) {
+  Simulator simulator;
+  std::array<std::uint64_t, 32> big{};  // 256 bytes: exceeds inline budget
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i;
+  std::uint64_t sum = 0;
+  simulator.schedule_in(SimTime::seconds(1), [big, &sum] {
+    for (auto v : big) sum += v;
+  });
+  simulator.run();
+  EXPECT_EQ(sum, 496u);
+}
+
+// Determinism contract across compaction: a run whose cancel pattern forces
+// heap rebuilds must produce the bit-identical event ordering, timestamps,
+// and executed count as the same schedule replayed without ever compacting
+// (tombstones below the floor). Compaction only discards dead entries.
+TEST(Simulator, CompactionPreservesEventOrdering) {
+  // cancel_batch == 0 keeps tombstones under the compaction floor.
+  auto run_once = [](int cancel_batch) {
+    Simulator simulator;
+    std::vector<std::pair<std::int64_t, int>> trace;
+    std::uint64_t compactions_seen = 0;
+    for (int i = 0; i < 500; ++i) {
+      simulator.schedule_at(SimTime::millis((i * 37) % 1000), [&, i] {
+        trace.emplace_back(simulator.now().ns(), i);
+        // Churn cancels from inside events to exercise mid-run compaction.
+        for (int j = 0; j < cancel_batch; ++j) {
+          simulator.cancel(
+              simulator.schedule_in(SimTime::seconds(900), [] {}));
+        }
+        compactions_seen = simulator.compactions();
+      });
+    }
+    simulator.run();
+    return std::make_pair(trace, compactions_seen);
+  };
+  const auto [quiet_trace, quiet_compactions] = run_once(0);
+  const auto [churn_trace, churn_compactions] = run_once(40);
+  EXPECT_EQ(quiet_compactions, 0u);
+  EXPECT_GT(churn_compactions, 0u);
+  EXPECT_EQ(quiet_trace, churn_trace);
 }
 
 TEST(Simulator, DeterministicReplay) {

@@ -105,7 +105,34 @@ TEST(Samples, MeanStdevMatchRunningStats) {
     r.add(x);
   }
   EXPECT_NEAR(s.mean(), r.mean(), 1e-9);
-  EXPECT_NEAR(s.stdev(), r.stdev(), 1e-9);
+  // Samples::stdev is the N−1 sample estimator; RunningStats offers both.
+  EXPECT_NEAR(s.stdev(), r.sample_stdev(), 1e-9);
+}
+
+// Regression: pins the estimator conventions. Samples::stdev (what benches
+// report as replicate spread) divides by N−1; RunningStats::variance keeps
+// population (N) semantics with sample_variance() alongside.
+TEST(Samples, StdevIsSampleEstimator) {
+  Samples s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  // Sum of squared deviations is 32: population variance 4, sample 32/7.
+  EXPECT_DOUBLE_EQ(s.stdev(), std::sqrt(32.0 / 7.0));
+
+  RunningStats r;
+  for (double x : s.values()) r.add(x);
+  EXPECT_DOUBLE_EQ(r.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(r.sample_variance(), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(r.sample_stdev(), s.stdev());
+}
+
+TEST(RunningStats, SampleVarianceDegenerateCases) {
+  RunningStats r;
+  EXPECT_EQ(r.sample_variance(), 0.0);  // empty
+  r.add(3.0);
+  EXPECT_EQ(r.sample_variance(), 0.0);  // single sample: undefined, report 0
+  r.add(5.0);
+  EXPECT_DOUBLE_EQ(r.sample_variance(), 2.0);
+  EXPECT_DOUBLE_EQ(r.variance(), 1.0);
 }
 
 TEST(Histogram, BucketsAndEdges) {
