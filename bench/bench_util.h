@@ -18,6 +18,16 @@
 
 namespace pgrid::bench {
 
+/// Build flavor baked into every JSON row so downstream tooling (and
+/// reviewers of results/*.txt) can reject numbers recorded from an
+/// unoptimized binary. Derived from NDEBUG: the only signal that tracks
+/// what the optimizer actually saw.
+#ifdef NDEBUG
+inline constexpr const char* kBuildType = "release";
+#else
+inline constexpr const char* kBuildType = "debug";
+#endif
+
 /// Experiment scale, overridable from the command line. Defaults reproduce
 /// the paper's setup (1000 nodes, 5000 jobs, exp(100 s) service, Poisson
 /// 0.1 s inter-arrival); pass --nodes/--jobs/... to rescale.
@@ -236,7 +246,8 @@ class BenchJson {
     if (file_ == nullptr) return;
     std::fprintf(
         file_,
-        "{\"bench\":\"%s\",\"cell\":\"%s\",\"wait_avg\":%.6f,"
+        "{\"bench\":\"%s\",\"build_type\":\"%s\",\"cell\":\"%s\","
+        "\"wait_avg\":%.6f,"
         "\"wait_stdev\":%.6f,\"match_hops_avg\":%.6f,"
         "\"injection_hops_avg\":%.6f,\"jobs_per_node_cv\":%.6f,"
         "\"completed_fraction\":%.6f,\"makespan_sec\":%.3f,"
@@ -247,7 +258,7 @@ class BenchJson {
         "\"sim_events\":%" PRIu64 ",\"events_per_wall_sec\":%.1f,"
         "\"sim_queue_peak\":%" PRIu64 ",\"sim_tombstone_peak\":%" PRIu64
         "}\n",
-        bench_.c_str(), label.c_str(), r.wait_avg, r.wait_stdev,
+        bench_.c_str(), kBuildType, label.c_str(), r.wait_avg, r.wait_stdev,
         r.match_hops_avg, r.injection_hops_avg, r.jobs_per_node_cv,
         r.completed_fraction, r.makespan_sec, r.messages,
         r.messages_delivered, r.bytes_sent, r.bytes_delivered,

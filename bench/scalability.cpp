@@ -7,9 +7,12 @@
 // Nodes sweep {128..max} with jobs = 5 x nodes (constant per-node load);
 // reports wait time, overlay hops, and messages per job for RN and CAN.
 
+#include <chrono>
 #include <cmath>
 
 #include "bench/bench_util.h"
+#include "can/space.h"
+#include "chord/ring.h"
 
 int main(int argc, char** argv) {
   using namespace pgrid;
@@ -84,9 +87,60 @@ int main(int argc, char** argv) {
     print_summary_line(label, results[i]);
     json.row(label, results[i]);
   }
+  // --- overlay construction throughput --------------------------------------
+  // Instant-wiring cost alone, past the full-simulation sweep's sizes: the
+  // O(N log N) bootstrap is what makes 10k+ node experiments feasible, so
+  // track it (wall clock, one shot per cell) alongside the steady-state
+  // numbers. Recorded rows carry build_type so debug-binary runs are
+  // rejectable downstream.
+  print_header("Overlay construction (instant wiring, wall clock)");
+  std::printf("%-8s %-8s %12s %14s\n", "nodes", "overlay", "build-sec",
+              "nodes/sec");
+  const std::vector<std::size_t> construct_sizes{1024, 4096, 10240};
+  for (std::size_t n : construct_sizes) {
+    for (const bool is_chord : {true, false}) {
+      sim::Simulator simulator;
+      net::Network network(simulator, Rng{1});
+      const auto start = std::chrono::steady_clock::now();
+      if (is_chord) {
+        chord::ChordConfig overlay_config;
+        overlay_config.run_maintenance = false;
+        chord::ChordRing ring(network, overlay_config, Rng{2});
+        for (std::size_t i = 0; i < n; ++i) {
+          ring.add_host(Guid::of(std::uint64_t{9} + i * 31));
+        }
+        ring.wire_instantly();
+      } else {
+        can::CanConfig overlay_config;
+        overlay_config.run_maintenance = false;
+        can::CanSpace space(network, overlay_config, Rng{2});
+        Rng point_rng{3};
+        for (std::size_t i = 0; i < n; ++i) {
+          can::Point p(overlay_config.dims);
+          for (std::size_t d = 0; d < overlay_config.dims; ++d) {
+            p[d] = point_rng.uniform();
+          }
+          space.add_host(Guid::of(std::uint64_t{11} + i * 17), p);
+        }
+        space.wire_instantly();
+      }
+      const double sec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      const char* overlay = is_chord ? "chord" : "can";
+      std::printf("%-8zu %-8s %12.4f %14.0f\n", n, overlay, sec,
+                  static_cast<double>(n) / sec);
+      CellResult r;
+      r.build_wall_sec = sec;
+      json.row("construct/" + std::string(overlay) + "/" + std::to_string(n),
+               r);
+    }
+  }
   if (json.active()) std::printf("\nwrote %s\n", json.path().c_str());
 
   std::printf("\nExpected shape: hops/job grow ~log2(nodes) for RN and\n"
-              "~(d/4)N^(1/d) for CAN; wait stays roughly flat.\n");
+              "~(d/4)N^(1/d) for CAN; wait stays roughly flat; construction\n"
+              "build-sec grows ~N log N (near-linear nodes/sec).\n");
   return 0;
 }

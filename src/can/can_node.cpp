@@ -117,7 +117,7 @@ void CanNode::crash() {
 }
 
 void CanNode::install_state(std::vector<Zone> zones,
-                            std::map<net::NodeAddr, NeighborState> neighbors) {
+                            FlatMap<net::NodeAddr, NeighborState> neighbors) {
   PGRID_EXPECTS(!zones.empty());
   running_ = true;
   zones_ = std::move(zones);

@@ -9,12 +9,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "can/geometry.h"
 #include "can/messages.h"
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "net/network.h"
@@ -94,7 +94,7 @@ class CanNode {
   [[nodiscard]] const std::vector<Zone>& zones() const noexcept {
     return zones_;
   }
-  [[nodiscard]] const std::map<net::NodeAddr, NeighborState>& neighbors()
+  [[nodiscard]] const FlatMap<net::NodeAddr, NeighborState>& neighbors()
       const noexcept {
     return neighbors_;
   }
@@ -115,7 +115,7 @@ class CanNode {
 
   /// Instant bootstrap: install zones and neighbor table directly.
   void install_state(std::vector<Zone> zones,
-                     std::map<net::NodeAddr, NeighborState> neighbors);
+                     FlatMap<net::NodeAddr, NeighborState> neighbors);
 
  private:
   struct RouteState {
@@ -179,9 +179,12 @@ class CanNode {
   bool running_ = false;
   bool joining_ = false;
   Peer bootstrap_ = kNoPeer;  // last join target, for orphan rejoin
+  // Hot routing state lives in sorted flat vectors (FlatMap): scanned every
+  // route/maintenance tick, and iteration order (sorted by address) matches
+  // the std::map it replaced, keeping the simulation deterministic.
   std::vector<Zone> zones_;
-  std::map<net::NodeAddr, NeighborState> neighbors_;
-  std::map<net::NodeAddr, sim::EventId> takeover_timers_;
+  FlatMap<net::NodeAddr, NeighborState> neighbors_;
+  FlatMap<net::NodeAddr, sim::EventId> takeover_timers_;
   double load_ = 0.0;
   std::vector<double> upstream_load_;
   std::uint64_t update_seq_ = 0;  // outgoing ZoneUpdate counter
@@ -199,7 +202,7 @@ class CanNode {
   // inside a pending grant re-issues the same grant. Over-claiming is safe
   // (double claims resolve via the GUID rule); under-claiming is a
   // permanent hole in the space, so reclamation errs toward claiming.
-  std::map<net::NodeAddr, Zone> pending_grants_;
+  FlatMap<net::NodeAddr, Zone> pending_grants_;
 
   std::unique_ptr<sim::PeriodicTask> update_task_;
   CanStats stats_;

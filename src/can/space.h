@@ -3,7 +3,6 @@
 // instant wiring (logical sequence of splits), answers ground-truth owner
 // queries, and drives crash/restart for failure tests.
 
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -37,8 +36,20 @@ class CanHost final : public net::MessageHandler {
 /// Install zones and exact neighbor tables into a set of live CanNodes,
 /// replaying the deterministic split sequence logically. Used for instant
 /// experiment bootstrap by CanSpace and by the grid layer.
+/// Near-linear: each joiner is point-located by descending the split
+/// history's binary tree (each split yields two children), and neighbor
+/// sets are maintained incrementally — a split can only create adjacency
+/// within the split zone's old neighborhood, so discovery is
+/// output-sensitive instead of an O(N²) all-pairs abuts() scan.
 void wire_space_instantly(const std::vector<CanNode*>& nodes,
                           std::size_t dims);
+
+/// Reference implementation of wire_space_instantly: O(N²) point location
+/// plus O(N²) all-pairs neighbor discovery. Retained only so property tests
+/// can assert the fast path produces bit-identical zones and neighbor
+/// tables; never call it on large spaces.
+void wire_space_instantly_naive(const std::vector<CanNode*>& nodes,
+                                std::size_t dims);
 
 class CanSpace {
  public:
@@ -50,7 +61,9 @@ class CanSpace {
   /// resulting zones plus exact neighbor tables into every host.
   void wire_instantly();
 
-  /// Ground truth: the live node owning `p`.
+  /// Ground truth: the live node owning `p`. Scans a cached live-host
+  /// index (invalidated only by add_host/crash/restart) instead of
+  /// re-filtering the full host list per query.
   [[nodiscard]] Peer oracle_owner(const Point& p) const;
 
   void crash(std::size_t index);
@@ -69,11 +82,18 @@ class CanSpace {
   [[nodiscard]] bool zones_tile_space(double tolerance = 1e-9) const;
 
  private:
+  void ensure_live_index() const;
+
   net::Network& net_;
   CanConfig config_;
   Rng rng_;
   std::vector<std::unique_ptr<CanHost>> hosts_;
   std::vector<bool> alive_;
+
+  // Cached live-host indices (host order), rebuilt lazily after any
+  // membership change; oracle_owner runs once per job in the benches.
+  mutable bool live_dirty_ = true;
+  mutable std::vector<std::size_t> live_hosts_;
 };
 
 }  // namespace pgrid::can

@@ -84,7 +84,7 @@ void ChordNode::crash() {
 }
 
 void ChordNode::install_state(Peer predecessor, std::vector<Peer> successor_list,
-                              std::array<Peer, kBits> fingers) {
+                              const std::array<Peer, kBits>& fingers) {
   running_ = true;
   predecessor_ = predecessor;
   successors_ = std::move(successor_list);

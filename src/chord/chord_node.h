@@ -104,7 +104,7 @@ class ChordNode {
 
   /// Install exact routing state (instant bootstrap for experiments).
   void install_state(Peer predecessor, std::vector<Peer> successor_list,
-                     std::array<Peer, kBits> fingers);
+                     const std::array<Peer, kBits>& fingers);
 
  private:
   // --- message handlers -----------------------------------------------

@@ -3,7 +3,6 @@
 // joins and instant ("oracle") wiring, and answers ground-truth successor
 // queries for tests and for the centralized matchmaker baseline.
 
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -37,9 +36,20 @@ class ChordHost final : public net::MessageHandler {
 /// Install exact routing state (successors, predecessors, fingers) into a
 /// set of live ChordNodes, forming a perfectly consistent ring. Used for
 /// instant experiment bootstrap by ChordRing and by the grid layer.
+/// Sorts once into a flat (Guid, Peer) ring; successors and predecessors
+/// are neighbors in ring order. Per node, every finger bit whose span fits
+/// inside the gap to the next node is the immediate successor (all but
+/// ~log2(N) of 64 bits); the rest resolve via monotone-floor binary
+/// searches. O(N log N) sort + O(N · (64 + log²N)).
 void wire_ring_instantly(const std::vector<ChordNode*>& nodes);
 
-/// Ground-truth successor among the given nodes.
+/// Reference implementation of wire_ring_instantly that resolves each of
+/// the 64 fingers per node with an O(N) oracle scan — O(64 · N²) total.
+/// Retained only so property tests can assert the fast path produces
+/// bit-identical routing state; never call it on large rings.
+void wire_ring_instantly_naive(const std::vector<ChordNode*>& nodes);
+
+/// Ground-truth successor among the given nodes (O(N) scan).
 [[nodiscard]] Peer ring_oracle_successor(
     const std::vector<const ChordNode*>& nodes, Guid key);
 
@@ -55,6 +65,9 @@ class ChordRing {
   void wire_instantly();
 
   /// Ground truth: the live node owning `key` (successor among live nodes).
+  /// O(log N): answered from a cached sorted index of live nodes that is
+  /// invalidated only by add_host/crash/restart, since the benches and the
+  /// centralized matchmaker baseline call this once per job.
   [[nodiscard]] Peer oracle_successor(Guid key) const;
 
   /// Mark a host crashed: network-dead plus protocol shutdown.
@@ -72,11 +85,21 @@ class ChordRing {
   [[nodiscard]] net::Network& network() noexcept { return net_; }
 
  private:
+  void ensure_live_index() const;
+
   net::Network& net_;
   ChordConfig config_;
   Rng rng_;
   std::vector<std::unique_ptr<ChordHost>> hosts_;
   std::vector<bool> alive_;
+
+  // Cached live index: host indices in host order (for wiring) plus the
+  // same peers sorted by GUID (for O(log N) oracle queries). Rebuilt lazily
+  // after any membership change.
+  mutable bool live_dirty_ = true;
+  mutable std::vector<std::size_t> live_hosts_;
+  mutable std::vector<Guid> live_ids_;    // sorted
+  mutable std::vector<Peer> live_peers_;  // aligned with live_ids_
 };
 
 }  // namespace pgrid::chord

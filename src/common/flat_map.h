@@ -1,0 +1,134 @@
+#pragma once
+// FlatMap: a sorted-vector map for the small hot-path tables the overlay
+// protocols keep per node (CAN neighbor sets, takeover timers, pending join
+// grants, RN-Tree child aggregates). These tables hold a handful to a few
+// dozen entries but are scanned on every route/maintenance tick, where
+// std::map's per-node allocations and pointer chasing dominate. A sorted
+// vector keeps lookups O(log n), iteration contiguous, and — crucially for
+// the deterministic simulator — iterates in exactly the same key order as
+// std::map, so swapping one for the other cannot change event order.
+//
+// API is the std::map subset the protocols use. One deliberate difference:
+// insertion and erasure invalidate *all* iterators and references (vector
+// semantics), so never hold a reference across a mutation.
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/expects.h"
+
+namespace pgrid {
+
+template <typename Key, typename T, typename Compare = std::less<Key>>
+class FlatMap {
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+  using value_type = std::pair<Key, T>;
+  using storage_type = std::vector<value_type>;
+  using iterator = typename storage_type::iterator;
+  using const_iterator = typename storage_type::const_iterator;
+  using size_type = std::size_t;
+
+  FlatMap() = default;
+
+  [[nodiscard]] iterator begin() noexcept { return data_.begin(); }
+  [[nodiscard]] iterator end() noexcept { return data_.end(); }
+  [[nodiscard]] const_iterator begin() const noexcept { return data_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return data_.end(); }
+  [[nodiscard]] const_iterator cbegin() const noexcept { return data_.cbegin(); }
+  [[nodiscard]] const_iterator cend() const noexcept { return data_.cend(); }
+
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] size_type size() const noexcept { return data_.size(); }
+  void clear() noexcept { data_.clear(); }
+  void reserve(size_type n) { data_.reserve(n); }
+
+  [[nodiscard]] iterator find(const Key& key) {
+    const iterator it = lower(key);
+    return (it != data_.end() && equal(it->first, key)) ? it : data_.end();
+  }
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    const const_iterator it = lower(key);
+    return (it != data_.end() && equal(it->first, key)) ? it : data_.end();
+  }
+  [[nodiscard]] size_type count(const Key& key) const {
+    return find(key) != data_.end() ? 1 : 0;
+  }
+  [[nodiscard]] bool contains(const Key& key) const {
+    return find(key) != data_.end();
+  }
+
+  T& operator[](const Key& key) {
+    iterator it = lower(key);
+    if (it == data_.end() || !equal(it->first, key)) {
+      it = data_.emplace(it, key, T{});
+    }
+    return it->second;
+  }
+  [[nodiscard]] T& at(const Key& key) {
+    const iterator it = find(key);
+    PGRID_EXPECTS(it != data_.end());
+    return it->second;
+  }
+  [[nodiscard]] const T& at(const Key& key) const {
+    const const_iterator it = find(key);
+    PGRID_EXPECTS(it != data_.end());
+    return it->second;
+  }
+
+  /// std::map-style emplace: no-op if the key already exists.
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const Key& key, Args&&... args) {
+    iterator it = lower(key);
+    if (it != data_.end() && equal(it->first, key)) return {it, false};
+    it = data_.emplace(it, std::piecewise_construct,
+                       std::forward_as_tuple(key),
+                       std::forward_as_tuple(std::forward<Args>(args)...));
+    return {it, true};
+  }
+
+  template <typename M>
+  std::pair<iterator, bool> insert_or_assign(const Key& key, M&& value) {
+    iterator it = lower(key);
+    if (it != data_.end() && equal(it->first, key)) {
+      it->second = std::forward<M>(value);
+      return {it, false};
+    }
+    it = data_.emplace(it, key, std::forward<M>(value));
+    return {it, true};
+  }
+
+  size_type erase(const Key& key) {
+    const iterator it = find(key);
+    if (it == data_.end()) return 0;
+    data_.erase(it);
+    return 1;
+  }
+  iterator erase(const_iterator pos) { return data_.erase(pos); }
+
+  friend bool operator==(const FlatMap& a, const FlatMap& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  [[nodiscard]] iterator lower(const Key& key) {
+    return std::lower_bound(
+        data_.begin(), data_.end(), key,
+        [](const value_type& v, const Key& k) { return Compare{}(v.first, k); });
+  }
+  [[nodiscard]] const_iterator lower(const Key& key) const {
+    return std::lower_bound(
+        data_.begin(), data_.end(), key,
+        [](const value_type& v, const Key& k) { return Compare{}(v.first, k); });
+  }
+  [[nodiscard]] static bool equal(const Key& a, const Key& b) {
+    return !Compare{}(a, b) && !Compare{}(b, a);
+  }
+
+  storage_type data_;
+};
+
+}  // namespace pgrid

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "chord/chord_node.h"
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "net/network.h"
@@ -131,7 +132,9 @@ class RnTreeService {
 
   bool running_ = false;
   Peer parent_ = kNoPeer;
-  std::map<net::NodeAddr, ChildState> children_;
+  // Flat sorted table: scanned on every token descent and aggregation push;
+  // iteration order (sorted by address) matches the std::map it replaced.
+  FlatMap<net::NodeAddr, ChildState> children_;
   std::unique_ptr<sim::PeriodicTask> agg_task_;
 
   std::uint64_t next_search_id_ = 1;

@@ -1,0 +1,138 @@
+// FlatMap: the sorted-vector map that replaced std::map in per-node routing
+// state. Routing code iterates these tables inside the deterministic
+// simulation loop, so beyond basic container behavior the tests pin the
+// property the simulation depends on: iteration order identical to std::map.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/flat_map.h"
+#include "common/rng.h"
+
+namespace {
+
+using pgrid::FlatMap;
+using pgrid::Rng;
+
+TEST(FlatMap, StartsEmpty) {
+  FlatMap<int, std::string> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(1), m.end());
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_EQ(m.count(1), 0u);
+}
+
+TEST(FlatMap, SubscriptInsertsAndFinds) {
+  FlatMap<int, std::string> m;
+  m[3] = "three";
+  m[1] = "one";
+  m[2] = "two";
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[1], "one");
+  EXPECT_EQ(m[2], "two");
+  EXPECT_EQ(m[3], "three");
+  EXPECT_EQ(m.at(2), "two");
+  ASSERT_NE(m.find(3), m.end());
+  EXPECT_EQ(m.find(3)->second, "three");
+  EXPECT_TRUE(m.contains(2));
+  EXPECT_EQ(m.count(2), 1u);
+  // operator[] on a present key does not insert.
+  m[2] = "TWO";
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.at(2), "TWO");
+}
+
+TEST(FlatMap, IterationIsSortedByKey) {
+  FlatMap<int, int> m;
+  for (int k : {5, 1, 9, 3, 7, 2, 8, 4, 6, 0}) m[k] = k * 10;
+  int expect = 0;
+  for (const auto& [k, v] : m) {
+    EXPECT_EQ(k, expect);
+    EXPECT_EQ(v, k * 10);
+    ++expect;
+  }
+  EXPECT_EQ(expect, 10);
+}
+
+TEST(FlatMap, EmplaceDoesNotClobber) {
+  FlatMap<int, std::string> m;
+  EXPECT_TRUE(m.emplace(1, "first").second);
+  EXPECT_FALSE(m.emplace(1, "second").second);
+  EXPECT_EQ(m.at(1), "first");
+}
+
+TEST(FlatMap, InsertOrAssignClobbers) {
+  FlatMap<int, std::string> m;
+  m.insert_or_assign(1, "first");
+  m.insert_or_assign(1, "second");
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.at(1), "second");
+}
+
+TEST(FlatMap, EraseByKeyAndIterator) {
+  FlatMap<int, int> m;
+  for (int k = 0; k < 6; ++k) m[k] = k;
+  EXPECT_EQ(m.erase(3), 1u);
+  EXPECT_EQ(m.erase(3), 0u);
+  EXPECT_EQ(m.size(), 5u);
+  // Erase-while-iterating, the pattern the CAN node uses to expire
+  // neighbors: erase returns the next valid iterator.
+  for (auto it = m.begin(); it != m.end();) {
+    if (it->first % 2 == 0) {
+      it = m.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_TRUE(m.contains(5));
+}
+
+TEST(FlatMap, EqualityComparesContents) {
+  FlatMap<int, int> a;
+  FlatMap<int, int> b;
+  a[1] = 10;
+  a[2] = 20;
+  b[2] = 20;
+  b[1] = 10;
+  EXPECT_TRUE(a == b);
+  b[3] = 30;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FlatMap, MatchesStdMapUnderRandomOps) {
+  FlatMap<int, int> flat;
+  std::map<int, int> ref;
+  Rng rng{0xF1A7};
+  for (int step = 0; step < 2000; ++step) {
+    const int key = static_cast<int>(rng.index(64));
+    const double coin = rng.uniform();
+    if (coin < 0.45) {
+      const int value = static_cast<int>(rng.next() & 0xFFFF);
+      flat[key] = value;
+      ref[key] = value;
+    } else if (coin < 0.65) {
+      flat.insert_or_assign(key, step);
+      ref.insert_or_assign(key, step);
+    } else if (coin < 0.8) {
+      flat.emplace(key, step);
+      ref.emplace(key, step);
+    } else {
+      EXPECT_EQ(flat.erase(key), ref.erase(key));
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+    // Same contents in the same order — the determinism contract.
+    auto fit = flat.begin();
+    for (const auto& [k, v] : ref) {
+      ASSERT_EQ(fit->first, k);
+      ASSERT_EQ(fit->second, v);
+      ++fit;
+    }
+  }
+}
+
+}  // namespace
