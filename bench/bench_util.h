@@ -13,6 +13,7 @@
 
 #include "common/config.h"
 #include "grid/grid_system.h"
+#include "net/message_pool.h"
 #include "sim/runner.h"
 #include "workload/workload.h"
 
@@ -108,7 +109,27 @@ struct CellResult {
   double events_per_wall_sec = 0.0;
   std::uint64_t sim_queue_peak = 0;
   std::uint64_t sim_tombstone_peak = 0;
+  // Message-pool recycling over the cell (thread-local delta; see
+  // attach_pool_stats). A healthy steady state reuses nearly every block.
+  std::uint64_t pool_fresh = 0;
+  std::uint64_t pool_reused = 0;
+  double pool_reuse_fraction = 0.0;
 };
+
+/// Fold the calling thread's MessagePool counters since `before` into `r`.
+/// Call on the same thread that ran the cell (the sweep worker), with
+/// `before` sampled just before the system was built.
+inline void attach_pool_stats(CellResult& r,
+                              const net::MessagePool::Stats& before) {
+  const net::MessagePool::Stats now = net::MessagePool::stats();
+  r.pool_fresh = now.fresh - before.fresh;
+  r.pool_reused = now.reused - before.reused;
+  const auto total = r.pool_fresh + r.pool_reused;
+  r.pool_reuse_fraction =
+      total == 0 ? 0.0
+                 : static_cast<double>(r.pool_reused) /
+                       static_cast<double>(total);
+}
 
 inline CellResult summarize(const grid::GridSystem& system) {
   CellResult r;
@@ -172,6 +193,8 @@ inline CellResult average(const std::vector<CellResult>& cells) {
     avg.sim_queue_peak = std::max(avg.sim_queue_peak, c.sim_queue_peak);
     avg.sim_tombstone_peak =
         std::max(avg.sim_tombstone_peak, c.sim_tombstone_peak);
+    avg.pool_fresh += c.pool_fresh;
+    avg.pool_reused += c.pool_reused;
   }
   const auto n = static_cast<double>(cells.size());
   avg.wait_avg /= n;
@@ -189,6 +212,11 @@ inline CellResult average(const std::vector<CellResult>& cells) {
   avg.run_wall_sec /= n;
   avg.sim_events /= cells.size();
   avg.events_per_wall_sec /= n;
+  const auto pool_total = avg.pool_fresh + avg.pool_reused;
+  avg.pool_reuse_fraction =
+      pool_total == 0 ? 0.0
+                      : static_cast<double>(avg.pool_reused) /
+                            static_cast<double>(pool_total);
   return avg;
 }
 
@@ -202,10 +230,11 @@ inline void print_header(const std::string& title) {
 inline void print_summary_line(const std::string& label, const CellResult& r) {
   std::printf("summary %-14s msgs %" PRIu64 "/%" PRIu64
               " (sent/delivered), bytes %" PRIu64 "/%" PRIu64
-              ", run %.2fs wall, %" PRIu64 " events, %.0fk ev/s\n",
+              ", run %.2fs wall, %" PRIu64 " events, %.0fk ev/s"
+              ", pool reuse %.1f%%\n",
               label.c_str(), r.messages, r.messages_delivered, r.bytes_sent,
               r.bytes_delivered, r.run_wall_sec, r.sim_events,
-              r.events_per_wall_sec / 1000.0);
+              r.events_per_wall_sec / 1000.0, r.pool_reuse_fraction * 100.0);
 }
 
 /// JSONL writer for bench results: one object per cell so downstream tooling
@@ -257,7 +286,8 @@ class BenchJson {
         ",\"build_wall_sec\":%.6f,\"run_wall_sec\":%.6f,"
         "\"sim_events\":%" PRIu64 ",\"events_per_wall_sec\":%.1f,"
         "\"sim_queue_peak\":%" PRIu64 ",\"sim_tombstone_peak\":%" PRIu64
-        "}\n",
+        ",\"pool_fresh\":%" PRIu64 ",\"pool_reused\":%" PRIu64
+        ",\"pool_reuse_fraction\":%.4f}\n",
         bench_.c_str(), kBuildType, label.c_str(), r.wait_avg, r.wait_stdev,
         r.match_hops_avg, r.injection_hops_avg, r.jobs_per_node_cv,
         r.completed_fraction, r.makespan_sec, r.messages,
@@ -265,7 +295,8 @@ class BenchJson {
         r.resubmissions, r.requeues, r.build_wall_sec, r.run_wall_sec,
         r.sim_events, r.events_per_wall_sec,
         static_cast<std::uint64_t>(r.sim_queue_peak),
-        static_cast<std::uint64_t>(r.sim_tombstone_peak));
+        static_cast<std::uint64_t>(r.sim_tombstone_peak),
+        r.pool_fresh, r.pool_reused, r.pool_reuse_fraction);
   }
 
  private:

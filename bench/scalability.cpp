@@ -57,11 +57,14 @@ int main(int argc, char** argv) {
             scale.mean_runtime_sec / (0.8 * static_cast<double>(cell.nodes));
         const auto spec = make_spec(scale, Mix::kMixed, Mix::kMixed, 0.4,
                                     base.seed + cell.nodes);
+        const auto pool_before = net::MessagePool::stats();
         grid::GridSystem system(
             make_grid_config(cell.kind, base.seed + 13),
             workload::generate(spec));
         system.run();
-        return summarize(system);
+        CellResult r = summarize(system);
+        attach_pool_stats(r, pool_before);
+        return r;
       });
 
   print_header("Scaling of wait time and overlay cost");

@@ -59,6 +59,14 @@ struct NeighborState {
   std::vector<net::NodeAddr> their_neighbors;
   /// Highest ZoneUpdate::seq seen from this neighbor (staleness guard).
   std::uint64_t update_seq = 0;
+  /// Sender-side zone version carried by the update that populated `zones`.
+  /// 0 = unknown (entry seeded from join contacts / install_state, which
+  /// carry no version); real versions start at 1, so 0 never matches.
+  std::uint64_t zones_version = 0;
+  /// Receiver-side geometry_epoch_ at the last *quiet* full scan of an
+  /// update from this neighbor (no conflict action, no hints sent).
+  /// 0 = never; epochs start at 1. See on_zone_update's fast path.
+  std::uint64_t scan_epoch = 0;
 };
 
 class CanNode {
@@ -144,13 +152,24 @@ class CanNode {
 
   void start_maintenance();
   void do_update();
+  /// Freeze this node's advertised state for a ZoneUpdate fan-out.
+  [[nodiscard]] std::shared_ptr<const ZoneUpdate::Snapshot> make_zone_snapshot()
+      const;
   void send_zone_update(net::NodeAddr to);
+  void send_zone_update(net::NodeAddr to,
+                        std::shared_ptr<const ZoneUpdate::Snapshot> snap);
   void broadcast_zone_update(const std::vector<net::NodeAddr>& extra = {});
   void send_dim_load_reports();
   /// Drop neighbors that no longer abut any of our zones.
   void prune_neighbors();
   void schedule_takeover(net::NodeAddr dead);
   void execute_takeover(net::NodeAddr dead);
+  /// Call after any zones_ mutation: advertise a new zone version and
+  /// invalidate every neighbor's cached quiet-scan epoch.
+  void note_zones_changed() noexcept {
+    ++zones_version_;
+    ++geometry_epoch_;
+  }
   [[nodiscard]] double total_volume() const noexcept;
 
   // --- partition-heal reconciliation ------------------------------------
@@ -188,6 +207,14 @@ class CanNode {
   double load_ = 0.0;
   std::vector<double> upstream_load_;
   std::uint64_t update_seq_ = 0;  // outgoing ZoneUpdate counter
+  /// Bumped on every zones_ mutation; advertised in snapshots so receivers
+  /// can recognize an unchanged claim without comparing geometry.
+  std::uint64_t zones_version_ = 0;
+  /// Bumped whenever anything on_zone_update's geometry scans read changes:
+  /// our own zones_ or the neighbor table's membership / stored zone sets.
+  /// A NeighborState whose scan_epoch matches is guaranteed that re-running
+  /// those scans would reproduce the previous (empty) outcome.
+  std::uint64_t geometry_epoch_ = 1;
 
   static constexpr std::size_t kLostCap = 16;
   std::vector<Peer> lost_;  // candidates for zone-view re-linking

@@ -53,8 +53,11 @@ Zone Zone::whole(std::size_t dims) {
 
 bool Zone::contains(const Point& p) const noexcept {
   PGRID_ASSERT(p.dims() == dims());
-  for (std::size_t d = 0; d < dims(); ++d) {
-    if (p[d] < lo_[d] || p[d] >= hi_[d]) return false;
+  const double* pp = p.data();
+  const double* lo = lo_.data();
+  const double* hi = hi_.data();
+  for (std::size_t d = 0, n = dims(); d < n; ++d) {
+    if (pp[d] < lo[d] || pp[d] >= hi[d]) return false;
   }
   return true;
 }
@@ -73,13 +76,16 @@ Point Zone::center() const noexcept {
 
 double Zone::distance_to(const Point& p) const noexcept {
   PGRID_ASSERT(p.dims() == dims());
+  const double* pp = p.data();
+  const double* lo = lo_.data();
+  const double* hi = hi_.data();
   double sum = 0.0;
-  for (std::size_t d = 0; d < dims(); ++d) {
+  for (std::size_t d = 0, n = dims(); d < n; ++d) {
     double gap = 0.0;
-    if (p[d] < lo_[d]) {
-      gap = lo_[d] - p[d];
-    } else if (p[d] > hi_[d]) {
-      gap = p[d] - hi_[d];
+    if (pp[d] < lo[d]) {
+      gap = lo[d] - pp[d];
+    } else if (pp[d] > hi[d]) {
+      gap = pp[d] - hi[d];
     }
     sum += gap * gap;
   }
@@ -88,10 +94,14 @@ double Zone::distance_to(const Point& p) const noexcept {
 
 bool Zone::abuts(const Zone& other) const noexcept {
   PGRID_ASSERT(other.dims() == dims());
+  const double* alo = lo_.data();
+  const double* ahi = hi_.data();
+  const double* blo = other.lo_.data();
+  const double* bhi = other.hi_.data();
   std::size_t touching = 0;
-  for (std::size_t d = 0; d < dims(); ++d) {
-    const bool touch = (hi_[d] == other.lo_[d]) || (other.hi_[d] == lo_[d]);
-    const bool overlap = (lo_[d] < other.hi_[d]) && (other.lo_[d] < hi_[d]);
+  for (std::size_t d = 0, n = dims(); d < n; ++d) {
+    const bool touch = (ahi[d] == blo[d]) || (bhi[d] == alo[d]);
+    const bool overlap = (alo[d] < bhi[d]) && (blo[d] < ahi[d]);
     if (touch) {
       ++touching;
     } else if (!overlap) {
@@ -103,8 +113,12 @@ bool Zone::abuts(const Zone& other) const noexcept {
 
 bool Zone::overlaps(const Zone& other) const noexcept {
   PGRID_ASSERT(other.dims() == dims());
-  for (std::size_t d = 0; d < dims(); ++d) {
-    if (lo_[d] >= other.hi_[d] || other.lo_[d] >= hi_[d]) return false;
+  const double* alo = lo_.data();
+  const double* ahi = hi_.data();
+  const double* blo = other.lo_.data();
+  const double* bhi = other.hi_.data();
+  for (std::size_t d = 0, n = dims(); d < n; ++d) {
+    if (alo[d] >= bhi[d] || blo[d] >= ahi[d]) return false;
   }
   return true;
 }

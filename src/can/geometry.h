@@ -41,6 +41,10 @@ class Point {
     PGRID_ASSERT(d < dims_);
     return coords_[d];
   }
+  /// Raw coordinate array for the Zone kernels: loops bounded by dims()
+  /// skip the per-access assert of operator[], which otherwise dominates
+  /// the O(neighbors x zones^2) overlap scans in CAN steady state.
+  [[nodiscard]] const double* data() const noexcept { return coords_.data(); }
   double& operator[](std::size_t d) noexcept {
     PGRID_ASSERT(d < dims_);
     return coords_[d];

@@ -6,6 +6,7 @@
 // matchmaking variant of §3.3.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "can/geometry.h"
@@ -105,27 +106,54 @@ struct JoinResp final : net::Message {
 struct ZoneUpdate final : net::Message {
   static constexpr std::uint16_t kType = kZoneUpdate;
 
-  ZoneUpdate(Peer s, std::vector<Zone> z, Point rep, double l,
-             std::vector<net::NodeAddr> nbrs)
-      : Message(kType),
-        sender(s),
-        zones(std::move(z)),
-        rep_point(rep),
-        load(l),
-        neighbor_addrs(std::move(nbrs)) {}
+  /// The sender-side state advertised by one maintenance round. A broadcast
+  /// fans the same snapshot out to every neighbor (degree sends), so the
+  /// zones and neighbor-address vectors are built once and shared immutably
+  /// instead of being copied per message — the dominant allocation in CAN
+  /// steady state. Receivers read through the accessors below; the wire
+  /// accounting still charges every copy its full serialized size.
+  struct Snapshot {
+    Peer sender;
+    std::vector<Zone> zones;
+    Point rep_point;
+    double load = 0.0;
+    std::vector<net::NodeAddr> neighbor_addrs;
+    /// Bumped by the sender every time its zone set mutates. A receiver
+    /// that already holds this version knows `zones` is byte-identical to
+    /// what it stored, without comparing geometry. Derivable metadata, not
+    /// payload: excluded from payload_size().
+    std::uint64_t zones_version = 0;
+  };
 
-  Peer sender;
-  std::vector<Zone> zones;
-  Point rep_point;
-  double load;
-  std::vector<net::NodeAddr> neighbor_addrs;
+  explicit ZoneUpdate(std::shared_ptr<const Snapshot> s)
+      : Message(kType), snap(std::move(s)) {}
+
+  std::shared_ptr<const Snapshot> snap;
   /// Per-sender send counter. Receivers drop updates at or below the last
   /// seq seen from that sender, so duplicated or reordered copies (fault
-  /// plane) can never roll a neighbor's zone view backwards.
+  /// plane) can never roll a neighbor's zone view backwards. Per message,
+  /// not per snapshot: each fan-out copy gets its own seq.
   std::uint64_t seq = 0;
 
+  [[nodiscard]] const Peer& sender() const noexcept { return snap->sender; }
+  [[nodiscard]] const std::vector<Zone>& zones() const noexcept {
+    return snap->zones;
+  }
+  [[nodiscard]] const Point& rep_point() const noexcept {
+    return snap->rep_point;
+  }
+  [[nodiscard]] double load() const noexcept { return snap->load; }
+  [[nodiscard]] std::uint64_t zones_version() const noexcept {
+    return snap->zones_version;
+  }
+  [[nodiscard]] const std::vector<net::NodeAddr>& neighbor_addrs()
+      const noexcept {
+    return snap->neighbor_addrs;
+  }
+
   [[nodiscard]] std::size_t payload_size() const noexcept override {
-    return 20 + zones.size() * 2 * kMaxDims * 8 + 8 + neighbor_addrs.size() * 4;
+    return 20 + snap->zones.size() * 2 * kMaxDims * 8 + 8 +
+           snap->neighbor_addrs.size() * 4;
   }
   PGRID_MESSAGE_CLONE(ZoneUpdate)
 };

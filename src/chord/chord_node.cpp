@@ -28,6 +28,7 @@ void ChordNode::create() {
   predecessor_ = kNoPeer;
   successors_.assign(1, self_peer());
   fingers_.fill(kNoPeer);
+  rebuild_route_scan();
   start_maintenance();
 }
 
@@ -37,6 +38,7 @@ void ChordNode::join(Peer bootstrap, std::function<void(bool ok)> done) {
   predecessor_ = kNoPeer;
   successors_.clear();
   fingers_.fill(kNoPeer);
+  rebuild_route_scan();
   // Maintenance runs from the start: if the bootstrap lookup fails (the
   // bootstrap died or sits behind a partition), reconcile_lost keeps
   // probing it until the ring becomes reachable, instead of leaving this
@@ -60,6 +62,7 @@ void ChordNode::join(Peer bootstrap, std::function<void(bool ok)> done) {
     if (succ.addr == addr()) succ = kNoPeer;
     if (succ.valid()) {
       successors_.assign(1, succ);
+      rebuild_route_scan();
       rpc_.send(succ.addr, std::make_unique<Notify>(self_peer()));
       if (done) done(true);
     } else {
@@ -79,6 +82,7 @@ void ChordNode::crash() {
   predecessor_ = kNoPeer;
   successors_.clear();
   fingers_.fill(kNoPeer);
+  rebuild_route_scan();
   lost_.clear();
   lost_cursor_ = 0;
 }
@@ -89,6 +93,7 @@ void ChordNode::install_state(Peer predecessor, std::vector<Peer> successor_list
   predecessor_ = predecessor;
   successors_ = std::move(successor_list);
   fingers_ = fingers;
+  rebuild_route_scan();
   PGRID_EXPECTS(!successors_.empty());
   start_maintenance();
 }
@@ -211,20 +216,39 @@ void ChordNode::lookup_failed(const std::shared_ptr<LookupState>& st) {
 
 Peer ChordNode::closest_preceding(Guid key,
                                   const std::vector<Guid>& avoid) const {
-  // Scan fingers high-to-low, then the successor list, for the routing
-  // entry closest to (but strictly before) the key.
+  // Scan the deduplicated routing list (fingers high-to-low, then the
+  // successor list — see route_scan_) for the entry closest to (but
+  // strictly before) the key. In ring-relative coordinates rel(x) = x - id_
+  // (unsigned wraparound), x lies in the open interval (id_, key) iff
+  // 0 < rel(x) < rel(key), and "closest preceding" is the qualifying
+  // maximum of rel(x). The rel(x) - 1 < rel(key) - 1 form folds both
+  // bounds into one unsigned compare and, when key == id_ (rel(key) == 0,
+  // whole ring minus the endpoint), wraps to admit everything but id_.
+  const std::uint64_t rk = id_.clockwise_to(key);
   Peer best = kNoPeer;
-  auto consider = [&](Peer p) {
+  std::uint64_t best_rel = 0;
+  for (const Peer& p : route_scan_) {
+    const std::uint64_t rp = id_.clockwise_to(p.id);
+    if (rp - 1 >= rk - 1) continue;  // outside (id_, key)
+    if (rp <= best_rel) continue;    // not closer than the current best
+    if (!avoid.empty() && contains_id(avoid, p.id)) continue;
+    best = p;
+    best_rel = rp;
+  }
+  return best;
+}
+
+void ChordNode::rebuild_route_scan() {
+  route_scan_.clear();
+  auto push = [&](const Peer& p) {
     if (!p.valid() || p.addr == addr()) return;
-    if (contains_id(avoid, p.id)) return;
-    if (!in_interval_oo(p.id, id_, key)) return;
-    if (!best.valid() || in_interval_oo(best.id, id_, p.id)) best = p;
+    if (!route_scan_.empty() && route_scan_.back() == p) return;
+    route_scan_.push_back(p);
   };
   for (int i = kBits - 1; i >= 0; --i) {
-    consider(fingers_[static_cast<std::size_t>(i)]);
+    push(fingers_[static_cast<std::size_t>(i)]);
   }
-  for (const Peer& p : successors_) consider(p);
-  return best;
+  for (const Peer& p : successors_) push(p);
 }
 
 // --- incoming messages -------------------------------------------------------
@@ -300,6 +324,7 @@ void ChordNode::do_stabilize() {
     // Singleton ring: adopt the predecessor as successor once one appears.
     if (predecessor_.valid() && predecessor_.addr != addr()) {
       successors_.assign(1, predecessor_);
+      rebuild_route_scan();
     }
     return;
   }
@@ -309,7 +334,10 @@ void ChordNode::do_stabilize() {
               if (!running_) return;
               if (reply == nullptr) {
                 remove_failed(succ);
-                if (successors_.empty()) successors_.assign(1, self_peer());
+                if (successors_.empty()) {
+                  successors_.assign(1, self_peer());
+                  rebuild_route_scan();
+                }
                 return;
               }
               const auto* resp = net::msg_cast<StabilizeResp>(reply.get());
@@ -337,6 +365,7 @@ void ChordNode::adopt_successor_list(Peer head,
     fresh.push_back(p);
   }
   successors_ = std::move(fresh);
+  rebuild_route_scan();
 }
 
 void ChordNode::do_fix_fingers() {
@@ -347,7 +376,10 @@ void ChordNode::do_fix_fingers() {
   const Guid start{id_.value() + (std::uint64_t{1} << i)};
   lookup(start, [this, i](Peer result, int /*hops*/) {
     if (!running_) return;
-    if (result.valid()) fingers_[static_cast<std::size_t>(i)] = result;
+    if (result.valid() && !(fingers_[static_cast<std::size_t>(i)] == result)) {
+      fingers_[static_cast<std::size_t>(i)] = result;
+      rebuild_route_scan();
+    }
   });
 }
 
@@ -376,6 +408,7 @@ void ChordNode::remove_failed(Peer peer) {
     if (f == peer) f = kNoPeer;
   }
   if (predecessor_ == peer) predecessor_ = kNoPeer;
+  rebuild_route_scan();
 }
 
 void ChordNode::note_lost(Peer peer) {
@@ -416,6 +449,7 @@ void ChordNode::revive(Peer peer) {
     if (successors_.size() > config_.successor_list_len) {
       successors_.resize(config_.successor_list_len);
     }
+    rebuild_route_scan();
   }
   // Either way, let the peer consider us as predecessor; its own
   // reconciliation and stabilize rounds extend the merge from its side.

@@ -138,6 +138,8 @@ class ChordNode {
   void do_check_predecessor();
   void adopt_successor_list(Peer head, const std::vector<Peer>& tail);
   void remove_failed(Peer peer);
+  /// Recompute route_scan_; must follow any fingers_/successors_ change.
+  void rebuild_route_scan();
 
   // --- partition-heal reconciliation ------------------------------------
   // Peers evicted by remove_failed are remembered (bounded) and probed one
@@ -160,6 +162,13 @@ class ChordNode {
   std::vector<Peer> successors_;  // front() is the successor
   std::array<Peer, kBits> fingers_{};
   int next_finger_ = 0;
+  /// closest_preceding's scan order — fingers_ high-to-low then successors_
+  /// — with invalid/self entries and adjacent-duplicate runs removed.
+  /// Most of the 64 fingers repeat the same few peers (only ~log2(N) are
+  /// distinct), and dropping repeats cannot change an arg-max, so routing
+  /// decisions are identical while the per-hop scan shrinks ~5x. Rebuilt
+  /// by every fingers_/successors_ mutation site (rebuild_route_scan).
+  std::vector<Peer> route_scan_;
 
   static constexpr std::size_t kLostCap = 16;
   std::vector<Peer> lost_;  // candidates for ring-merge probing

@@ -24,7 +24,8 @@ bool Logger::has_time_source() noexcept {
 }
 
 void Logger::write(LogLevel level, const char* module, const std::string& msg) {
-  std::FILE* out = sink_ ? sink_ : stderr;
+  std::FILE* sink = sink_.load(std::memory_order_relaxed);
+  std::FILE* out = sink ? sink : stderr;
   if (t_time_source) {
     std::fprintf(out, "[t=%.6fs] [%s] %s: %s\n", t_time_source(),
                  log_level_name(level), module, msg.c_str());

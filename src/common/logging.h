@@ -2,6 +2,7 @@
 // Leveled logging. Off by default in benches (simulation hot paths must not
 // format strings); enable per-module for debugging protocol traces.
 
+#include <atomic>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -14,16 +15,27 @@ class Logger {
  public:
   static Logger& instance() noexcept;
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  // Level and sink are atomics: parallel sweeps log through this shared
+  // singleton from every worker thread, and a test flipping the sink while
+  // another thread's simulator writes must not be a data race. Relaxed
+  // ordering suffices — readers only need *some* consistent value, and the
+  // write path reloads the sink per line.
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] bool enabled(LogLevel level) const noexcept {
-    return level >= level_;
+    return level >= level_.load(std::memory_order_relaxed);
   }
 
   void write(LogLevel level, const char* module, const std::string& msg);
 
   /// Redirect output (tests capture logs); nullptr restores stderr.
-  void set_sink(std::FILE* sink) noexcept { sink_ = sink; }
+  void set_sink(std::FILE* sink) noexcept {
+    sink_.store(sink, std::memory_order_relaxed);
+  }
 
   /// Register a simulated-clock source for this thread: log lines gain a
   /// "[t=12.345s]" prefix so they correlate with trace events. Thread-local
@@ -33,8 +45,8 @@ class Logger {
   [[nodiscard]] static bool has_time_source() noexcept;
 
  private:
-  LogLevel level_ = LogLevel::kWarn;
-  std::FILE* sink_ = nullptr;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::atomic<std::FILE*> sink_{nullptr};
 };
 
 [[nodiscard]] const char* log_level_name(LogLevel level) noexcept;

@@ -54,7 +54,8 @@ Peer CentralScheduler::pick_least_loaded(const Constraints& c,
 }
 
 Peer CentralScheduler::pick_random(const Constraints& c, Rng& rng) const {
-  std::vector<GridNode*> eligible;
+  std::vector<GridNode*>& eligible = eligible_scratch_;
+  eligible.clear();
   for (GridNode* node : nodes_) {
     if (node->running() && c.satisfied_by(node->caps())) {
       eligible.push_back(node);

@@ -52,6 +52,9 @@ class CentralScheduler {
 
   std::vector<GridNode*> nodes_;
   mutable std::vector<std::vector<InFlight>> in_flight_;
+  /// Eligible-node scratch for pick_random: reused across calls so the
+  /// random matchmaker's steady state allocates nothing per placement.
+  mutable std::vector<GridNode*> eligible_scratch_;
 };
 
 }  // namespace pgrid::grid

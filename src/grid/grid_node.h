@@ -11,11 +11,11 @@
 // owner and run nodes").
 
 #include <deque>
-#include <map>
 #include <memory>
 
 #include "can/can_node.h"
 #include "chord/chord_node.h"
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "grid/job.h"
 #include "grid/messages.h"
@@ -222,14 +222,18 @@ class GridNode final : public net::MessageHandler {
   double executing_end_sec_ = 0.0;
   net::NodeAddr last_served_client_ = net::kNullAddr;
 
-  std::map<Guid, OwnedJob> owned_;
+  // Owner/run bookkeeping lives in sorted flat vectors (FlatMap): probed on
+  // every heartbeat and matchmaking step, and iteration order matches the
+  // std::map they replaced, so the simulation stays deterministic. Holders
+  // of references re-fetch after any insert/erase (vector semantics).
+  FlatMap<Guid, OwnedJob> owned_;
 
   struct PendingWalk {
     std::function<void(Peer, int)> cb;
     sim::EventId timeout_event = sim::kInvalidEvent;
   };
   std::uint64_t next_probe_id_ = 1;
-  std::map<std::uint64_t, PendingWalk> pending_walks_;
+  FlatMap<std::uint64_t, PendingWalk> pending_walks_;
 
   std::unique_ptr<sim::PeriodicTask> heartbeat_task_;
   std::unique_ptr<sim::PeriodicTask> owner_monitor_task_;

@@ -5,10 +5,12 @@
 // deriving from Message, each with a unique 16-bit type tag used for
 // dispatch. Tags are partitioned per layer to catch cross-layer mixups.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
 #include "common/expects.h"
+#include "net/message_pool.h"
 
 namespace pgrid::net {
 
@@ -48,6 +50,19 @@ class Message {
   std::uint64_t rpc_id = 0;
   /// True for RPC replies (routed to the caller's continuation).
   bool is_reply = false;
+
+  /// Class-level allocation hooks: every datagram — make_unique at the send
+  /// site, clone() under fault-plane duplication — is served from the
+  /// thread-local MessagePool slab instead of the global allocator, and
+  /// recycled when the receiving handler drops it. Subclasses inherit these,
+  /// so no call site changes (DESIGN.md §13).
+  static void* operator new(std::size_t size) {
+    return MessagePool::allocate(size);
+  }
+  static void operator delete(void* p) noexcept { MessagePool::deallocate(p); }
+  static void operator delete(void* p, std::size_t) noexcept {
+    MessagePool::deallocate(p);
+  }
 
  protected:
   /// Copying is reserved for clone() implementations.

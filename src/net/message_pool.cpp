@@ -1,0 +1,131 @@
+#include "net/message_pool.h"
+
+#include <new>
+
+#include "common/expects.h"
+
+namespace pgrid::net {
+
+namespace {
+
+/// Header prepended to every pooled block. 16 bytes keeps user storage at
+/// max_align for the doubles and pointers inside message payloads.
+struct alignas(16) BlockHeader {
+  void* owner;             // the ThreadCache that allocated the block
+  std::uint32_t size_class;  // index into free lists; kOversizeClass if none
+  std::uint32_t magic;
+};
+
+constexpr std::uint32_t kMagic = 0x9b3d7a1eu;
+constexpr std::uint32_t kOversizeClass = 0xffffffffu;
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+struct ThreadCache {
+  FreeBlock* free_lists[MessagePool::kClassCount] = {};
+  MessagePool::Stats stats;
+
+  ~ThreadCache() { purge(); }
+
+  void purge() noexcept {
+    for (std::size_t c = 0; c < MessagePool::kClassCount; ++c) {
+      // A cached block's FreeBlock link overlays the header base, so the
+      // block pointer is exactly the pointer ::operator new returned.
+      FreeBlock* block = free_lists[c];
+      while (block != nullptr) {
+        FreeBlock* next = block->next;
+        ::operator delete(static_cast<void*>(block),
+                          std::align_val_t{alignof(BlockHeader)});
+        block = next;
+      }
+      free_lists[c] = nullptr;
+    }
+    stats.cached_blocks = 0;
+    stats.cached_bytes = 0;
+  }
+};
+
+/// Readable even while (or after) the cache's destructor runs at thread
+/// exit: trivially destructible, so late frees from static teardown fall
+/// into the foreign path instead of touching a dead cache.
+thread_local bool t_cache_alive = false;
+
+ThreadCache& cache() {
+  thread_local struct Guard {
+    ThreadCache c;
+    Guard() { t_cache_alive = true; }
+    ~Guard() { t_cache_alive = false; }
+  } guard;
+  return guard.c;
+}
+
+std::size_t class_bytes(std::uint32_t size_class) noexcept {
+  return (static_cast<std::size_t>(size_class) + 1) * MessagePool::kClassStep;
+}
+
+void* fresh_block(std::size_t user_bytes, std::uint32_t size_class) {
+  auto* header = static_cast<BlockHeader*>(
+      ::operator new(sizeof(BlockHeader) + user_bytes,
+                     std::align_val_t{alignof(BlockHeader)}));
+  header->size_class = size_class;
+  header->magic = kMagic;
+  return header + 1;
+}
+
+}  // namespace
+
+void* MessagePool::allocate(std::size_t size) {
+  ThreadCache& tc = cache();
+  if (size > kMaxPooledSize) {
+    ++tc.stats.oversize;
+    ++tc.stats.fresh;
+    void* p = fresh_block(size, kOversizeClass);
+    static_cast<BlockHeader*>(p)[-1].owner = &tc;
+    return p;
+  }
+  const auto size_class =
+      static_cast<std::uint32_t>((size + kClassStep - 1) / kClassStep - 1);
+  if (FreeBlock* block = tc.free_lists[size_class]; block != nullptr) {
+    tc.free_lists[size_class] = block->next;
+    ++tc.stats.reused;
+    --tc.stats.cached_blocks;
+    tc.stats.cached_bytes -= class_bytes(size_class);
+    auto* header = reinterpret_cast<BlockHeader*>(block);
+    header->owner = &tc;  // unchanged, but keep the invariant explicit
+    header->size_class = size_class;
+    header->magic = kMagic;
+    return header + 1;
+  }
+  ++tc.stats.fresh;
+  void* p = fresh_block(class_bytes(size_class), size_class);
+  static_cast<BlockHeader*>(p)[-1].owner = &tc;
+  return p;
+}
+
+void MessagePool::deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  auto* header = static_cast<BlockHeader*>(p) - 1;
+  PGRID_ASSERT(header->magic == kMagic);
+  if (header->size_class != kOversizeClass && t_cache_alive) {
+    ThreadCache& tc = cache();
+    if (header->owner == &tc) {
+      auto* block = reinterpret_cast<FreeBlock*>(header);
+      block->next = tc.free_lists[header->size_class];
+      tc.free_lists[header->size_class] = block;
+      ++tc.stats.cached_blocks;
+      tc.stats.cached_bytes += class_bytes(header->size_class);
+      return;
+    }
+    ++tc.stats.foreign;
+  }
+  ::operator delete(static_cast<void*>(header),
+                    std::align_val_t{alignof(BlockHeader)});
+}
+
+MessagePool::Stats MessagePool::stats() noexcept { return cache().stats; }
+
+void MessagePool::trim() noexcept { cache().purge(); }
+
+}  // namespace pgrid::net

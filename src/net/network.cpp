@@ -14,6 +14,9 @@ Network::Network(sim::Simulator& simulator, Rng rng, LatencyModel latency,
       loss_probability_(loss_probability) {
   PGRID_EXPECTS(loss_probability >= 0.0 && loss_probability < 1.0);
   latency.validate();
+  latency_lo_ns_ = latency_.min.ns();
+  latency_width_ns_ = static_cast<std::uint64_t>(latency_.max.ns() - latency_lo_ns_);
+  refresh_fast_path();
 }
 
 Network::~Network() = default;
@@ -43,12 +46,14 @@ bool Network::alive(NodeAddr addr) const {
 void Network::set_trace(obs::TraceBus* bus) noexcept {
   trace_ = bus;
   if (fault_ != nullptr) fault_->set_trace(bus);
+  refresh_fast_path();
 }
 
 FaultPlane& Network::fault_plane() {
   if (fault_ == nullptr) {
     fault_ = std::make_unique<FaultPlane>(sim_, fork_rng());
     fault_->set_trace(trace_);
+    refresh_fast_path();
   }
   return *fault_;
 }
@@ -87,6 +92,19 @@ void Network::send(NodeAddr from, NodeAddr to, MessagePtr msg) {
   ++stats_.messages_sent;
   ++stats_.sent_by_kind[tag & (NetworkStats::kKindSlots - 1)];
   stats_.bytes_sent += wire_bytes;
+
+  // Plain-delivery fast path: no fault plane, no trace bus, zero base loss.
+  // Every branch below is then a no-op, and the latency draw here consumes
+  // the RNG identically to the general path — same simulation either way.
+  if (plain_delivery_) {
+    if (!alive_[from]) {
+      ++stats_.messages_dropped_dead;
+      return;
+    }
+    deliver(from, to, sample_latency(), std::move(msg));
+    return;
+  }
+
   PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgSend, from, to, tag,
                     msg->rpc_id, static_cast<double>(wire_bytes));
 
@@ -133,7 +151,7 @@ void Network::send(NodeAddr from, NodeAddr to, MessagePtr msg) {
   }
 
   const auto delay_once = [&] {
-    const sim::SimTime base = latency_.sample(rng_);
+    const sim::SimTime base = sample_latency();
     return sim::SimTime::nanos(static_cast<std::int64_t>(
                static_cast<double>(base.ns()) * verdict.latency_scale)) +
            verdict.extra_delay;

@@ -129,10 +129,33 @@ class Network {
  private:
   void deliver(NodeAddr from, NodeAddr to, sim::SimTime delay, MessagePtr msg);
 
+  /// Re-derive the cached "plain delivery" predicate (DESIGN.md §13): true
+  /// while no fault plane exists, no trace bus is attached, and base loss is
+  /// zero — i.e. every per-send branch for those subsystems is statically
+  /// dead. send() then takes a short path whose only work is stats, the
+  /// alive check, and one latency sample; the RNG draw sequence is identical
+  /// to the general path, so simulations are bit-equal either way.
+  void refresh_fast_path() noexcept {
+    plain_delivery_ =
+        fault_ == nullptr && trace_ == nullptr && loss_probability_ == 0.0;
+  }
+
+  /// Latency sample with the model's bounds pre-validated and cached:
+  /// exactly one rng_.below() draw when the window is non-degenerate,
+  /// matching LatencyModel::sample draw-for-draw.
+  [[nodiscard]] sim::SimTime sample_latency() noexcept {
+    if (latency_width_ns_ == 0) return latency_.min;
+    return sim::SimTime::nanos(latency_lo_ns_ + static_cast<std::int64_t>(
+                                                    rng_.below(latency_width_ns_)));
+  }
+
   sim::Simulator& sim_;
   Rng rng_;
   LatencyModel latency_;
   double loss_probability_;
+  std::int64_t latency_lo_ns_ = 0;
+  std::uint64_t latency_width_ns_ = 0;
+  bool plain_delivery_ = false;
   std::vector<MessageHandler*> handlers_;
   std::vector<bool> alive_;
   NetworkStats stats_;

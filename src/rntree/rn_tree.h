@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -138,7 +137,10 @@ class RnTreeService {
   std::unique_ptr<sim::PeriodicTask> agg_task_;
 
   std::uint64_t next_search_id_ = 1;
-  std::map<std::uint64_t, PendingSearch> pending_searches_;
+  // Flat sorted table like children_: searches are few and short-lived, and
+  // every handler moves the callback out and erases before invoking it, so
+  // vector iterator invalidation cannot bite.
+  FlatMap<std::uint64_t, PendingSearch> pending_searches_;
 
   // A token is a mobile agent: if the network duplicates the message, both
   // copies would resume the walk and fork it — exponential token growth

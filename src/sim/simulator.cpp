@@ -27,6 +27,49 @@ void Simulator::release_slot(std::uint32_t index) noexcept {
   --live_;
 }
 
+// --- 4-ary implicit heap ----------------------------------------------------
+// children of i are 4i+1 .. 4i+4, parent is (i-1)/4. The element being
+// placed is held in a register and written once at its final position, so a
+// sift is one store per level instead of a swap.
+
+void Simulator::sift_up(std::size_t i) noexcept {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!fires_after(heap_[parent], e)) break;  // parent fires no later
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  const Entry e = heap_[i];
+  for (;;) {
+    std::size_t child = (i << 2) + 1;
+    if (child >= n) break;
+    const std::size_t last = std::min(child + 4, n);
+    std::size_t best = child;
+    for (std::size_t c = child + 1; c < last; ++c) {
+      if (fires_after(heap_[best], heap_[c])) best = c;
+    }
+    if (!fires_after(e, heap_[best])) break;  // e fires no later than children
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::rebuild_heap() noexcept {
+  // Floyd bottom-up heapify: O(n).
+  if (heap_.size() < 2) return;
+  for (std::size_t i = (heap_.size() - 2) >> 2; ; --i) {
+    sift_down(i);
+    if (i == 0) break;
+  }
+}
+
 EventId Simulator::schedule_at(SimTime at, Callback fn) {
   PGRID_EXPECTS(at >= now_);
   PGRID_EXPECTS(fn != nullptr);
@@ -34,7 +77,48 @@ EventId Simulator::schedule_at(SimTime at, Callback fn) {
   Slot& slot = slots_[index];
   slot.fn = std::move(fn);
   heap_.push_back(Entry{at, next_seq_++, index, slot.generation});
-  std::push_heap(heap_.begin(), heap_.end(), fires_after);
+  sift_up(heap_.size() - 1);
+  ++live_;
+  if (live_ > queue_high_water_) queue_high_water_ = live_;
+  return static_cast<EventId>(slot.generation) << 32 | index;
+}
+
+EventId Simulator::schedule_in(SimTime delay, Callback fn) {
+  // Route recurring fixed delays to a FIFO lane: for a fixed d, now() + d is
+  // non-decreasing across calls and seq is globally increasing, so a lane is
+  // sorted by construction and push/pop are O(1). The EventId, seq, and slot
+  // assignment are identical to the heap path, so which structure an event
+  // sits in is invisible to the simulation.
+  PGRID_EXPECTS(delay >= SimTime::zero());
+  const std::int64_t d = delay.ns();
+  Lane* lane = nullptr;
+  for (Lane& l : lanes_) {
+    if (l.delay_ns == d) {
+      lane = &l;
+      break;
+    }
+  }
+  if (lane == nullptr) {
+    if (lanes_.size() < kMaxLanes) {
+      PromoCounter& p = promo_[promo_bucket(d)];
+      if (p.delay_ns == d) {
+        if (++p.count >= kPromoteThreshold) {
+          lanes_.push_back(Lane{d, {}});
+          lane = &lanes_.back();
+        }
+      } else {
+        p.delay_ns = d;
+        p.count = 1;
+      }
+    }
+    if (lane == nullptr) return schedule_at(now_ + delay, std::move(fn));
+  }
+  PGRID_EXPECTS(fn != nullptr);
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  lane->q.push_back(Entry{now_ + delay, next_seq_++, index, slot.generation});
+  ++lane_entries_;
   ++live_;
   if (live_ > queue_high_water_) queue_high_water_ = live_;
   return static_cast<EventId>(slot.generation) << 32 | index;
@@ -53,57 +137,102 @@ bool Simulator::cancel(EventId id) {
 }
 
 void Simulator::pop_heap_entry() noexcept {
-  std::pop_heap(heap_.begin(), heap_.end(), fires_after);
+  const Entry back = heap_.back();
   heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = back;
+    sift_down(0);
+  }
 }
 
 void Simulator::maybe_compact() {
   // Rebuild when tombstones dominate: O(n) filter + make_heap amortizes to
-  // O(1) per cancel, and keeps the heap at O(live) entries. Pop order is
-  // unchanged — (at, seq) is a total order, so heap layout is irrelevant.
+  // O(1) per cancel, and keeps the queue at O(live) entries. Pop order is
+  // unchanged — (at, seq) is a total order, so heap layout is irrelevant and
+  // erasing from a lane FIFO preserves its order. Lanes must be swept here
+  // too: cancel-heavy phases that never execute events (so front-dropping
+  // never runs) would otherwise grow a lane without bound.
   if (tombstones_ <= live_ || tombstones_ < kCompactionFloor) return;
-  std::erase_if(heap_, [this](const Entry& e) {
+  const auto dead = [this](const Entry& e) {
     return slots_[e.slot].generation != e.gen;
-  });
-  std::make_heap(heap_.begin(), heap_.end(), fires_after);
+  };
+  std::erase_if(heap_, dead);
+  rebuild_heap();
+  for (Lane& l : lanes_) {
+    lane_entries_ -= l.q.size();
+    std::erase_if(l.q, dead);
+    lane_entries_ += l.q.size();
+  }
   tombstones_ = 0;
   ++compactions_;
 }
 
-bool Simulator::step() {
-  while (!heap_.empty()) {
-    const Entry top = heap_.front();
-    Slot& slot = slots_[top.slot];
-    if (slot.generation != top.gen) {
-      pop_heap_entry();  // tombstone from cancel()
-      --tombstones_;
-      continue;
-    }
-    pop_heap_entry();
-    now_ = top.at;
-    // Move the callback out and free the slot *before* invoking: the
-    // callback may schedule (reusing this slot) or cancel other events.
-    Callback fn = std::move(slot.fn);
-    release_slot(top.slot);
-    ++executed_;
-    fn();
-    return true;
+const Simulator::Entry* Simulator::peek_next(Lane*& src) noexcept {
+  while (!heap_.empty() &&
+         slots_[heap_.front().slot].generation != heap_.front().gen) {
+    pop_heap_entry();  // tombstone from cancel()
+    --tombstones_;
   }
-  return false;
+  const Entry* best = heap_.empty() ? nullptr : heap_.data();
+  src = nullptr;
+  for (Lane& l : lanes_) {
+    while (!l.q.empty()) {
+      const Entry& front = l.q.front();
+      if (slots_[front.slot].generation == front.gen) break;
+      l.q.pop_front();
+      --lane_entries_;
+      --tombstones_;
+    }
+    if (l.q.empty()) continue;
+    const Entry& front = l.q.front();
+    if (best == nullptr || fires_after(*best, front)) {
+      best = &front;
+      src = &l;
+    }
+  }
+  return best;
+}
+
+void Simulator::pop_next(Lane* src) noexcept {
+  if (src == nullptr) {
+    pop_heap_entry();
+  } else {
+    src->q.pop_front();
+    --lane_entries_;
+  }
+}
+
+bool Simulator::step() {
+  Lane* src = nullptr;
+  const Entry* next = peek_next(src);
+  if (next == nullptr) return false;
+  const Entry top = *next;
+  pop_next(src);
+  now_ = top.at;
+  // Move the callback out and free the slot *before* invoking: the
+  // callback may schedule (reusing this slot) or cancel other events.
+  Slot& slot = slots_[top.slot];
+  Callback fn = std::move(slot.fn);
+  release_slot(top.slot);
+  ++executed_;
+  fn();
+  return true;
 }
 
 std::uint64_t Simulator::run_until(SimTime horizon) {
   std::uint64_t n = 0;
-  while (!heap_.empty()) {
-    // Skip tombstones without advancing time.
-    const Entry& top = heap_.front();
-    if (slots_[top.slot].generation != top.gen) {
-      pop_heap_entry();
-      --tombstones_;
-      continue;
-    }
-    if (top.at > horizon) break;
-    step();
+  for (;;) {
+    Lane* src = nullptr;
+    const Entry* next = peek_next(src);
+    if (next == nullptr || next->at > horizon) break;
+    const Entry top = *next;
+    pop_next(src);
+    now_ = top.at;
+    Slot& slot = slots_[top.slot];
+    Callback fn = std::move(slot.fn);
+    release_slot(top.slot);
+    ++executed_;
+    fn();
     ++n;
   }
   if (now_ < horizon && horizon != SimTime::max()) now_ = horizon;

@@ -1,0 +1,108 @@
+// Logger: a process-wide singleton shared by every sweep thread. Level and
+// sink are atomics and the simulated-clock source is thread-local, so two
+// simulators on two threads can log concurrently without racing each other
+// or stamping lines with the wrong clock.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/simulator.h"
+
+namespace pgrid {
+namespace {
+
+std::vector<std::string> read_lines(std::FILE* f) {
+  std::rewind(f);
+  std::vector<std::string> lines;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, f) != nullptr) lines.emplace_back(buf);
+  return lines;
+}
+
+TEST(Logging, TwoSimulatorsOnTwoThreadsKeepTheirOwnClocks) {
+  Logger& log = Logger::instance();
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  log.set_sink(tmp);
+  log.set_level(LogLevel::kInfo);
+
+  // Each worker drives its own simulator and registers it as this thread's
+  // time source; line i of module M must carry M's clock (i * step), never
+  // the other thread's, no matter how the writes interleave in the sink.
+  auto worker = [](const char* module, double step, int lines) {
+    sim::Simulator sim;
+    Logger::set_time_source([&sim] { return sim.now().sec(); });
+    for (int i = 1; i <= lines; ++i) {
+      sim.schedule_in(sim::SimTime::seconds(step), [module, i] {
+        PGRID_INFO(module, "line %d", i);
+      });
+      sim.run();
+    }
+    Logger::set_time_source(nullptr);
+  };
+  std::thread ta(worker, "mod_a", 1.0, 40);
+  std::thread tb(worker, "mod_b", 100.0, 40);
+  ta.join();
+  tb.join();
+  log.set_sink(nullptr);
+  log.set_level(LogLevel::kWarn);
+
+  std::map<std::string, std::vector<double>> times;
+  for (const std::string& line : read_lines(tmp)) {
+    double t = -1.0;
+    char module[32] = {};
+    if (std::sscanf(line.c_str(), "[t=%lfs] [INFO] %31[^:]:", &t, module) == 2) {
+      times[module].push_back(t);
+    }
+  }
+  std::fclose(tmp);
+  ASSERT_EQ(times["mod_a"].size(), 40u);
+  ASSERT_EQ(times["mod_b"].size(), 40u);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_DOUBLE_EQ(times["mod_a"][i], static_cast<double>(i + 1) * 1.0);
+    EXPECT_DOUBLE_EQ(times["mod_b"][i], static_cast<double>(i + 1) * 100.0);
+  }
+}
+
+TEST(Logging, LevelAndSinkChangesAreSafeUnderConcurrentLogging) {
+  Logger& log = Logger::instance();
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  log.set_sink(tmp);
+
+  // One thread flips the level while others log: no torn reads, no crash,
+  // and every line that does land is well-formed. (TSan builds verify the
+  // absence of the pre-atomic data race.)
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    for (int i = 0; i < 2000; ++i) {
+      log.set_level((i % 2) != 0 ? LogLevel::kOff : LogLevel::kInfo);
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      while (!stop.load()) PGRID_INFO("race", "writer %d", w);
+    });
+  }
+  toggler.join();
+  for (std::thread& t : writers) t.join();
+  log.set_sink(nullptr);
+  log.set_level(LogLevel::kWarn);
+
+  for (const std::string& line : read_lines(tmp)) {
+    EXPECT_EQ(line.rfind("[INFO] race: writer ", 0), 0u) << line;
+  }
+  std::fclose(tmp);
+}
+
+}  // namespace
+}  // namespace pgrid

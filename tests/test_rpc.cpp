@@ -390,6 +390,42 @@ TEST_F(RpcTest, StaleReplyForRecycledSlotIsDropped) {
   EXPECT_EQ(server.served, 2);
 }
 
+// Ownership contract at the delivery boundary: the handler receives the
+// moved MessagePtr exactly once per delivered datagram, and keeping it
+// alive past the handler (as RPC continuations do) must be safe even
+// though freed blocks are recycled by the message pool.
+TEST(RpcDelivery, HandlerOwnsEachDeliveredMessageExactlyOnce) {
+  sim::Simulator simulator;
+  Network net{simulator, Rng{5},
+              LatencyModel{sim::SimTime::millis(1), sim::SimTime::millis(1)}};
+  struct Keeper final : MessageHandler {
+    std::vector<MessagePtr> kept;
+    void on_message(NodeAddr /*from*/, MessagePtr msg) override {
+      ASSERT_NE(msg, nullptr);
+      kept.push_back(std::move(msg));
+    }
+  };
+  Keeper sink;
+  const NodeAddr sink_addr = net.add_handler(&sink);
+  Keeper src;
+  const NodeAddr src_addr = net.add_handler(&src);
+  constexpr int kSends = 12;
+  for (int i = 0; i < kSends; ++i) {
+    net.send(src_addr, sink_addr, std::make_unique<Echo>(i));
+  }
+  simulator.run();
+  ASSERT_EQ(sink.kept.size(), static_cast<std::size_t>(kSends));
+  // Distinct live allocations, payloads intact: pool reuse may only hand
+  // out blocks whose previous occupant was already destroyed.
+  std::set<const Message*> distinct;
+  for (int i = 0; i < kSends; ++i) {
+    distinct.insert(sink.kept[static_cast<std::size_t>(i)].get());
+    EXPECT_EQ(msg_cast<Echo>(sink.kept[static_cast<std::size_t>(i)].get())->value,
+              i);
+  }
+  EXPECT_EQ(distinct.size(), static_cast<std::size_t>(kSends));
+}
+
 TEST_F(RpcTest, OutstandingTracksSlabOccupancy) {
   server.mute = true;
   for (int i = 0; i < 16; ++i) {
