@@ -14,10 +14,17 @@
 #include "common/config.h"
 #include "grid/grid_system.h"
 #include "net/message_pool.h"
+#include "obs/memory.h"
 #include "sim/runner.h"
 #include "workload/workload.h"
 
 namespace pgrid::bench {
+
+/// Version of the BENCH_*.json row layout. Bump when fields change meaning
+/// or move; downstream tooling keys parsing off this.
+///  1: original layout (implicit — rows had no version field)
+///  2: adds schema_version and the mem_* per-subsystem byte fields
+inline constexpr int kBenchJsonSchemaVersion = 2;
 
 /// Build flavor baked into every JSON row so downstream tooling (and
 /// reviewers of results/*.txt) can reject numbers recorded from an
@@ -114,6 +121,10 @@ struct CellResult {
   std::uint64_t pool_fresh = 0;
   std::uint64_t pool_reused = 0;
   double pool_reuse_fraction = 0.0;
+  // End-of-run per-subsystem memory footprint (peak across replicates when
+  // averaged); always filled — the breakdown walk is cold and obs-independent.
+  obs::MemoryAccountant memory;
+  std::uint64_t mem_total_bytes = 0;
 };
 
 /// Fold the calling thread's MessagePool counters since `before` into `r`.
@@ -134,15 +145,17 @@ inline void attach_pool_stats(CellResult& r,
 inline CellResult summarize(const grid::GridSystem& system) {
   CellResult r;
   const auto& c = system.collector();
-  const Samples waits = c.wait_times();
-  if (!waits.empty()) {
+  // Streaming-safe accessors: identical quantities in batch mode, O(buckets)
+  // storage when the driver enables obs.streaming_metrics.
+  const RunningStats waits = c.wait_stats();
+  if (waits.count() > 0) {
     r.wait_avg = waits.mean();
-    r.wait_stdev = waits.stdev();
+    r.wait_stdev = waits.sample_stdev();
   }
-  const Samples hops = c.matchmaking_hops();
-  if (!hops.empty()) r.match_hops_avg = hops.mean();
-  const Samples inj = c.injection_hops();
-  if (!inj.empty()) r.injection_hops_avg = inj.mean();
+  const RunningStats hops = c.match_hops_stats();
+  if (hops.count() > 0) r.match_hops_avg = hops.mean();
+  const RunningStats inj = c.injection_hops_stats();
+  if (inj.count() > 0) r.injection_hops_avg = inj.mean();
   r.jobs_per_node_cv = c.jobs_per_node().cv();
   r.completed_fraction = c.job_count() == 0
                              ? 1.0
@@ -164,6 +177,8 @@ inline CellResult summarize(const grid::GridSystem& system) {
   const auto node_stats = system.aggregate_node_stats();
   r.pushes = node_stats.can_pushes;
   r.forwards = node_stats.can_forwards;
+  r.memory = system.memory_breakdown();
+  r.mem_total_bytes = r.memory.total();
   return r;
 }
 
@@ -195,7 +210,9 @@ inline CellResult average(const std::vector<CellResult>& cells) {
         std::max(avg.sim_tombstone_peak, c.sim_tombstone_peak);
     avg.pool_fresh += c.pool_fresh;
     avg.pool_reused += c.pool_reused;
+    avg.memory.merge_peak(c.memory);  // peak, not mean: a footprint bound
   }
+  avg.mem_total_bytes = avg.memory.total();
   const auto n = static_cast<double>(cells.size());
   avg.wait_avg /= n;
   avg.wait_stdev /= n;
@@ -275,7 +292,8 @@ class BenchJson {
     if (file_ == nullptr) return;
     std::fprintf(
         file_,
-        "{\"bench\":\"%s\",\"build_type\":\"%s\",\"cell\":\"%s\","
+        "{\"schema_version\":%d,"
+        "\"bench\":\"%s\",\"build_type\":\"%s\",\"cell\":\"%s\","
         "\"wait_avg\":%.6f,"
         "\"wait_stdev\":%.6f,\"match_hops_avg\":%.6f,"
         "\"injection_hops_avg\":%.6f,\"jobs_per_node_cv\":%.6f,"
@@ -287,16 +305,24 @@ class BenchJson {
         "\"sim_events\":%" PRIu64 ",\"events_per_wall_sec\":%.1f,"
         "\"sim_queue_peak\":%" PRIu64 ",\"sim_tombstone_peak\":%" PRIu64
         ",\"pool_fresh\":%" PRIu64 ",\"pool_reused\":%" PRIu64
-        ",\"pool_reuse_fraction\":%.4f}\n",
-        bench_.c_str(), kBuildType, label.c_str(), r.wait_avg, r.wait_stdev,
-        r.match_hops_avg, r.injection_hops_avg, r.jobs_per_node_cv,
-        r.completed_fraction, r.makespan_sec, r.messages,
+        ",\"pool_reuse_fraction\":%.4f",
+        kBenchJsonSchemaVersion, bench_.c_str(), kBuildType, label.c_str(),
+        r.wait_avg, r.wait_stdev, r.match_hops_avg, r.injection_hops_avg,
+        r.jobs_per_node_cv, r.completed_fraction, r.makespan_sec, r.messages,
         r.messages_delivered, r.bytes_sent, r.bytes_delivered,
         r.resubmissions, r.requeues, r.build_wall_sec, r.run_wall_sec,
         r.sim_events, r.events_per_wall_sec,
         static_cast<std::uint64_t>(r.sim_queue_peak),
         static_cast<std::uint64_t>(r.sim_tombstone_peak),
         r.pool_fresh, r.pool_reused, r.pool_reuse_fraction);
+    // Per-subsystem memory breakdown: one field per MemClass plus the total.
+    for (std::size_t c = 0; c < obs::MemoryAccountant::kClasses; ++c) {
+      const auto cls = static_cast<obs::MemClass>(c);
+      std::fprintf(file_, ",\"mem_%s\":%" PRIu64, obs::mem_class_name(cls),
+                   r.memory.of(cls));
+    }
+    std::fprintf(file_, ",\"mem_total_bytes\":%" PRIu64 "}\n",
+                 r.mem_total_bytes);
   }
 
  private:

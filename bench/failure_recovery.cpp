@@ -62,6 +62,8 @@ int main(int argc, char** argv) {
         gc.client.max_generations = 8;
         gc.node.heartbeat_period = sim::SimTime::seconds(5.0);
         gc.node.heartbeat_miss_threshold = 3;
+        gc.obs.streaming_metrics = true;
+        const auto pool_before = net::MessagePool::stats();
         grid::GridSystem system(gc, workload::generate(spec));
         system.build();
         if (cell.lifetime > 0.0) {
@@ -72,7 +74,9 @@ int main(int argc, char** argv) {
           system.enable_churn(churn);
         }
         system.run();
-        return summarize(system);
+        CellResult r = summarize(system);
+        attach_pool_stats(r, pool_before);
+        return r;
       });
 
   print_header("Job completion and recovery under churn");
@@ -141,6 +145,8 @@ int main(int argc, char** argv) {
         gc.client.resubmit_base_sec = 300.0;
         gc.client.resubmit_runtime_factor = 8.0;
         gc.client.max_generations = 8;
+        gc.obs.streaming_metrics = true;
+        const auto pool_before = net::MessagePool::stats();
         grid::GridSystem system(gc, workload::generate(spec));
         system.build();
         net::FaultPlane& fp = system.network().fault_plane();
@@ -184,7 +190,9 @@ int main(int argc, char** argv) {
             break;
         }
         system.run();
-        return summarize(system);
+        CellResult r = summarize(system);
+        attach_pool_stats(r, pool_before);
+        return r;
       });
 
   print_header("Completion under network faults (vs fault-free baseline)");

@@ -58,9 +58,11 @@ int main(int argc, char** argv) {
         const auto spec = make_spec(scale, Mix::kMixed, Mix::kMixed, 0.4,
                                     base.seed + cell.nodes);
         const auto pool_before = net::MessagePool::stats();
-        grid::GridSystem system(
-            make_grid_config(cell.kind, base.seed + 13),
-            workload::generate(spec));
+        grid::GridConfig gc = make_grid_config(cell.kind, base.seed + 13);
+        // Streaming aggregates: the scaling sweep's job count grows with the
+        // node count, so per-job records would dominate memory at the top end.
+        gc.obs.streaming_metrics = true;
+        grid::GridSystem system(gc, workload::generate(spec));
         system.run();
         CellResult r = summarize(system);
         attach_pool_stats(r, pool_before);

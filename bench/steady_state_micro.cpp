@@ -21,7 +21,8 @@
 //
 // Flags: --messages=N (default 1M deliveries per cell), --smoke=1 (50k, for
 // CI), --json[=path] (one row per cell, BENCH_steady_state_micro.json by
-// default), --seed=S.
+// default), --seed=S, --obs=1 (attach an enabled TraceBus to every cell's
+// network: the obs-on leg of CI's A/B against the default obs-off run).
 
 #include <chrono>
 #include <cinttypes>
@@ -35,6 +36,7 @@
 #include "net/message.h"
 #include "net/message_pool.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -54,8 +56,20 @@ struct CellResult {
   double wall_sec = 0.0;
   double events_per_sec = 0.0;
   double msgs_per_sec = 0.0;
+  bool obs = false;              // TraceBus attached for this cell
   net::MessagePool::Stats pool;  // delta over the cell
 };
+
+/// Obs-on leg of the CI A/B: an enabled bus with a bounded ring, attached
+/// before any traffic so every send/deliver pays the recording cost.
+std::unique_ptr<obs::TraceBus> maybe_attach_trace(net::Network& network,
+                                                  const sim::Simulator& sim,
+                                                  bool obs) {
+  if (!obs) return nullptr;
+  auto bus = std::make_unique<obs::TraceBus>(sim, 1u << 16);
+  network.set_trace(bus.get());
+  return bus;
+}
 
 class WallTimer {
  public:
@@ -122,14 +136,15 @@ struct Bouncer final : net::MessageHandler {
 };
 
 CellResult bench_ping_pong(std::uint64_t target, std::uint64_t seed,
-                           double loss, const char* name) {
-  CellResult r{.cell = name};
+                           double loss, const char* name, bool obs) {
+  CellResult r{.cell = name, .obs = obs};
   const net::MessagePool::Stats before = net::MessagePool::stats();
   sim::Simulator sim;
   net::Network network(
       sim, Rng{seed},
       net::LatencyModel{sim::SimTime::millis(1), sim::SimTime::millis(2)},
       loss);
+  const auto bus = maybe_attach_trace(network, sim, obs);
   Bouncer a(network);
   Bouncer b(network);
   a.peer = b.self;
@@ -156,14 +171,16 @@ struct Sink final : net::MessageHandler {
   }
 };
 
-CellResult bench_clone_fanout(std::uint64_t target, std::uint64_t seed) {
+CellResult bench_clone_fanout(std::uint64_t target, std::uint64_t seed,
+                              bool obs) {
   constexpr std::size_t kReceivers = 32;
-  CellResult r{.cell = "clone_fanout"};
+  CellResult r{.cell = "clone_fanout", .obs = obs};
   const net::MessagePool::Stats before = net::MessagePool::stats();
   sim::Simulator sim;
   net::Network network(
       sim, Rng{seed},
       net::LatencyModel{sim::SimTime::millis(1), sim::SimTime::millis(2)});
+  const auto bus = maybe_attach_trace(network, sim, obs);
   Sink sender(network);
   std::vector<std::unique_ptr<Sink>> receivers;
   receivers.reserve(kReceivers);
@@ -201,14 +218,16 @@ CellResult bench_clone_fanout(std::uint64_t target, std::uint64_t seed) {
   return r;
 }
 
-CellResult bench_heartbeat_storm(std::uint64_t target, std::uint64_t seed) {
+CellResult bench_heartbeat_storm(std::uint64_t target, std::uint64_t seed,
+                                 bool obs) {
   constexpr std::size_t kSenders = 512;
-  CellResult r{.cell = "heartbeat_storm"};
+  CellResult r{.cell = "heartbeat_storm", .obs = obs};
   const net::MessagePool::Stats before = net::MessagePool::stats();
   sim::Simulator sim;
   net::Network network(
       sim, Rng{seed},
       net::LatencyModel{sim::SimTime::millis(1), sim::SimTime::millis(2)});
+  const auto bus = maybe_attach_trace(network, sim, obs);
   Sink owner(network);
   std::vector<std::unique_ptr<Sink>> senders;
   senders.reserve(kSenders);
@@ -249,13 +268,14 @@ void json_row(std::FILE* f, const CellResult& r) {
   std::fprintf(
       f,
       "{\"bench\":\"steady_state_micro\",\"build_type\":\"%s\",\"cell\":\"%s\","
+      "\"obs\":\"%s\","
       "\"messages\":%" PRIu64 ",\"sim_events\":%" PRIu64
       ",\"wall_sec\":%.6f,\"events_per_sec\":%.1f,\"msgs_per_sec\":%.1f,"
       "\"pool_fresh\":%" PRIu64 ",\"pool_reused\":%" PRIu64
       ",\"pool_oversize\":%" PRIu64 ",\"pool_reuse_fraction\":%.4f}\n",
-      kBuildType, r.cell.c_str(), r.messages, r.sim_events, r.wall_sec,
-      r.events_per_sec, r.msgs_per_sec, r.pool.fresh, r.pool.reused,
-      r.pool.oversize, r.pool.reuse_fraction());
+      kBuildType, r.cell.c_str(), r.obs ? "on" : "off", r.messages,
+      r.sim_events, r.wall_sec, r.events_per_sec, r.msgs_per_sec,
+      r.pool.fresh, r.pool.reused, r.pool.oversize, r.pool.reuse_fraction());
 }
 
 }  // namespace
@@ -267,18 +287,21 @@ int main(int argc, char** argv) {
   const auto target = static_cast<std::uint64_t>(
       config.get_int("messages", smoke ? 50'000 : 1'000'000));
   const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 1));
+  const bool obs = config.get_bool("obs", false);
 
-  std::printf("steady_state_micro [%s]: %" PRIu64 " messages per cell%s\n",
-              kBuildType, target, smoke ? " (smoke)" : "");
+  std::printf("steady_state_micro [%s%s]: %" PRIu64 " messages per cell%s\n",
+              kBuildType, obs ? ", obs-on" : "", target,
+              smoke ? " (smoke)" : "");
 
   std::vector<CellResult> cells;
-  cells.push_back(bench_ping_pong(target, seed, 0.0, "ping_pong"));
+  cells.push_back(bench_ping_pong(target, seed, 0.0, "ping_pong", obs));
   net::MessagePool::trim();
-  cells.push_back(bench_ping_pong(target, seed, 1e-12, "ping_pong_lossy"));
+  cells.push_back(
+      bench_ping_pong(target, seed, 1e-12, "ping_pong_lossy", obs));
   net::MessagePool::trim();
-  cells.push_back(bench_clone_fanout(target, seed));
+  cells.push_back(bench_clone_fanout(target, seed, obs));
   net::MessagePool::trim();
-  cells.push_back(bench_heartbeat_storm(target, seed));
+  cells.push_back(bench_heartbeat_storm(target, seed, obs));
   for (const CellResult& r : cells) print_cell(r);
 
   std::string path = config.get_string("json", "");

@@ -19,8 +19,12 @@
 // (default trace.json, load at https://ui.perfetto.dev), --trace-jsonl=path
 // writes the raw events as JSONL, --trace-capacity=N sizes the event ring
 // (default 1M; oldest events are overwritten past that),
-// --timeseries[=path] writes per-interval gauges as CSV (default
-// timeseries.csv), --sample-period=sec sets the interval (default 5).
+// --trace-sample=N samples every N-th job submission into a cross-node
+// causal span tree (implies --trace; the Perfetto export then shows
+// per-hop latency trees with flow arrows), --timeseries[=path] writes
+// per-interval gauges as CSV (default timeseries.csv), --sample-period=sec
+// sets the interval (default 5), --metrics-out=path writes the final
+// MetricsRegistry snapshot (counters, gauges, distributions) as CSV.
 
 #include <cstdio>
 #include <string>
@@ -107,15 +111,23 @@ int main(int argc, char** argv) {
   gc.node.runaway_kill_factor = config.get_double("kill-factor", 0.0);
 
   // --- observability ----------------------------------------------------------
-  if (config.has("trace") || config.has("trace-jsonl")) {
+  if (config.has("trace") || config.has("trace-jsonl") ||
+      config.has("trace-sample")) {
     gc.obs.trace = true;
     std::string chrome = config.get_string("trace", "");
     if (chrome == "1" || chrome == "true") chrome = "trace.json";
+    // --trace-sample alone still needs an export to be useful.
+    if (chrome.empty() && config.has("trace-sample") &&
+        !config.has("trace-jsonl")) {
+      chrome = "trace.json";
+    }
     gc.obs.chrome_trace_path = chrome;
     gc.obs.jsonl_path = config.get_string("trace-jsonl", "");
     gc.obs.trace_capacity = static_cast<std::size_t>(
         config.get_int("trace-capacity",
                        static_cast<std::int64_t>(gc.obs.trace_capacity)));
+    gc.obs.trace_sample_every =
+        static_cast<std::uint64_t>(config.get_int("trace-sample", 0));
   }
   if (config.has("timeseries") || config.has("sample-period")) {
     std::string csv = config.get_string("timeseries", "1");
@@ -123,6 +135,7 @@ int main(int argc, char** argv) {
     gc.obs.timeseries_csv_path = csv;
     gc.obs.sample_period_sec = config.get_double("sample-period", 5.0);
   }
+  gc.obs.metrics_csv_path = config.get_string("metrics-out", "");
 
   grid::GridSystem system(gc, w);
   const double lifetime = config.get_double("churn-lifetime", 0.0);
@@ -204,6 +217,16 @@ int main(int argc, char** argv) {
     std::printf("timeseries: %zu samples x %zu columns written to %s\n",
                 ts->row_count(), ts->column_count(),
                 gc.obs.timeseries_csv_path.c_str());
+  }
+  if (const obs::TraceBus* bus = system.trace_bus();
+      bus != nullptr && gc.obs.trace_sample_every > 0) {
+    std::printf("trace: %llu causal traces sampled (1 in %llu submissions)\n",
+                static_cast<unsigned long long>(bus->traces_started()),
+                static_cast<unsigned long long>(gc.obs.trace_sample_every));
+  }
+  if (!gc.obs.metrics_csv_path.empty()) {
+    std::printf("metrics: registry snapshot written to %s\n",
+                gc.obs.metrics_csv_path.c_str());
   }
   return system.finished() ? 0 : 1;
 }

@@ -111,6 +111,31 @@ class CanNode {
   [[nodiscard]] const CanStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const CanConfig& config() const noexcept { return config_; }
 
+  /// Bytes behind this node's zone set and neighbor tables (memory
+  /// accounting; capacity snapshot, nothing on the hot path). Counts the
+  /// nested per-neighbor zone lists and neighbor-of-neighbor vectors too —
+  /// they dominate at scale.
+  [[nodiscard]] std::size_t table_memory_bytes() const noexcept {
+    std::size_t bytes =
+        zones_.capacity() * sizeof(Zone) +
+        neighbors_.capacity() * sizeof(std::pair<net::NodeAddr, NeighborState>) +
+        takeover_timers_.capacity() *
+            sizeof(std::pair<net::NodeAddr, sim::EventId>) +
+        pending_grants_.capacity() * sizeof(std::pair<net::NodeAddr, Zone>) +
+        upstream_load_.capacity() * sizeof(double) +
+        lost_.capacity() * sizeof(Peer);
+    for (const auto& [addr, ns] : neighbors_) {
+      bytes += ns.zones.capacity() * sizeof(Zone) +
+               ns.their_neighbors.capacity() * sizeof(net::NodeAddr);
+    }
+    return bytes;
+  }
+
+  /// Bytes held by this node's RPC pending-call slab.
+  [[nodiscard]] std::size_t rpc_memory_bytes() const noexcept {
+    return rpc_.memory_bytes();
+  }
+
   /// Load advertised to neighbors (the grid layer sets its queue length).
   void set_load(double load) noexcept { load_ = load; }
   [[nodiscard]] double load() const noexcept { return load_; }

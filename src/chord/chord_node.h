@@ -99,6 +99,20 @@ class ChordNode {
   [[nodiscard]] const ChordStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ChordConfig& config() const noexcept { return config_; }
 
+  /// Bytes behind this node's routing state (successor list, route scan,
+  /// lost-peer ring) for memory accounting; capacity snapshot, not hot path.
+  [[nodiscard]] std::size_t table_memory_bytes() const noexcept {
+    return (successors_.capacity() + route_scan_.capacity() +
+            lost_.capacity()) *
+               sizeof(Peer) +
+           sizeof(fingers_);
+  }
+
+  /// Bytes held by this node's RPC pending-call slab.
+  [[nodiscard]] std::size_t rpc_memory_bytes() const noexcept {
+    return rpc_.memory_bytes();
+  }
+
   /// A random routing-table entry (for the RN-Tree's limited random walk).
   [[nodiscard]] Peer random_peer(Rng& rng) const;
 

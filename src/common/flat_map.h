@@ -43,6 +43,7 @@ class FlatMap {
 
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
   [[nodiscard]] size_type size() const noexcept { return data_.size(); }
+  [[nodiscard]] size_type capacity() const noexcept { return data_.capacity(); }
   void clear() noexcept { data_.clear(); }
   void reserve(size_type n) { data_.reserve(n); }
 

@@ -16,6 +16,7 @@
 #include "metrics/metrics.h"
 #include "net/network.h"
 #include "net/rpc.h"
+#include "obs/trace_context.h"
 #include "sim/simulator.h"
 
 namespace pgrid::grid {
@@ -71,6 +72,14 @@ class Client final : public net::MessageHandler {
     return pending_.size();
   }
 
+  /// Bytes behind the pending-job map and the client's RPC slab (memory
+  /// accounting; the map estimate includes std::map node overhead).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return pending_.size() * (sizeof(std::pair<const std::uint64_t, PendingJob>) +
+                              3 * sizeof(void*)) +
+           rpc_.memory_bytes();
+  }
+
  private:
   struct PendingJob {
     Constraints constraints;
@@ -79,6 +88,10 @@ class Client final : public net::MessageHandler {
     double output_kb = 2.0;
     std::uint32_t generation = 0;
     sim::EventId deadline_event = sim::kInvalidEvent;
+    /// Root span of this job's sampled trace (unsampled for most jobs):
+    /// every submission, retry, and resubmission runs under it, so the whole
+    /// matchmaking/dispatch/run cascade hangs off one trace tree.
+    obs::TraceContext ctx;
   };
 
   void submit(std::uint64_t seq, int retries_left);

@@ -797,6 +797,11 @@ void GridNode::on_dispatch(net::NodeAddr from, net::MessagePtr& msg) {
   QueuedJob q;
   q.profile = m->profile;
   q.owner = m->owner;
+#ifndef PGRID_OBS_DISABLED
+  // Save the dispatch message's span: the handler runs under it now, but
+  // execution completes from a timer later, outside any ambient context.
+  if (obs::TraceBus* bus = net_.trace(); bus != nullptr) q.ctx = bus->current();
+#endif
   queue_.push_back(std::move(q));
   if (m->rpc_id != 0) {
     rpc_.reply(from, *m, std::make_unique<DispatchResp>(true, queue_length()));
@@ -810,6 +815,11 @@ void GridNode::maybe_start_next() {
   apply_queue_policy();
   executing_ = true;
   const QueuedJob& job = queue_.front();
+#ifndef PGRID_OBS_DISABLED
+  // Attribute the start event to the dispatch span that queued this job
+  // (this function is reached from timers as often as from handlers).
+  obs::SpanScope start_scope(net_.trace(), job.ctx);
+#endif
   collector_->on_started(job.profile.seq, net_.simulator().now());
   PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobStart, addr(),
                     static_cast<std::uint32_t>(job.owner.addr), 0,
@@ -873,22 +883,29 @@ void GridNode::kill_front_for_quota() {
   executing_ = false;
   last_served_client_ = job.profile.client;
   ++stats_.jobs_killed_quota;
-  // `v` is the occupied duration: the Chrome exporter renders the slice.
-  PGRID_TRACE_EVENT(
-      net_.trace(), obs::EventKind::kJobKilled, addr(),
-      static_cast<std::uint32_t>(job.owner.addr), 0, job.profile.seq,
-      job.profile.declared_or_actual() * config_.runaway_kill_factor);
-  // The node was occupied up to the quota deadline.
-  collector_->add_node_busy(
-      index_, job.profile.declared_or_actual() * config_.runaway_kill_factor);
-  // Tell the owner to stop monitoring and give the client fast feedback
-  // (its generation will never produce a result).
-  if (job.owner.valid()) {
-    rpc_.send(job.owner.addr, std::make_unique<JobDone>(
-                                  job.profile.guid, job.profile.generation));
+  {
+#ifndef PGRID_OBS_DISABLED
+    // Block-scoped so the next job's start is not attributed to this span.
+    obs::SpanScope run_scope(net_.trace(), job.ctx);
+#endif
+    // `v` is the occupied duration: the Chrome exporter renders the slice.
+    PGRID_TRACE_EVENT(
+        net_.trace(), obs::EventKind::kJobKilled, addr(),
+        static_cast<std::uint32_t>(job.owner.addr), 0, job.profile.seq,
+        job.profile.declared_or_actual() * config_.runaway_kill_factor);
+    // The node was occupied up to the quota deadline.
+    collector_->add_node_busy(
+        index_,
+        job.profile.declared_or_actual() * config_.runaway_kill_factor);
+    // Tell the owner to stop monitoring and give the client fast feedback
+    // (its generation will never produce a result).
+    if (job.owner.valid()) {
+      rpc_.send(job.owner.addr, std::make_unique<JobDone>(
+                                    job.profile.guid, job.profile.generation));
+    }
+    rpc_.send(job.profile.client, std::make_unique<JobFailed>(
+                                      job.profile.seq, job.profile.generation));
   }
-  rpc_.send(job.profile.client, std::make_unique<JobFailed>(
-                                    job.profile.seq, job.profile.generation));
   update_load_gauge();
   maybe_start_next();
 }
@@ -901,18 +918,24 @@ void GridNode::complete_front() {
   executing_ = false;
   last_served_client_ = job.profile.client;
   ++stats_.jobs_executed;
-  collector_->add_node_busy(index_, job.profile.runtime_sec);
-  // `v` is the execution duration: the Chrome exporter renders the slice.
-  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobComplete, addr(),
-                    static_cast<std::uint32_t>(job.owner.addr), 0,
-                    job.profile.seq, job.profile.runtime_sec);
-  // Fig. 1 step 6: result straight back to the client...
-  rpc_.send(job.profile.client,
-            std::make_unique<Result>(job.profile.seq, job.profile.generation));
-  // ...and release the owner's monitoring state.
-  if (job.owner.valid()) {
-    rpc_.send(job.owner.addr, std::make_unique<JobDone>(
-                                  job.profile.guid, job.profile.generation));
+  {
+#ifndef PGRID_OBS_DISABLED
+    // Block-scoped so the next job's start is not attributed to this span.
+    obs::SpanScope run_scope(net_.trace(), job.ctx);
+#endif
+    collector_->add_node_busy(index_, job.profile.runtime_sec);
+    // `v` is the execution duration: the Chrome exporter renders the slice.
+    PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobComplete, addr(),
+                      static_cast<std::uint32_t>(job.owner.addr), 0,
+                      job.profile.seq, job.profile.runtime_sec);
+    // Fig. 1 step 6: result straight back to the client...
+    rpc_.send(job.profile.client, std::make_unique<Result>(
+                                      job.profile.seq, job.profile.generation));
+    // ...and release the owner's monitoring state.
+    if (job.owner.valid()) {
+      rpc_.send(job.owner.addr, std::make_unique<JobDone>(
+                                    job.profile.guid, job.profile.generation));
+    }
   }
   update_load_gauge();
   maybe_start_next();

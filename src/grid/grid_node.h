@@ -22,6 +22,7 @@
 #include "metrics/metrics.h"
 #include "net/network.h"
 #include "net/rpc.h"
+#include "obs/memory.h"
 #include "rntree/rn_tree.h"
 #include "sim/simulator.h"
 
@@ -131,6 +132,35 @@ class GridNode final : public net::MessageHandler {
   [[nodiscard]] can::CanNode* can() noexcept { return can_.get(); }
   [[nodiscard]] rntree::RnTreeService* rntree() noexcept { return rn_.get(); }
 
+  /// Fold this node's state into `acc`: overlay routing/neighbor tables,
+  /// grid-role bookkeeping (run queue, owned jobs, pending walks), and the
+  /// RPC pending slabs of every endpoint the node stacks. Capacity
+  /// snapshot — cold observation path only.
+  void account_memory(obs::MemoryAccountant& acc) const {
+    std::size_t overlay = 0;
+    std::size_t rpc_bytes = rpc_.memory_bytes();
+    if (chord_ != nullptr) {
+      overlay += chord_->table_memory_bytes();
+      rpc_bytes += chord_->rpc_memory_bytes();
+    }
+    if (can_ != nullptr) {
+      overlay += can_->table_memory_bytes();
+      rpc_bytes += can_->rpc_memory_bytes();
+    }
+    if (rn_ != nullptr) {
+      overlay += rn_->table_memory_bytes();
+      rpc_bytes += rn_->rpc_memory_bytes();
+    }
+    const std::size_t grid_state =
+        queue_.size() * sizeof(QueuedJob) +
+        owned_.capacity() * sizeof(std::pair<Guid, OwnedJob>) +
+        pending_walks_.capacity() *
+            sizeof(std::pair<std::uint64_t, PendingWalk>);
+    acc.add(obs::MemClass::kOverlayTables, overlay);
+    acc.add(obs::MemClass::kGridState, grid_state);
+    acc.add(obs::MemClass::kRpcPending, rpc_bytes);
+  }
+
  private:
   // --- injection side -------------------------------------------------------
   void on_submit(net::NodeAddr from, net::MessagePtr& msg);
@@ -187,6 +217,10 @@ class GridNode final : public net::MessageHandler {
     Peer owner;
     int missed_acks = 0;
     bool recovering_owner = false;
+    /// Span of the DispatchJob that queued this job (unsampled for most):
+    /// completion fires from a bare timer, so the run leg's Result/JobDone
+    /// sends re-enter the trace through this saved context.
+    obs::TraceContext ctx;
   };
 
   void on_dispatch(net::NodeAddr from, net::MessagePtr& msg);

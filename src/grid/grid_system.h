@@ -14,8 +14,10 @@
 #include "grid/grid_node.h"
 #include "metrics/metrics.h"
 #include "net/network.h"
+#include "obs/memory.h"
 #include "obs/obs_config.h"
 #include "obs/profile.h"
+#include "obs/registry.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "sim/failure.h"
@@ -125,9 +127,20 @@ class GridSystem {
   [[nodiscard]] obs::TimeSeriesSampler* sampler() noexcept {
     return sampler_.get();
   }
+  /// The run's metrics registry (null unless the sampler or the metrics CSV
+  /// is enabled).
+  [[nodiscard]] obs::MetricsRegistry* registry() noexcept {
+    return registry_.get();
+  }
   [[nodiscard]] const obs::RunProfile& profile() const noexcept {
     return profile_;
   }
+
+  /// Per-subsystem byte breakdown of the whole system right now: simulator
+  /// event pool, message-pool slabs, overlay tables, grid bookkeeping, RPC
+  /// pending slabs, trace ring, metrics storage. Pure observation — walks
+  /// capacity snapshots, touches nothing hot.
+  [[nodiscard]] obs::MemoryAccountant memory_breakdown() const;
 
   /// Write the artifacts named in config.obs (Chrome trace, JSONL,
   /// time-series CSV). Returns false if any configured write failed.
@@ -135,6 +148,7 @@ class GridSystem {
 
  private:
   [[nodiscard]] Peer find_bootstrap(std::size_t excluding) const;
+  void register_builtin_metrics();
 
   GridConfig config_;
   workload::Workload workload_;
@@ -148,6 +162,14 @@ class GridSystem {
   std::unique_ptr<sim::FailureInjector> churn_;
   std::unique_ptr<obs::TraceBus> trace_;
   std::unique_ptr<obs::TimeSeriesSampler> sampler_;
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  /// Per-sample cache for the mem/<class> gauges: seven gauges share one
+  /// memory_breakdown() walk per sampling instant.
+  struct MemGaugeCache {
+    std::int64_t t_ns = -1;
+    obs::MemoryAccountant acc;
+  };
+  mutable MemGaugeCache mem_cache_;
   obs::RunProfile profile_;
   bool owns_log_clock_ = false;
   std::uint64_t terminal_jobs_ = 0;

@@ -2,9 +2,20 @@
 // Experiment metrics: per-job lifecycle timestamps, matchmaking cost,
 // per-node load, and the summary statistics the paper's figures report
 // (average and standard deviation of job wait time, Fig. 2).
+//
+// Two storage modes:
+//  - Batch (default): one JobOutcome record per job, supporting exact
+//    quantiles and per-job inspection (Collector::job). O(jobs) memory.
+//  - Streaming: only in-flight jobs are tracked individually; terminal
+//    statistics accumulate into RunningStats and a fixed-bucket wait
+//    histogram. Memory is O(max backlog + buckets), so million-job runs
+//    no longer hold a record vector. Per-job accessors are unavailable.
+// The streaming-safe summary accessors (wait_stats & co.) work in both
+// modes; drivers that never inspect individual jobs should use those.
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.h"
@@ -42,7 +53,10 @@ struct JobOutcome {
 /// the benches read summaries.
 class Collector {
  public:
-  explicit Collector(std::size_t job_count, std::size_t node_count);
+  explicit Collector(std::size_t job_count, std::size_t node_count,
+                     bool streaming = false);
+
+  [[nodiscard]] bool streaming() const noexcept { return streaming_; }
 
   // --- event recording (called by the grid layer) -----------------------
   void on_submit(std::uint64_t seq, sim::SimTime t);
@@ -57,31 +71,99 @@ class Collector {
   void add_node_busy(std::uint32_t node, double seconds);
 
   // --- summaries ----------------------------------------------------------
+  /// Per-job record; batch mode only.
   [[nodiscard]] const JobOutcome& job(std::uint64_t seq) const;
-  [[nodiscard]] std::size_t job_count() const noexcept { return jobs_.size(); }
-  [[nodiscard]] std::size_t completed_count() const noexcept;
-  [[nodiscard]] std::size_t started_count() const noexcept;
-  [[nodiscard]] std::size_t unmatched_count() const noexcept;
-  [[nodiscard]] std::uint64_t total_resubmissions() const noexcept;
-  [[nodiscard]] std::uint64_t total_requeues() const noexcept;
+  [[nodiscard]] std::size_t job_count() const noexcept {
+    return streaming_ ? job_count_ : jobs_.size();
+  }
+  [[nodiscard]] std::size_t completed_count() const noexcept {
+    return completed_n_;
+  }
+  [[nodiscard]] std::size_t started_count() const noexcept {
+    return started_n_;
+  }
+  [[nodiscard]] std::size_t unmatched_count() const noexcept {
+    return unmatched_n_;
+  }
+  [[nodiscard]] std::uint64_t total_resubmissions() const noexcept {
+    return resubmissions_n_;
+  }
+  [[nodiscard]] std::uint64_t total_requeues() const noexcept {
+    return requeues_n_;
+  }
 
-  /// Wait times of all started jobs (the Fig. 2 quantity).
+  /// Wait times of all started jobs (the Fig. 2 quantity); batch mode only
+  /// (supports exact quantiles). Streaming drivers use wait_stats().
   [[nodiscard]] Samples wait_times() const;
-  /// Matchmaking hops of all matched jobs (the §3.3 "matchmaking cost").
+  /// Matchmaking hops of all matched jobs (the §3.3 "matchmaking cost");
+  /// batch mode only.
   [[nodiscard]] Samples matchmaking_hops() const;
   [[nodiscard]] Samples injection_hops() const;
+
+  // Streaming-safe summaries: O(1)-ish in streaming mode, computed from the
+  // record vector in batch mode. Same quantities as the Samples accessors.
+  [[nodiscard]] RunningStats wait_stats() const;
+  [[nodiscard]] RunningStats match_hops_stats() const;
+  [[nodiscard]] RunningStats injection_hops_stats() const;
+  /// Fixed-bucket wait-time histogram (always defined; populated from the
+  /// stream or rebuilt from records).
+  [[nodiscard]] Histogram wait_histogram() const;
+
   /// Jobs executed per node — load-balance dispersion across the system.
   [[nodiscard]] RunningStats jobs_per_node() const;
   /// Busy seconds per node.
   [[nodiscard]] RunningStats busy_per_node() const;
   /// Completion makespan (latest completion time).
-  [[nodiscard]] double makespan_sec() const;
+  [[nodiscard]] double makespan_sec() const noexcept { return makespan_sec_; }
+
+  /// Bytes behind job bookkeeping (record vector or in-flight table plus
+  /// per-node arrays); capacity snapshot for memory accounting.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
 
   /// Render a one-line summary (used by benches for per-cell rows).
   [[nodiscard]] std::string summary() const;
 
+  /// Wait-histogram shape shared by both modes (seconds).
+  static constexpr double kWaitHistLo = 0.0;
+  static constexpr double kWaitHistHi = 3600.0;
+  static constexpr std::size_t kWaitHistBuckets = 240;
+
  private:
+  /// Streaming mode's per-job state between submission and completion.
+  /// Terminal quantities fold into the running statistics and the entry is
+  /// erased, so the table size follows the in-flight backlog, not the run
+  /// length.
+  struct InFlight {
+    double submit_sec = JobOutcome::kNever;
+    double owner_sec = JobOutcome::kNever;
+    int injection_hops = 0;
+    std::uint32_t run_node = 0;
+    bool matched = false;
+    bool started = false;
+    bool unmatched = false;
+  };
+
+  bool streaming_ = false;
+  std::size_t job_count_ = 0;  // expected jobs (streaming mode's job_count())
+
+  // Batch storage.
   std::vector<JobOutcome> jobs_;
+
+  // Streaming storage.
+  std::unordered_map<std::uint64_t, InFlight> inflight_;
+  RunningStats wait_stats_;
+  Histogram wait_hist_{kWaitHistLo, kWaitHistHi, kWaitHistBuckets};
+  RunningStats match_hops_stats_;
+  RunningStats injection_hops_retired_;
+
+  // Maintained in both modes (identical dedup guards to the record path).
+  std::size_t completed_n_ = 0;
+  std::size_t started_n_ = 0;
+  std::size_t unmatched_n_ = 0;
+  std::uint64_t resubmissions_n_ = 0;
+  std::uint64_t requeues_n_ = 0;
+  double makespan_sec_ = 0.0;
+
   std::vector<std::uint32_t> node_jobs_;
   std::vector<double> node_busy_;
 };

@@ -11,6 +11,7 @@
 
 #include "common/expects.h"
 #include "net/message_pool.h"
+#include "obs/trace_context.h"
 
 namespace pgrid::net {
 
@@ -50,6 +51,10 @@ class Message {
   std::uint64_t rpc_id = 0;
   /// True for RPC replies (routed to the caller's continuation).
   bool is_reply = false;
+  /// Causal trace context (zero = unsampled). Stamped by Network::send when
+  /// a sampled trace is active; clone() carries it across duplication, so a
+  /// traced hop survives the fault plane.
+  obs::TraceContext trace;
 
   /// Class-level allocation hooks: every datagram — make_unique at the send
   /// site, clone() under fault-plane duplication — is served from the

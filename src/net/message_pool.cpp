@@ -87,6 +87,9 @@ void* MessagePool::allocate(std::size_t size) {
   }
   const auto size_class =
       static_cast<std::uint32_t>((size + kClassStep - 1) / kClassStep - 1);
+  tc.stats.live_bytes +=
+      static_cast<std::int64_t>(class_bytes(size_class) + sizeof(BlockHeader));
+  ++tc.stats.live_blocks;
   if (FreeBlock* block = tc.free_lists[size_class]; block != nullptr) {
     tc.free_lists[size_class] = block->next;
     ++tc.stats.reused;
@@ -116,6 +119,9 @@ void MessagePool::deallocate(void* p) noexcept {
       tc.free_lists[header->size_class] = block;
       ++tc.stats.cached_blocks;
       tc.stats.cached_bytes += class_bytes(header->size_class);
+      tc.stats.live_bytes -= static_cast<std::int64_t>(
+          class_bytes(header->size_class) + sizeof(BlockHeader));
+      --tc.stats.live_blocks;
       return;
     }
     ++tc.stats.foreign;

@@ -41,6 +41,19 @@ class MessagePool {
     std::uint64_t foreign = 0;   ///< freed cross-thread / after purge
     std::size_t cached_blocks = 0;
     std::size_t cached_bytes = 0;
+    /// Pooled blocks currently out with callers (allocated, not yet freed),
+    /// headers included. Approximate under cross-thread frees — a block
+    /// freed on another thread stays counted against its owner — and
+    /// excludes oversize blocks (their size is not recorded).
+    std::int64_t live_bytes = 0;
+    std::int64_t live_blocks = 0;
+
+    /// Total footprint attributable to the pool right now: blocks parked on
+    /// free lists plus blocks in flight.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+      const std::int64_t live = live_bytes > 0 ? live_bytes : 0;
+      return cached_bytes + static_cast<std::size_t>(live);
+    }
 
     [[nodiscard]] double reuse_fraction() const noexcept {
       const auto total = fresh + reused;

@@ -79,6 +79,18 @@ void Network::deliver(NodeAddr from, NodeAddr to, sim::SimTime delay,
         stats_.bytes_delivered += wire_bytes;
         PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgDeliver, to, from, tag,
                           msg->rpc_id, static_cast<double>(wire_bytes));
+#ifndef PGRID_OBS_DISABLED
+        if (trace_ != nullptr && msg->trace.sampled()) {
+          // End the hop span (its duration is the one-way latency) and run
+          // the handler under the message's context, so every message it
+          // sends becomes a child span — the causal chain crosses the hop.
+          trace_->record_span(obs::EventKind::kSpanEnd, msg->trace, to, from,
+                              tag, msg->rpc_id);
+          obs::SpanScope scope(trace_, msg->trace);
+          handlers_[to]->on_message(from, std::move(msg));
+          return;
+        }
+#endif
         handlers_[to]->on_message(from, std::move(msg));
       });
 }
@@ -107,6 +119,19 @@ void Network::send(NodeAddr from, NodeAddr to, MessagePtr msg) {
 
   PGRID_TRACE_EVENT(trace_, obs::EventKind::kMsgSend, from, to, tag,
                     msg->rpc_id, static_cast<double>(wire_bytes));
+
+#ifndef PGRID_OBS_DISABLED
+  // Causal propagation: a message sent while a sampled span is ambient
+  // becomes a child span of it. The span begins here (hand-off to the
+  // network); it ends at delivery — or never, making drops visible.
+  if (trace_ != nullptr) {
+    if (!msg->trace.sampled()) msg->trace = trace_->child_of(trace_->current());
+    if (msg->trace.sampled()) {
+      trace_->record_span(obs::EventKind::kSpanBegin, msg->trace, from, to,
+                          tag, msg->rpc_id, static_cast<double>(wire_bytes));
+    }
+  }
+#endif
 
   if (!alive_[from]) {
     ++stats_.messages_dropped_dead;

@@ -99,6 +99,13 @@ class RpcEndpoint {
   }
   [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
 
+  /// Bytes held by the pending-call slab and backoff set (memory
+  /// accounting; capacity snapshot, nothing on the hot path).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return pending_.capacity() * sizeof(Pending) +
+           backoff_waits_.size() * (sizeof(sim::EventId) + 2 * sizeof(void*));
+  }
+
  private:
   /// Pending calls live in a slab addressed by the correlation id itself:
   /// rpc_id = stream << 32 | generation << 16 | slot. Reply matching is an
@@ -108,6 +115,10 @@ class RpcEndpoint {
   struct Pending {
     Continuation k;
     sim::EventId timeout_event = sim::kInvalidEvent;
+    /// Caller's span at call() time: restored around the timeout
+    /// continuation so retries and failure handling stay inside the sampled
+    /// trace (a timer has no ambient context of its own).
+    obs::TraceContext ctx;
     std::uint16_t generation = 1;
     bool live = false;
     std::uint16_t next_free = 0;

@@ -1,0 +1,41 @@
+#include "obs/memory.h"
+
+#include <cstdio>
+
+namespace pgrid::obs {
+
+namespace {
+constexpr const char* kNames[] = {
+    "sim_events", "msg_pool", "overlay_tables", "grid_state",
+    "rpc_pending", "trace_ring", "metrics",
+};
+static_assert(sizeof(kNames) / sizeof(kNames[0]) == MemoryAccountant::kClasses,
+              "kNames table out of sync with MemClass");
+
+double mb(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+}  // namespace
+
+const char* mem_class_name(MemClass c) noexcept {
+  const auto i = static_cast<std::size_t>(c);
+  return i < MemoryAccountant::kClasses ? kNames[i] : "unknown";
+}
+
+std::string MemoryAccountant::summary() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "mem %.1f MB (", mb(total()));
+  std::string out = buf;
+  bool first = true;
+  for (std::size_t i = 0; i < kClasses; ++i) {
+    if (bytes_[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    std::snprintf(buf, sizeof buf, "%s %.1f MB", kNames[i], mb(bytes_[i]));
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pgrid::obs

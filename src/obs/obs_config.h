@@ -16,18 +16,30 @@ struct ObsConfig {
   /// events are overwritten; exporters note the dropped count.
   std::size_t trace_capacity = 1u << 20;
 
+  /// Causal tracing sample rate: every N-th job submission starts a
+  /// cross-node span tree (TraceContext propagated hop by hop). 0 disables
+  /// span tracing; requires `trace` for the events to be retained.
+  std::uint64_t trace_sample_every = 0;
+
   /// Sampling period for the time-series gauges, in simulated seconds.
   /// <= 0 disables the sampler.
   double sample_period_sec = 0.0;
+
+  /// Replace the Collector's per-job record vector with streaming
+  /// aggregates (RunningStats + fixed-bucket histogram): million-job runs
+  /// hold O(buckets), not O(jobs). Per-job accessors (job(), wait_times())
+  /// are unavailable in this mode.
+  bool streaming_metrics = false;
 
   /// Output paths; empty means "do not write this artifact".
   std::string chrome_trace_path;   // Chrome trace_event JSON (Perfetto)
   std::string jsonl_path;          // one JSON object per trace event
   std::string timeseries_csv_path; // sampler rows
+  std::string metrics_csv_path;    // final MetricsRegistry snapshot
 
   [[nodiscard]] bool any_output() const {
     return !chrome_trace_path.empty() || !jsonl_path.empty() ||
-           !timeseries_csv_path.empty();
+           !timeseries_csv_path.empty() || !metrics_csv_path.empty();
   }
 };
 

@@ -49,6 +49,10 @@ std::string RunProfile::summary() const {
                   queue_peak_, tombstone_peak_);
     out += buf;
   }
+  if (memory_noted_) {
+    out += " | ";
+    out += memory_.summary();
+  }
   return out;
 }
 

@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/memory.h"
+
 namespace pgrid::obs {
 
 class RunProfile {
@@ -51,6 +53,17 @@ class RunProfile {
     if (tombstone_peak > tombstone_peak_) tombstone_peak_ = tombstone_peak;
   }
 
+  /// Record a per-subsystem memory snapshot; keeps the element-wise peak
+  /// across calls (GridSystem snapshots at sample points and at run end).
+  void note_memory(const MemoryAccountant& snapshot) noexcept {
+    memory_.merge_peak(snapshot);
+    memory_noted_ = true;
+  }
+  [[nodiscard]] bool has_memory() const noexcept { return memory_noted_; }
+  [[nodiscard]] const MemoryAccountant& memory() const noexcept {
+    return memory_;
+  }
+
   [[nodiscard]] double phase_sec(std::string_view phase) const noexcept;
   [[nodiscard]] double total_sec() const noexcept;
   [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
@@ -76,6 +89,8 @@ class RunProfile {
   std::uint64_t events_ = 0;
   std::size_t queue_peak_ = 0;
   std::size_t tombstone_peak_ = 0;
+  MemoryAccountant memory_;
+  bool memory_noted_ = false;
 };
 
 }  // namespace pgrid::obs

@@ -26,6 +26,30 @@ void TimeSeriesSampler::add_rate(std::string name, GaugeFn counter_fn) {
       Column{std::move(name), std::move(counter_fn), true, 0.0, false});
 }
 
+void TimeSeriesSampler::add_registry(const MetricsRegistry& registry) {
+  registry.for_each([this](const std::string& name, MetricsRegistry::Kind kind,
+                           const MetricsRegistry::Counter* counter,
+                           const MetricsRegistry::GaugeFn& fn,
+                           const MetricsRegistry::Distribution* dist) {
+    switch (kind) {
+      case MetricsRegistry::Kind::kCounter:
+        add_rate(name + "_per_sec", [counter] {
+          return static_cast<double>(counter->value());
+        });
+        break;
+      case MetricsRegistry::Kind::kGauge:
+        add_gauge(name, fn);
+        break;
+      case MetricsRegistry::Kind::kDistribution:
+        add_gauge(name + ".mean", [dist] { return dist->stats().mean(); });
+        add_rate(name + ".count_per_sec", [dist] {
+          return static_cast<double>(dist->stats().count());
+        });
+        break;
+    }
+  });
+}
+
 void TimeSeriesSampler::start() {
   if (task_ != nullptr) return;
   task_ = std::make_unique<sim::PeriodicTask>(

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -26,6 +27,12 @@ class TimeSeriesSampler {
   /// Register columns before start(); names become the CSV header.
   void add_gauge(std::string name, GaugeFn fn);
   void add_rate(std::string name, GaugeFn counter_fn);
+
+  /// Register every instrument of `registry` as columns: counters become
+  /// per-second rate columns, gauges become gauge columns, distributions
+  /// contribute "<name>.mean" and "<name>.count_per_sec". The registry must
+  /// outlive the sampler.
+  void add_registry(const MetricsRegistry& registry);
 
   /// Begin sampling: one row immediately, then one per period.
   void start();
@@ -49,6 +56,13 @@ class TimeSeriesSampler {
   }
 
   bool export_csv(const std::string& path) const;
+
+  /// Bytes held by the sample matrix and column table (memory accounting).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return data_.capacity() * sizeof(double) +
+           times_sec_.capacity() * sizeof(double) +
+           columns_.capacity() * sizeof(Column);
+  }
 
  private:
   void sample_once();

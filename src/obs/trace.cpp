@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
+#include <unordered_map>
 
 #include "common/expects.h"
 #include "common/logging.h"
@@ -34,7 +35,8 @@ constexpr KindInfo kKinds[] = {
     {"msg_drop_fault", "fault"},  {"msg_duplicate", "fault"},
     {"msg_reorder", "fault"},     {"fault_partition_cut", "fault"},
     {"fault_partition_heal", "fault"}, {"fault_gray", "fault"},
-    {"crash_burst", "fault"},
+    {"crash_burst", "fault"},     {"span_begin", "span"},
+    {"span_end", "span"},
 };
 static_assert(sizeof(kKinds) / sizeof(kKinds[0]) ==
                   static_cast<std::size_t>(EventKind::kCount_),
@@ -77,6 +79,58 @@ FilePtr open_for_write(const std::string& path) {
     PGRID_ERROR("obs", "cannot open %s for writing", path.c_str());
   }
   return f;
+}
+
+/// Human-readable name for a span's message tag, so Perfetto slices read
+/// "grid/DispatchJob" rather than raw type numbers. The tables mirror the
+/// per-layer MsgType enums; unknown tags fall back to "<layer>+<offset>".
+/// Tag 0 marks a root span (no message — a client-side request lifetime).
+const char* kChordTagNames[] = {"NextHopReq",    "NextHopResp",
+                                "StabilizeReq",  "StabilizeResp",
+                                "Notify",        "PingReq",
+                                "PingResp"};
+const char* kCanTagNames[] = {"RouteReq",   "RouteResp",     "JoinReq",
+                              "JoinResp",   "ZoneUpdate",    "DimLoadReport",
+                              "NeighborHint"};
+const char* kRnTreeTagNames[] = {"AggUpdate", "TokenPass", "TokenAck",
+                                 "SearchResult"};
+const char* kGridTagNames[] = {
+    "SubmitJob",  "SubmitAck",      "JobToOwner", "JobToOwnerAck",
+    "DispatchJob", "DispatchResp",  "Heartbeat",  "HeartbeatAck",
+    "JobDone",    "Result",         "OwnerHandoff", "OwnerHandoffAck",
+    "JobFailed",  "WalkProbe",      "WalkResult"};
+
+std::string span_tag_name(std::uint16_t tag) {
+  struct Layer {
+    std::uint16_t base;
+    const char* prefix;
+    const char* const* names;
+    std::size_t count;
+  };
+  static const Layer kLayers[] = {
+      {0x100, "chord", kChordTagNames,
+       sizeof(kChordTagNames) / sizeof(char*)},
+      {0x200, "can", kCanTagNames, sizeof(kCanTagNames) / sizeof(char*)},
+      {0x300, "rn", kRnTreeTagNames,
+       sizeof(kRnTreeTagNames) / sizeof(char*)},
+      {0x400, "grid", kGridTagNames, sizeof(kGridTagNames) / sizeof(char*)},
+  };
+  if (tag == 0) return "request";
+  for (const Layer& l : kLayers) {
+    if (tag >= l.base && tag < l.base + 0x100) {
+      const std::size_t off = tag - l.base;
+      char buf[64];
+      if (off < l.count) {
+        std::snprintf(buf, sizeof buf, "%s/%s", l.prefix, l.names[off]);
+      } else {
+        std::snprintf(buf, sizeof buf, "%s+%zu", l.prefix, off);
+      }
+      return buf;
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "tag 0x%x", tag);
+  return buf;
 }
 
 }  // namespace
@@ -132,16 +186,49 @@ bool TraceBus::export_jsonl(const std::string& path) const {
     std::fprintf(
         f.get(),
         "{\"t_ns\":%" PRId64 ",\"kind\":\"%s\",\"cat\":\"%s\",\"node\":%u,"
-        "\"peer\":%d,\"tag\":%u,\"a\":%" PRIu64 ",\"v\":%.17g}\n",
+        "\"peer\":%d,\"tag\":%u,\"a\":%" PRIu64 ",\"v\":%.17g",
         e.t_ns, event_kind_name(e.kind), event_kind_category(e.kind), e.node,
         e.peer == kNoActor ? -1 : static_cast<int>(e.peer), e.tag, e.a, e.v);
+    if (e.trace_id != 0) {
+      std::fprintf(f.get(),
+                   ",\"trace_id\":%" PRIu64 ",\"span\":%u,\"parent\":%u",
+                   e.trace_id, e.span, e.parent);
+    }
+    std::fputs("}\n", f.get());
   }
+  // Trailing summary: same dropped count the Chrome exporter reports, so a
+  // consumer of either artifact knows whether the ring wrapped.
+  std::fprintf(f.get(),
+               "{\"summary\":true,\"recorded\":%" PRIu64
+               ",\"retained\":%zu,\"dropped\":%" PRIu64 "}\n",
+               total_, size_, dropped());
   return true;
 }
 
 bool TraceBus::export_chrome_trace(const std::string& path) const {
   FilePtr f = open_for_write(path);
   if (f == nullptr) return false;
+  // Pair span begin/end events by span id so each message hop (or root
+  // request) renders as one complete "X" slice with its real latency, and
+  // parent→child edges render as flow arrows across node tracks. Under
+  // fault-plane duplication both copies end the same span; the first end
+  // wins (the duplicate is visible as the hop's delivered-twice arg).
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  struct SpanRef {
+    std::size_t begin = static_cast<std::size_t>(-1);  // == kNone
+    std::size_t end = static_cast<std::size_t>(-1);
+  };
+  std::unordered_map<std::uint32_t, SpanRef> spans;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceEvent& e = at(i);
+    if (e.kind == EventKind::kSpanBegin) {
+      auto& s = spans[e.span];
+      if (s.begin == kNone) s.begin = i;
+    } else if (e.kind == EventKind::kSpanEnd) {
+      auto& s = spans[e.span];
+      if (s.end == kNone) s.end = i;
+    }
+  }
   std::fputs("{\"traceEvents\":[\n", f.get());
   bool first = true;
   auto sep = [&] {
@@ -163,6 +250,45 @@ bool TraceBus::export_chrome_trace(const std::string& path) const {
   for (std::size_t i = 0; i < size_; ++i) {
     const TraceEvent& e = at(i);
     const double ts_us = static_cast<double>(e.t_ns) / 1000.0;
+    if (e.kind == EventKind::kSpanEnd) continue;  // folded into its begin
+    if (e.kind == EventKind::kSpanBegin) {
+      const SpanRef& s = spans[e.span];
+      double dur_us = 0.0;
+      bool finished = false;
+      if (s.end != kNone) {
+        dur_us = static_cast<double>(at(s.end).t_ns - e.t_ns) / 1000.0;
+        finished = true;
+      }
+      sep();
+      std::fprintf(f.get(),
+                   "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"X\","
+                   "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+                   "\"args\":{\"trace_id\":%" PRIu64
+                   ",\"span\":%u,\"parent\":%u,\"tag\":%u,\"a\":%" PRIu64
+                   ",\"finished\":%d}}",
+                   span_tag_name(e.tag).c_str(), ts_us, dur_us, e.node,
+                   e.trace_id, e.span, e.parent, e.tag, e.a,
+                   finished ? 1 : 0);
+      // Causal edge parent → this span, drawn as a flow arrow between the
+      // two slices (id = child span, unique per edge).
+      if (e.parent != 0) {
+        const auto p = spans.find(e.parent);
+        if (p != spans.end() && p->second.begin != kNone) {
+          const TraceEvent& pb = at(p->second.begin);
+          sep();
+          std::fprintf(f.get(),
+                       "{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"s\","
+                       "\"id\":%u,\"ts\":%.3f,\"pid\":1,\"tid\":%u},\n"
+                       "{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"f\","
+                       "\"bp\":\"e\",\"id\":%u,\"ts\":%.3f,\"pid\":1,"
+                       "\"tid\":%u}",
+                       e.span,
+                       static_cast<double>(pb.t_ns) / 1000.0, pb.node,
+                       e.span, ts_us, e.node);
+        }
+      }
+      continue;
+    }
     sep();
     if (e.kind == EventKind::kJobComplete || e.kind == EventKind::kJobKilled) {
       // `v` carries the execution duration in seconds: render the whole run

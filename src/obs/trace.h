@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace_context.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -65,6 +66,9 @@ enum class EventKind : std::uint8_t {
   kFaultPartitionHeal, // a: partition id
   kFaultGray,          // tag: 1 = set, 0 = cleared; v: latency scale
   kCrashBurst,         // a: members crashed
+  // causal spans (trace/span fields identify the span; see TraceContext)
+  kSpanBegin,  // message handed to the network / root request started
+  kSpanEnd,    // message delivered / root request finished
 
   kCount_,  // sentinel
 };
@@ -81,6 +85,12 @@ struct TraceEvent {
   std::int64_t t_ns = 0;
   std::uint64_t a = 0;
   double v = 0.0;
+  /// Causal attribution: the trace/span this event happened under (zero when
+  /// no sampled trace was active). For kSpanBegin/kSpanEnd, `span`/`parent`
+  /// identify the span itself.
+  std::uint64_t trace_id = 0;
+  std::uint32_t span = 0;
+  std::uint32_t parent = 0;
   std::uint32_t node = kNoActor;
   std::uint32_t peer = kNoActor;
   EventKind kind = EventKind::kMsgSend;
@@ -97,18 +107,54 @@ class TraceBus {
   void record(EventKind kind, std::uint32_t node,
               std::uint32_t peer = kNoActor, std::uint16_t tag = 0,
               std::uint64_t a = 0, double v = 0.0) noexcept {
-    if (!enabled_) return;
-    TraceEvent& e = ring_[head_];
-    e.t_ns = sim_.now().ns();
-    e.a = a;
-    e.v = v;
-    e.node = node;
-    e.peer = peer;
-    e.kind = kind;
-    e.tag = tag;
-    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
-    if (size_ < ring_.size()) ++size_;
-    ++total_;
+    // Plain events inherit the current span for causal attribution: an event
+    // recorded while a traced message's handler runs belongs to that span.
+    record_impl(kind, current_, node, peer, tag, a, v);
+  }
+
+  /// Record a span begin/end (or any event) under an explicit context — used
+  /// where the span is the message's, not the ambient one.
+  void record_span(EventKind kind, const TraceContext& ctx, std::uint32_t node,
+                   std::uint32_t peer = kNoActor, std::uint16_t tag = 0,
+                   std::uint64_t a = 0, double v = 0.0) noexcept {
+    record_impl(kind, ctx, node, peer, tag, a, v);
+  }
+
+  // --- causal tracing ------------------------------------------------------
+  /// Enable span sampling: every `every`-th root request (see
+  /// maybe_start_trace) gets a trace. 0 disables causal tracing entirely.
+  void set_trace_sampling(std::uint64_t every) noexcept {
+    sample_every_ = every;
+  }
+  [[nodiscard]] std::uint64_t trace_sampling() const noexcept {
+    return sample_every_;
+  }
+
+  /// Called at a root request site (job submission). Returns a fresh sampled
+  /// context for 1-in-N calls, an empty context otherwise.
+  [[nodiscard]] TraceContext maybe_start_trace() noexcept {
+    if (sample_every_ == 0) return {};
+    if (root_counter_++ % sample_every_ != 0) return {};
+    TraceContext ctx;
+    ctx.trace_id = ++next_trace_id_;
+    ctx.span_id = ++next_span_id_;
+    ctx.parent_span = 0;
+    return ctx;
+  }
+
+  /// Child context of `parent`: same trace, fresh span. Empty in, empty out.
+  [[nodiscard]] TraceContext child_of(const TraceContext& parent) noexcept {
+    if (!parent.sampled()) return {};
+    return TraceContext{parent.trace_id, ++next_span_id_, parent.span_id};
+  }
+
+  /// The span currently executing (installed by SpanScope around message
+  /// handlers); empty when no sampled trace is active.
+  [[nodiscard]] const TraceContext& current() const noexcept {
+    return current_;
+  }
+  [[nodiscard]] std::uint64_t traces_started() const noexcept {
+    return next_trace_id_;
   }
 
   /// Events currently retained (<= capacity).
@@ -132,11 +178,42 @@ class TraceBus {
   void set_actor_name(std::uint32_t actor, std::string name);
   [[nodiscard]] const std::string* actor_name(std::uint32_t actor) const;
 
-  /// Exporters return false (and log) on I/O failure.
+  /// Exporters return false (and log) on I/O failure. Both report the
+  /// ring's dropped-event count: JSONL as a trailing `{"summary":true,...}`
+  /// line, Chrome trace in otherData.dropped_events.
   bool export_jsonl(const std::string& path) const;
   bool export_chrome_trace(const std::string& path) const;
 
+  /// Bytes held by the ring and actor-name table (memory accounting).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    std::size_t names = actor_names_.capacity() * sizeof(std::string);
+    for (const auto& n : actor_names_) names += n.capacity();
+    return ring_.capacity() * sizeof(TraceEvent) + names;
+  }
+
  private:
+  friend class SpanScope;
+
+  void record_impl(EventKind kind, const TraceContext& ctx, std::uint32_t node,
+                   std::uint32_t peer, std::uint16_t tag, std::uint64_t a,
+                   double v) noexcept {
+    if (!enabled_) return;
+    TraceEvent& e = ring_[head_];
+    e.t_ns = sim_.now().ns();
+    e.a = a;
+    e.v = v;
+    e.trace_id = ctx.trace_id;
+    e.span = ctx.span_id;
+    e.parent = ctx.parent_span;
+    e.node = node;
+    e.peer = peer;
+    e.kind = kind;
+    e.tag = tag;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    if (size_ < ring_.size()) ++size_;
+    ++total_;
+  }
+
   const sim::Simulator& sim_;
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;   // next slot to write
@@ -144,6 +221,35 @@ class TraceBus {
   std::uint64_t total_ = 0;
   bool enabled_ = true;
   std::vector<std::string> actor_names_;
+  // Causal-tracing state: monotone id wells plus the ambient span.
+  std::uint64_t sample_every_ = 0;
+  std::uint64_t root_counter_ = 0;
+  std::uint64_t next_trace_id_ = 0;
+  std::uint32_t next_span_id_ = 0;
+  TraceContext current_{};
+};
+
+/// RAII ambient-span installer: while alive, TraceBus::current() returns
+/// `ctx` (and record() attributes events to it). Null bus or unsampled ctx
+/// makes this a no-op, so call sites need no branches of their own.
+class SpanScope {
+ public:
+  SpanScope(TraceBus* bus, const TraceContext& ctx) noexcept
+      : bus_(ctx.sampled() ? bus : nullptr) {
+    if (bus_ != nullptr) {
+      saved_ = bus_->current_;
+      bus_->current_ = ctx;
+    }
+  }
+  ~SpanScope() {
+    if (bus_ != nullptr) bus_->current_ = saved_;
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  TraceBus* bus_;
+  TraceContext saved_{};
 };
 
 }  // namespace pgrid::obs

@@ -1,0 +1,25 @@
+#pragma once
+// Causal trace context: the compact correlation header carried on every
+// in-flight Message and RPC continuation (DESIGN.md §14).
+//
+// A sampled request (1-in-N job submissions, ObsConfig::trace_sample_every)
+// gets a fresh trace_id at its root; every message hop it causes gets a
+// fresh span_id whose parent_span is the span that was current when the
+// message was sent. Span begin/end events on the TraceBus then reconstruct
+// the full cross-node causal tree — matchmaking lookup, dispatch, result —
+// with per-hop latencies. trace_id == 0 means "not sampled": the struct is
+// 16 bytes of zeroes and every instrumentation point is a single compare.
+
+#include <cstdint>
+
+namespace pgrid::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;     // 0 = not sampled / no trace
+  std::uint32_t span_id = 0;      // unique within the run
+  std::uint32_t parent_span = 0;  // 0 = root span
+
+  [[nodiscard]] bool sampled() const noexcept { return trace_id != 0; }
+};
+
+}  // namespace pgrid::obs

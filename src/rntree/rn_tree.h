@@ -96,6 +96,21 @@ class RnTreeService {
   [[nodiscard]] const RnTreeStats& stats() const noexcept { return stats_; }
   [[nodiscard]] net::NodeAddr addr() const noexcept { return rpc_.self(); }
 
+  /// Bytes behind the child table, pending searches, and the seen-token
+  /// ring (memory accounting; capacity snapshot, nothing on the hot path).
+  [[nodiscard]] std::size_t table_memory_bytes() const noexcept {
+    return children_.capacity() *
+               sizeof(std::pair<net::NodeAddr, ChildState>) +
+           pending_searches_.capacity() *
+               sizeof(std::pair<std::uint64_t, PendingSearch>) +
+           seen_tokens_.capacity() * sizeof(SeenToken);
+  }
+
+  /// Bytes held by this service's RPC pending-call slab.
+  [[nodiscard]] std::size_t rpc_memory_bytes() const noexcept {
+    return rpc_.memory_bytes();
+  }
+
  private:
   struct ChildState {
     Guid id;

@@ -106,6 +106,16 @@ class Simulator {
     return compactions_;
   }
 
+  /// Bytes held by the event pool: slot slab, heap array, and timer-lane
+  /// FIFOs (capacity where available, size for the deques). A capacity
+  /// snapshot for the memory accountant — no hot-path bookkeeping.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    std::size_t lane_bytes = 0;
+    for (const Lane& lane : lanes_) lane_bytes += lane.q.size() * sizeof(Entry);
+    return slots_.capacity() * sizeof(Slot) + heap_.capacity() * sizeof(Entry) +
+           lanes_.capacity() * sizeof(Lane) + lane_bytes;
+  }
+
  private:
   /// Pooled event state. A slot is live iff its generation matches the heap
   /// entry / handle that references it; freeing bumps the generation, which
