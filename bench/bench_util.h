@@ -24,7 +24,9 @@ namespace pgrid::bench {
 /// or move; downstream tooling keys parsing off this.
 ///  1: original layout (implicit — rows had no version field)
 ///  2: adds schema_version and the mem_* per-subsystem byte fields
-inline constexpr int kBenchJsonSchemaVersion = 2;
+///  3: adds detector-quality fields (fp_evictions, fn_evictions,
+///     anti_entropy_repairs, recovery_latency_p50/p99)
+inline constexpr int kBenchJsonSchemaVersion = 3;
 
 /// Build flavor baked into every JSON row so downstream tooling (and
 /// reviewers of results/*.txt) can reject numbers recorded from an
@@ -121,6 +123,13 @@ struct CellResult {
   std::uint64_t pool_fresh = 0;
   std::uint64_t pool_reused = 0;
   double pool_reuse_fraction = 0.0;
+  // Detector quality (nonzero only when GridConfig::track_liveness injected
+  // the ground-truth oracle) and online anti-entropy repair volume.
+  std::uint64_t fp_evictions = 0;       // evicted a peer that was alive
+  std::uint64_t fn_evictions = 0;       // detected later than the fixed rule
+  std::uint64_t anti_entropy_repairs = 0;  // owner records re-homed by audit
+  double recovery_latency_p50 = 0.0;  // actual death -> eviction, seconds
+  double recovery_latency_p99 = 0.0;
   // End-of-run per-subsystem memory footprint (peak across replicates when
   // averaged); always filled — the breakdown walk is cold and obs-independent.
   obs::MemoryAccountant memory;
@@ -177,6 +186,13 @@ inline CellResult summarize(const grid::GridSystem& system) {
   const auto node_stats = system.aggregate_node_stats();
   r.pushes = node_stats.can_pushes;
   r.forwards = node_stats.can_forwards;
+  r.fp_evictions = node_stats.fp_evictions;
+  r.fn_evictions = node_stats.fn_evictions;
+  r.anti_entropy_repairs = node_stats.owner_audit_repairs;
+  if (!node_stats.detection_latency.empty()) {
+    r.recovery_latency_p50 = node_stats.detection_latency.median();
+    r.recovery_latency_p99 = node_stats.detection_latency.quantile(0.99);
+  }
   r.memory = system.memory_breakdown();
   r.mem_total_bytes = r.memory.total();
   return r;
@@ -201,6 +217,11 @@ inline CellResult average(const std::vector<CellResult>& cells) {
     avg.requeues += c.requeues;
     avg.pushes += c.pushes;
     avg.forwards += c.forwards;
+    avg.fp_evictions += c.fp_evictions;
+    avg.fn_evictions += c.fn_evictions;
+    avg.anti_entropy_repairs += c.anti_entropy_repairs;
+    avg.recovery_latency_p50 += c.recovery_latency_p50;
+    avg.recovery_latency_p99 += c.recovery_latency_p99;
     avg.build_wall_sec += c.build_wall_sec;
     avg.run_wall_sec += c.run_wall_sec;
     avg.sim_events += c.sim_events;
@@ -229,6 +250,8 @@ inline CellResult average(const std::vector<CellResult>& cells) {
   avg.run_wall_sec /= n;
   avg.sim_events /= cells.size();
   avg.events_per_wall_sec /= n;
+  avg.recovery_latency_p50 /= n;
+  avg.recovery_latency_p99 /= n;
   const auto pool_total = avg.pool_fresh + avg.pool_reused;
   avg.pool_reuse_fraction =
       pool_total == 0 ? 0.0
@@ -305,7 +328,10 @@ class BenchJson {
         "\"sim_events\":%" PRIu64 ",\"events_per_wall_sec\":%.1f,"
         "\"sim_queue_peak\":%" PRIu64 ",\"sim_tombstone_peak\":%" PRIu64
         ",\"pool_fresh\":%" PRIu64 ",\"pool_reused\":%" PRIu64
-        ",\"pool_reuse_fraction\":%.4f",
+        ",\"pool_reuse_fraction\":%.4f"
+        ",\"fp_evictions\":%" PRIu64 ",\"fn_evictions\":%" PRIu64
+        ",\"anti_entropy_repairs\":%" PRIu64
+        ",\"recovery_latency_p50\":%.6f,\"recovery_latency_p99\":%.6f",
         kBenchJsonSchemaVersion, bench_.c_str(), kBuildType, label.c_str(),
         r.wait_avg, r.wait_stdev, r.match_hops_avg, r.injection_hops_avg,
         r.jobs_per_node_cv, r.completed_fraction, r.makespan_sec, r.messages,
@@ -314,7 +340,9 @@ class BenchJson {
         r.sim_events, r.events_per_wall_sec,
         static_cast<std::uint64_t>(r.sim_queue_peak),
         static_cast<std::uint64_t>(r.sim_tombstone_peak),
-        r.pool_fresh, r.pool_reused, r.pool_reuse_fraction);
+        r.pool_fresh, r.pool_reused, r.pool_reuse_fraction,
+        r.fp_evictions, r.fn_evictions, r.anti_entropy_repairs,
+        r.recovery_latency_p50, r.recovery_latency_p99);
     // Per-subsystem memory breakdown: one field per MemClass plus the total.
     for (std::size_t c = 0; c < obs::MemoryAccountant::kClasses; ++c) {
       const auto cls = static_cast<obs::MemClass>(c);

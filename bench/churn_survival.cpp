@@ -1,0 +1,242 @@
+// Survival under hostile churn: detector quality and anti-entropy repair.
+//
+//   churn_survival [--nodes=100] [--jobs=400] [--json=1] ...
+//
+// Sweep A (detector quality) runs each overlay matchmaker under background
+// churn plus a sustained "lying network" window — gray nodes (slow and
+// lossy but alive) or congestion loss — once with the fixed heartbeat
+// deadline and once with the φ-accrual detector. The ground-truth liveness
+// oracle classifies every eviction, so the cells measure what the paper's
+// fixed timeout cannot: false-positive evictions of healthy-but-slow nodes
+// versus actual death-to-eviction latency. The φ detector should cut FP
+// evictions while holding detection latency (its eviction threshold is
+// calibrated to the legacy three-period deadline).
+//
+// Sweep B (correlated burst survival) crashes a contiguous 30% overlay
+// arc/slab at once — a rack power loss in overlay coordinates, the worst
+// case for neighbor-replicated state — with victims rejoining minutes
+// later, and compares runs with the online anti-entropy machinery (owner
+// audits, CAN gap audits, RN-tree token leases) off and on. With healing
+// on, completion should stay >= 99%.
+//
+// --json=1 emits one BENCH row per cell (schema v3 carries the detector
+// fields).
+
+#include "bench/bench_util.h"
+
+#include "net/fault_plane.h"
+
+int main(int argc, char** argv) {
+  using namespace pgrid;
+  using namespace pgrid::bench;
+  using grid::MatchmakerKind;
+  using workload::Mix;
+
+  Config config;
+  config.parse_args(argc, argv);
+  Scale scale = Scale::from_config(config);
+  // Well below paper scale by default: 18 full churn runs, and the
+  // fixed-detector congestion cells burn real time on eviction storms
+  // (every false positive is a requeue + re-match cycle). --nodes/--jobs
+  // rescale.
+  if (!config.has("nodes")) scale.nodes = 100;
+  if (!config.has("jobs")) scale.jobs = 400;
+
+  const std::vector<MatchmakerKind> kinds{MatchmakerKind::kRnTree,
+                                          MatchmakerKind::kCanBasic,
+                                          MatchmakerKind::kCanPush};
+
+  std::printf("churn_survival: %zu nodes, %zu jobs\n", scale.nodes,
+              scale.jobs);
+
+  // --- sweep A: detector quality under lying networks ----------------------
+  enum class Fault { kGray, kCongestion };
+  struct Cell {
+    MatchmakerKind kind;
+    Fault fault;
+    bool phi;
+  };
+  std::vector<Cell> cells;
+  for (MatchmakerKind kind : kinds) {
+    for (Fault fault : {Fault::kGray, Fault::kCongestion}) {
+      for (bool phi : {false, true}) cells.push_back(Cell{kind, fault, phi});
+    }
+  }
+
+  const auto results = sim::run_sweep<CellResult>(
+      cells.size(), scale.threads, [&](std::size_t i) {
+        const Cell& cell = cells[i];
+        const auto spec = make_spec(scale, Mix::kMixed, Mix::kMixed, 0.4,
+                                    scale.seed + 41);
+        grid::GridConfig gc = make_grid_config(cell.kind, scale.seed + 11);
+        gc.light_maintenance = false;
+        gc.client.resubmit_base_sec = 300.0;
+        gc.client.resubmit_runtime_factor = 8.0;
+        gc.client.max_generations = 8;
+        gc.node.heartbeat_period = sim::SimTime::seconds(5.0);
+        gc.node.heartbeat_miss_threshold = 3;
+        gc.node.phi.enabled = cell.phi;
+        gc.obs.streaming_metrics = true;
+        gc.track_liveness = true;  // the oracle classifies every eviction
+        const auto pool_before = net::MessagePool::stats();
+        grid::GridSystem system(gc, workload::generate(spec));
+        system.build();
+        // Background churn provides real deaths so detection latency is
+        // measured on both detectors, not only FP behavior.
+        sim::ChurnModel churn;
+        churn.mean_lifetime_sec = 1200.0;
+        churn.mean_downtime_sec = 120.0;
+        churn.churn_fraction = 0.4;
+        system.enable_churn(churn);
+        net::FaultPlane& fp = system.network().fault_plane();
+        sim::Simulator& simr = system.simulator();
+        switch (cell.fault) {
+          case Fault::kGray:
+            // A sixth of the nodes go gray for a long window: alive, still
+            // heartbeating, but 8x slower and dropping a quarter of traffic.
+            simr.schedule_in(sim::SimTime::seconds(60.0), [&fp, &system] {
+              for (net::NodeAddr n = 0;
+                   n < system.node_count() / 6 && n < system.node_count();
+                   ++n) {
+                fp.set_gray(n, net::GrayFault{8.0, 0.25});
+              }
+            });
+            simr.schedule_in(sim::SimTime::seconds(460.0), [&fp, &system] {
+              for (net::NodeAddr n = 0;
+                   n < system.node_count() / 6 && n < system.node_count();
+                   ++n) {
+                fp.clear_gray(n);
+              }
+            });
+            break;
+          case Fault::kCongestion:
+            simr.schedule_in(sim::SimTime::seconds(60.0), [&fp] {
+              fp.set_congestion(0.25, 2.0);
+            });
+            simr.schedule_in(sim::SimTime::seconds(460.0),
+                             [&fp] { fp.clear_congestion(); });
+            break;
+        }
+        system.run();
+        CellResult r = summarize(system);
+        attach_pool_stats(r, pool_before);
+        return r;
+      });
+
+  print_header("Detector quality under gray nodes / congestion (with churn)");
+  std::printf("%-10s %-11s %-9s %10s %9s %9s %9s %9s\n", "matchmaker",
+              "fault", "detector", "completed", "fp-evict", "fn-evict",
+              "lat-p50", "lat-p99");
+  BenchJson json = BenchJson::open(config, "churn_survival");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const CellResult& r = results[i];
+    const char* fault = cell.fault == Fault::kGray ? "gray" : "congestion";
+    const char* det = cell.phi ? "phi" : "fixed";
+    std::printf("%-10s %-11s %-9s %9.1f%% %9llu %9llu %8.1fs %8.1fs\n",
+                grid::matchmaker_name(cell.kind), fault, det,
+                100.0 * r.completed_fraction,
+                static_cast<unsigned long long>(r.fp_evictions),
+                static_cast<unsigned long long>(r.fn_evictions),
+                r.recovery_latency_p50, r.recovery_latency_p99);
+    char label[64];
+    std::snprintf(label, sizeof label, "%s/%s/%s",
+                  grid::matchmaker_name(cell.kind), fault, det);
+    json.row(label, r);
+  }
+
+  // Verdict: pair up fixed/phi cells (phi directly follows fixed).
+  std::size_t pairs = 0, fewer_fp = 0;
+  double fixed_p50 = 0.0, phi_p50 = 0.0;
+  for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+    ++pairs;
+    if (results[i + 1].fp_evictions < results[i].fp_evictions) ++fewer_fp;
+    fixed_p50 += results[i].recovery_latency_p50;
+    phi_p50 += results[i + 1].recovery_latency_p50;
+  }
+  std::printf("\nverdict: phi strictly fewer FP evictions in %zu/%zu cells; "
+              "detection latency p50 fixed=%.1fs phi=%.1fs\n",
+              fewer_fp, pairs,
+              pairs ? fixed_p50 / static_cast<double>(pairs) : 0.0,
+              pairs ? phi_p50 / static_cast<double>(pairs) : 0.0);
+
+  // --- sweep B: 30% correlated crash burst, anti-entropy off vs on ---------
+  struct BurstCell {
+    MatchmakerKind kind;
+    bool healing;
+  };
+  std::vector<BurstCell> bcells;
+  for (MatchmakerKind kind : kinds) {
+    for (bool healing : {false, true}) bcells.push_back(BurstCell{kind, healing});
+  }
+
+  const auto bresults = sim::run_sweep<CellResult>(
+      bcells.size(), scale.threads, [&](std::size_t i) {
+        const BurstCell& cell = bcells[i];
+        const auto spec = make_spec(scale, Mix::kMixed, Mix::kMixed, 0.4,
+                                    scale.seed + 53);
+        grid::GridConfig gc = make_grid_config(cell.kind, scale.seed + 13);
+        gc.light_maintenance = false;
+        gc.client.resubmit_base_sec = 300.0;
+        gc.client.resubmit_runtime_factor = 8.0;
+        gc.client.max_generations = 8;
+        gc.node.heartbeat_period = sim::SimTime::seconds(5.0);
+        gc.node.heartbeat_miss_threshold = 3;
+        gc.node.phi.enabled = true;  // both legs detect; healing differs
+        if (cell.healing) {
+          gc.node.audit_period = sim::SimTime::seconds(15.0);
+          gc.node.can.audit_period = sim::SimTime::seconds(15.0);
+          gc.node.rntree.token_lease = sim::SimTime::seconds(10.0);
+        }
+        gc.obs.streaming_metrics = true;
+        gc.track_liveness = true;
+        const auto pool_before = net::MessagePool::stats();
+        grid::GridSystem system(gc, workload::generate(spec));
+        system.build();
+        // Injector with no background churn: it only executes the burst and
+        // the staggered rejoins.
+        system.enable_churn(sim::ChurnModel{});
+        sim::Simulator& simr = system.simulator();
+        simr.schedule_in(sim::SimTime::seconds(120.0), [&system] {
+          const auto victims = system.correlated_victims(0.30, 0.25);
+          system.churn()->crash_burst_members(victims, 300.0);
+        });
+        system.run();
+        CellResult r = summarize(system);
+        attach_pool_stats(r, pool_before);
+        return r;
+      });
+
+  print_header("30% correlated crash burst (contiguous arc/slab, rejoin ~300s)");
+  std::printf("%-10s %-13s %10s %10s %10s %10s\n", "matchmaker",
+              "anti-entropy", "completed", "resubmits", "requeues", "repairs");
+  for (std::size_t i = 0; i < bcells.size(); ++i) {
+    const BurstCell& cell = bcells[i];
+    const CellResult& r = bresults[i];
+    std::printf("%-10s %-13s %9.1f%% %10llu %10llu %10llu\n",
+                grid::matchmaker_name(cell.kind),
+                cell.healing ? "on" : "off", 100.0 * r.completed_fraction,
+                static_cast<unsigned long long>(r.resubmissions),
+                static_cast<unsigned long long>(r.requeues),
+                static_cast<unsigned long long>(r.anti_entropy_repairs));
+    char label[64];
+    std::snprintf(label, sizeof label, "%s/burst30/heal-%s",
+                  grid::matchmaker_name(cell.kind),
+                  cell.healing ? "on" : "off");
+    json.row(label, bresults[i]);
+  }
+
+  std::size_t healed_ok = 0, healed = 0;
+  for (std::size_t i = 0; i < bcells.size(); ++i) {
+    if (!bcells[i].healing) continue;
+    ++healed;
+    if (bresults[i].completed_fraction >= 0.99) ++healed_ok;
+  }
+  std::printf("\nverdict: completion >= 99%% with anti-entropy on in %zu/%zu "
+              "matchmakers\n",
+              healed_ok, healed);
+  if (json.active()) {
+    std::printf("bench rows written to %s\n", json.path().c_str());
+  }
+  return 0;
+}

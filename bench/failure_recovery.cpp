@@ -63,6 +63,8 @@ int main(int argc, char** argv) {
         gc.node.heartbeat_period = sim::SimTime::seconds(5.0);
         gc.node.heartbeat_miss_threshold = 3;
         gc.obs.streaming_metrics = true;
+        // Oracle-classified evictions: FP (peer was alive) / late detection.
+        gc.track_liveness = true;
         const auto pool_before = net::MessagePool::stats();
         grid::GridSystem system(gc, workload::generate(spec));
         system.build();
@@ -146,6 +148,7 @@ int main(int argc, char** argv) {
         gc.client.resubmit_runtime_factor = 8.0;
         gc.client.max_generations = 8;
         gc.obs.streaming_metrics = true;
+        gc.track_liveness = true;
         const auto pool_before = net::MessagePool::stats();
         grid::GridSystem system(gc, workload::generate(spec));
         system.build();
@@ -219,6 +222,34 @@ int main(int argc, char** argv) {
   std::printf("\nExpected shape: the partitioned-then-healed grid completes\n"
               ">= 99%% of the fault-free baseline; loss and gray windows cost\n"
               "wait time (retries, backoff) but not completion.\n");
+
+  // Detector quality across both sweeps: oracle-classified evictions and
+  // death-to-eviction latency. p50/p99 are averaged over cells that saw at
+  // least one real eviction.
+  std::uint64_t fp_total = 0, fn_total = 0;
+  double p50_sum = 0.0, p99_sum = 0.0;
+  std::size_t latency_cells = 0;
+  for (const auto* sweep : {&results, &fresults}) {
+    for (const CellResult& r : *sweep) {
+      fp_total += r.fp_evictions;
+      fn_total += r.fn_evictions;
+      if (r.recovery_latency_p50 > 0.0) {
+        p50_sum += r.recovery_latency_p50;
+        p99_sum += r.recovery_latency_p99;
+        ++latency_cells;
+      }
+    }
+  }
+  std::printf("\ndetector: %llu false-positive evictions, %llu late "
+              "detections; recovery latency p50=%.1fs p99=%.1fs (over %zu "
+              "cells with evictions)\n",
+              static_cast<unsigned long long>(fp_total),
+              static_cast<unsigned long long>(fn_total),
+              latency_cells ? p50_sum / static_cast<double>(latency_cells)
+                            : 0.0,
+              latency_cells ? p99_sum / static_cast<double>(latency_cells)
+                            : 0.0,
+              latency_cells);
   if (json.active()) {
     std::printf("bench rows written to %s\n", json.path().c_str());
   }

@@ -22,7 +22,10 @@
 // Flags: --messages=N (default 1M deliveries per cell), --smoke=1 (50k, for
 // CI), --json[=path] (one row per cell, BENCH_steady_state_micro.json by
 // default), --seed=S, --obs=1 (attach an enabled TraceBus to every cell's
-// network: the obs-on leg of CI's A/B against the default obs-off run).
+// network: the obs-on leg of CI's A/B against the default obs-off run),
+// --detector=1 (append a heartbeat_storm_phi cell that runs a φ-accrual
+// detector per sender on the fan-in path — the A/B that bounds the
+// detector's bookkeeping cost; default output is unchanged).
 
 #include <chrono>
 #include <cinttypes>
@@ -32,6 +35,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/phi_detector.h"
 #include "common/rng.h"
 #include "net/message.h"
 #include "net/message_pool.h"
@@ -218,10 +222,32 @@ CellResult bench_clone_fanout(std::uint64_t target, std::uint64_t seed,
   return r;
 }
 
+/// Fan-in sink that also maintains one φ-accrual detector per sender,
+/// like the grid layer's owner-side heartbeat monitor: heartbeat() per
+/// delivery, plus a 1 s scan evaluating every detector. The sender index
+/// rides in the message payload.
+struct PhiSink final : net::MessageHandler {
+  const sim::Simulator& sim;
+  net::NodeAddr self = net::kNullAddr;
+  std::uint64_t delivered = 0;
+  std::uint64_t suspects = 0;
+  std::vector<PhiDetector> detectors;
+  PhiSink(net::Network& network, const sim::Simulator& s, std::size_t peers)
+      : sim(s), detectors(peers) {
+    self = network.add_handler(this);
+  }
+  void on_message(net::NodeAddr /*from*/, net::MessagePtr msg) override {
+    ++delivered;
+    const auto* m = net::msg_cast<PingMsg>(msg.get());
+    detectors[static_cast<std::size_t>(m->value)].heartbeat(sim.now());
+  }
+};
+
 CellResult bench_heartbeat_storm(std::uint64_t target, std::uint64_t seed,
-                                 bool obs) {
+                                 bool obs, bool phi) {
   constexpr std::size_t kSenders = 512;
-  CellResult r{.cell = "heartbeat_storm", .obs = obs};
+  CellResult r{.cell = phi ? "heartbeat_storm_phi" : "heartbeat_storm",
+               .obs = obs};
   const net::MessagePool::Stats before = net::MessagePool::stats();
   sim::Simulator sim;
   net::Network network(
@@ -229,6 +255,9 @@ CellResult bench_heartbeat_storm(std::uint64_t target, std::uint64_t seed,
       net::LatencyModel{sim::SimTime::millis(1), sim::SimTime::millis(2)});
   const auto bus = maybe_attach_trace(network, sim, obs);
   Sink owner(network);
+  std::unique_ptr<PhiSink> phi_owner;
+  if (phi) phi_owner = std::make_unique<PhiSink>(network, sim, kSenders);
+  const net::NodeAddr owner_addr = phi ? phi_owner->self : owner.self;
   std::vector<std::unique_ptr<Sink>> senders;
   senders.reserve(kSenders);
   for (std::size_t i = 0; i < kSenders; ++i) {
@@ -243,16 +272,38 @@ CellResult bench_heartbeat_storm(std::uint64_t target, std::uint64_t seed,
   for (std::size_t i = 0; i < kSenders; ++i) {
     Sink* s = senders[i].get();
     net::Network* net = &network;
-    net::NodeAddr to = owner.self;
+    net::NodeAddr to = owner_addr;
     tasks.push_back(std::make_unique<sim::PeriodicTask>(
         sim, sim::SimTime::seconds(1.0),
-        [s, net, to] { net->send(s->self, to, std::make_unique<PingMsg>(0)); },
+        [s, net, to, i] {
+          net->send(s->self, to, std::make_unique<PingMsg>(i));
+        },
         sim::SimTime::millis(static_cast<std::int64_t>(i % 997))));
+  }
+  // The monitor scan: like GridNode's eviction sweep, evaluate every
+  // detector once per second against the suspect threshold.
+  std::unique_ptr<sim::PeriodicTask> scan;
+  if (phi) {
+    PhiSink* sink = phi_owner.get();
+    const sim::Simulator* sp = &sim;
+    const PhiAccrualConfig pcfg{.enabled = true};
+    std::uint64_t* suspects = &phi_owner->suspects;
+    scan = std::make_unique<sim::PeriodicTask>(
+        sim, sim::SimTime::seconds(1.0), [sink, sp, pcfg, suspects] {
+          const sim::SimTime now = sp->now();
+          const sim::SimTime fallback = sim::SimTime::seconds(3.0);
+          for (const PhiDetector& d : sink->detectors) {
+            if (d.seen() && d.suspect(now, pcfg, fallback)) ++*suspects;
+          }
+        },
+        sim::SimTime::millis(499));
   }
   sim.run_until(sim::SimTime::seconds(horizon_sec));
   for (auto& t : tasks) t->stop();
+  if (scan) scan->stop();
   sim.run();  // drain in-flight deliveries
-  finish(r, sim, timer.sec(), owner.delivered, before);
+  finish(r, sim, timer.sec(), phi ? phi_owner->delivered : owner.delivered,
+         before);
   return r;
 }
 
@@ -288,6 +339,7 @@ int main(int argc, char** argv) {
       config.get_int("messages", smoke ? 50'000 : 1'000'000));
   const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 1));
   const bool obs = config.get_bool("obs", false);
+  const bool detector = config.get_bool("detector", false);
 
   std::printf("steady_state_micro [%s%s]: %" PRIu64 " messages per cell%s\n",
               kBuildType, obs ? ", obs-on" : "", target,
@@ -301,7 +353,12 @@ int main(int argc, char** argv) {
   net::MessagePool::trim();
   cells.push_back(bench_clone_fanout(target, seed, obs));
   net::MessagePool::trim();
-  cells.push_back(bench_heartbeat_storm(target, seed, obs));
+  cells.push_back(bench_heartbeat_storm(target, seed, obs, false));
+  if (detector) {
+    // φ leg appended last so the default four-cell output is unchanged.
+    net::MessagePool::trim();
+    cells.push_back(bench_heartbeat_storm(target, seed, obs, true));
+  }
   for (const CellResult& r : cells) print_cell(r);
 
   std::string path = config.get_string("json", "");

@@ -6,7 +6,15 @@
 // derived from the seed.
 //
 //   ./chaos_replay [--kind=rn-tree] [--seed=1] [--nodes=20] [--jobs=40]
-//                  [--rounds=6] [--trace=1]
+//                  [--rounds=6] [--trace=1] [--correlated] [--flapping]
+//                  [--self-healing]
+//
+// --correlated / --flapping extend the drawn fault classes with
+// topology-correlated crash bursts (a contiguous Chord arc / CAN slab) and
+// rapid join-leave flapping; enabling them redraws the whole schedule, so
+// they are part of the replay identity and appear in replay commands.
+// --self-healing turns on φ-accrual liveness and the online anti-entropy
+// audits on every node.
 //
 // Exits 0 when every invariant holds; on violation prints the violations,
 // writes chaos_<kind>_<seed>.jsonl if tracing, and exits 1.
@@ -21,7 +29,21 @@ using namespace pgrid;
 
 int main(int argc, char** argv) {
   Config config;
-  config.parse_args(argc, argv);
+  // parse_args only understands key=value; the valueless switch forms the
+  // harness prints in replay commands come back as leftovers.
+  for (const std::string& token : config.parse_args(argc, argv)) {
+    if (token == "--correlated") {
+      config.set("correlated", "1");
+    } else if (token == "--flapping") {
+      config.set("flapping", "1");
+    } else if (token == "--self-healing") {
+      config.set("self-healing", "1");
+    } else {
+      std::fprintf(stderr, "chaos_replay: unrecognized argument %s\n",
+                   token.c_str());
+      return 2;
+    }
+  }
 
   sim::ChaosConfig cfg;
   const std::string kind = config.get_string("kind", "rn-tree");
@@ -36,6 +58,9 @@ int main(int argc, char** argv) {
   cfg.nodes = static_cast<std::size_t>(config.get_int("nodes", 20));
   cfg.jobs = static_cast<std::size_t>(config.get_int("jobs", 40));
   cfg.fault_rounds = static_cast<int>(config.get_int("rounds", 6));
+  cfg.enable_correlated = config.get_bool("correlated", false);
+  cfg.enable_flapping = config.get_bool("flapping", false);
+  cfg.self_healing = config.get_bool("self-healing", false);
   cfg.trace = config.get_bool("trace", false);
   cfg.verbose = config.get_bool("verbose", false);
   if (cfg.trace) {

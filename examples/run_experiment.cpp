@@ -15,6 +15,13 @@
 // none), queue (fifo|fair-share), kill-factor (0), csv, workload-out,
 // replay, config.
 //
+// Failure-detection keys: --heartbeat-period=sec (5) and
+// --miss-threshold=n (3) tune the fixed-timeout monitor; --phi enables the
+// φ-accrual detector on every layer, with --phi-suspect (2.0) and
+// --phi-evict (3.0) thresholds in mean-gap units; --audit-period=sec (0 =
+// off) enables the online anti-entropy audits (owner records, CAN tiling,
+// RN-tree search-token leases) at that period.
+//
 // Observability keys: --trace[=path] writes a Chrome trace_event JSON
 // (default trace.json, load at https://ui.perfetto.dev), --trace-jsonl=path
 // writes the raw events as JSONL, --trace-capacity=N sizes the event ring
@@ -63,6 +70,8 @@ int main(int argc, char** argv) {
       config.set("trace", "1");
     } else if (token == "--timeseries") {
       config.set("timeseries", "1");
+    } else if (token == "--phi") {
+      config.set("phi", "1");
     } else {
       std::fprintf(stderr, "error: unrecognized argument %s\n", token.c_str());
       return 2;
@@ -109,6 +118,26 @@ int main(int argc, char** argv) {
     gc.node.queue_policy = grid::QueuePolicy::kFairShare;
   }
   gc.node.runaway_kill_factor = config.get_double("kill-factor", 0.0);
+
+  // --- failure detection / anti-entropy ------------------------------------
+  gc.node.heartbeat_period = sim::SimTime::seconds(
+      config.get_double("heartbeat-period",
+                        gc.node.heartbeat_period.sec()));
+  gc.node.heartbeat_miss_threshold = static_cast<int>(config.get_int(
+      "miss-threshold", gc.node.heartbeat_miss_threshold));
+  if (config.get_bool("phi", false)) {
+    gc.node.phi.enabled = true;  // build() propagates to chord/can/rntree
+    gc.node.phi.suspect_threshold =
+        config.get_double("phi-suspect", gc.node.phi.suspect_threshold);
+    gc.node.phi.evict_threshold =
+        config.get_double("phi-evict", gc.node.phi.evict_threshold);
+  }
+  const double audit_sec = config.get_double("audit-period", 0.0);
+  if (audit_sec > 0.0) {
+    gc.node.audit_period = sim::SimTime::seconds(audit_sec);
+    gc.node.can.audit_period = sim::SimTime::seconds(audit_sec);
+    gc.node.rntree.token_lease = sim::SimTime::seconds(audit_sec);
+  }
 
   // --- observability ----------------------------------------------------------
   if (config.has("trace") || config.has("trace-jsonl") ||
@@ -181,6 +210,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.run_recoveries),
                 static_cast<unsigned long long>(stats.owner_recoveries),
                 static_cast<unsigned long long>(stats.jobs_killed_quota));
+  }
+  if (stats.owner_audit_repairs) {
+    std::printf("anti-entropy: %llu owner records re-homed\n",
+                static_cast<unsigned long long>(stats.owner_audit_repairs));
   }
   std::printf("\nwait-time distribution:\n%s",
               metrics::wait_histogram(c).c_str());

@@ -92,6 +92,7 @@ void CanNode::join(Peer bootstrap, std::function<void(bool ok)> done) {
                   ns.rep_point = c.rep_point;
                   ns.load = c.load;
                   ns.last_heard = net_.simulator().now();
+                  ns.phi.heartbeat(ns.last_heard);
                   neighbors_.emplace(c.peer.addr, std::move(ns));
                 }
                 prune_neighbors();
@@ -106,6 +107,8 @@ void CanNode::crash() {
   running_ = false;
   joining_ = false;
   update_task_.reset();
+  audit_task_.reset();
+  audit_probe_inflight_ = false;
   rpc_.cancel_all();
   for (auto& [addr, timer] : takeover_timers_) {
     net_.simulator().cancel(timer);
@@ -200,11 +203,25 @@ void CanNode::route_ask(const std::shared_ptr<RouteState>& st, Peer target) {
                 if (!contains_id(st->avoid, target.id)) {
                   st->avoid.push_back(target.id);
                 }
-                // Suspect the dead hop locally so maintenance reclaims it.
+                // Suspect the dead hop locally so maintenance reclaims it —
+                // unless φ says it has been heard from too recently for the
+                // silence to mean death (gray node, transient congestion).
                 for (auto it = neighbors_.begin(); it != neighbors_.end();
                      ++it) {
                   if (it->second.id == target.id) {
-                    schedule_takeover(it->first);
+                    const auto now = net_.simulator().now();
+                    if (!config_.phi.enabled ||
+                        it->second.phi.evict(now, config_.phi,
+                                             config_.neighbor_timeout)) {
+                      schedule_takeover(it->first);
+                    } else {
+                      ++stats_.suspicions;
+                      PGRID_TRACE_EVENT(
+                          net_.trace(), obs::EventKind::kPhiSuspect, addr(),
+                          it->first, 2, 0,
+                          it->second.phi.phi(now, config_.phi,
+                                             config_.neighbor_timeout));
+                    }
                     break;
                   }
                 }
@@ -395,6 +412,7 @@ void CanNode::on_join(net::NodeAddr from, const JoinReq& req) {
   ns.rep_point = req.point;
   ns.load = 0.0;
   ns.last_heard = net_.simulator().now();
+  ns.phi.heartbeat(ns.last_heard);
   neighbors_[req.joiner.addr] = std::move(ns);
   pending_grants_.insert_or_assign(req.joiner.addr, theirs);
   broadcast_zone_update();
@@ -434,6 +452,7 @@ void CanNode::on_zone_update(net::NodeAddr from, const ZoneUpdate& msg) {
     NeighborState& ns = known->second;
     ns.load = msg.load();
     ns.last_heard = net_.simulator().now();
+    ns.phi.heartbeat(ns.last_heard);
     ns.their_neighbors = msg.neighbor_addrs();
     ns.update_seq = msg.seq;
     return;
@@ -509,6 +528,7 @@ void CanNode::on_zone_update(net::NodeAddr from, const ZoneUpdate& msg) {
   ns.rep_point = msg.rep_point();
   ns.load = msg.load();
   ns.last_heard = net_.simulator().now();
+  ns.phi.heartbeat(ns.last_heard);
   ns.their_neighbors = msg.neighbor_addrs();
   ns.update_seq = msg.seq;
   ns.zones_version = msg.zones_version();
@@ -631,6 +651,15 @@ void CanNode::start_maintenance() {
       sim::SimTime::nanos(rng_.range(0, config_.update_period.ns() - 1));
   update_task_ = std::make_unique<sim::PeriodicTask>(
       net_.simulator(), config_.update_period, [this] { do_update(); }, phase);
+  // Gated before its phase draw: with the audit off (the default) the RNG
+  // sequence — and thus every downstream draw — is untouched.
+  if (config_.audit_period > sim::SimTime::zero()) {
+    const auto audit_phase =
+        sim::SimTime::nanos(rng_.range(0, config_.audit_period.ns() - 1));
+    audit_task_ = std::make_unique<sim::PeriodicTask>(
+        net_.simulator(), config_.audit_period, [this] { do_gap_audit(); },
+        audit_phase);
+  }
 }
 
 void CanNode::do_update() {
@@ -656,10 +685,25 @@ void CanNode::do_update() {
   if (!lost_.empty()) {
     send_zone_update(lost_[lost_cursor_++ % lost_.size()].addr);
   }
-  // Failure detection: schedule takeover for stale neighbors.
+  // Failure detection: schedule takeover for stale neighbors. With φ on,
+  // staleness is judged against the neighbor's learned update cadence;
+  // suspect-level silence only re-sends our claim (re-links tables that
+  // went asymmetric) instead of arming the takeover timer.
   const auto now = net_.simulator().now();
   for (const auto& [naddr, ns] : neighbors_) {
-    if (now - ns.last_heard > config_.neighbor_timeout) {
+    if (config_.phi.enabled) {
+      if (ns.phi.evict(now, config_.phi, config_.neighbor_timeout)) {
+        schedule_takeover(naddr);
+      } else if (ns.phi.suspect(now, config_.phi, config_.neighbor_timeout) &&
+                 takeover_timers_.find(naddr) == takeover_timers_.end()) {
+        ++stats_.suspicions;
+        PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kPhiSuspect, addr(),
+                          naddr, 2, 0,
+                          ns.phi.phi(now, config_.phi,
+                                     config_.neighbor_timeout));
+        send_zone_update(naddr);
+      }
+    } else if (now - ns.last_heard > config_.neighbor_timeout) {
       schedule_takeover(naddr);
     }
   }
@@ -806,6 +850,100 @@ void CanNode::execute_takeover(net::NodeAddr dead) {
                     dead, 2, 0, static_cast<double>(zones_.size()));
   prune_neighbors();
   broadcast_zone_update(to_notify);
+}
+
+// --- anti-entropy tiling audit ----------------------------------------------
+
+bool CanNode::point_known_covered(const Point& p) const noexcept {
+  for (const Zone& z : zones_) {
+    if (z.contains(p)) return true;
+  }
+  for (const auto& [naddr, ns] : neighbors_) {
+    for (const Zone& z : ns.zones) {
+      if (z.contains(p)) return true;
+    }
+  }
+  return false;
+}
+
+void CanNode::do_gap_audit() {
+  if (!running_ || zones_.empty() || audit_probe_inflight_) return;
+  // Probe the first face of our zones whose far side no known zone covers.
+  // A correlated crash of a whole region leaves interior zones owned by
+  // nobody: the survivors on the region's rim only ever knew (and took
+  // over) the outermost dead layer, so the hole beyond their new frontier
+  // is invisible to the timeout/takeover machinery. Routing towards the
+  // uncovered point settles it: an owner means the tables merely went
+  // asymmetric (re-link them); no owner means a genuine hole (claim it).
+  constexpr double kEps = 1e-9;
+  for (const Zone& z : zones_) {
+    for (std::size_t d = 0; d < z.dims(); ++d) {
+      for (const bool hi_side : {false, true}) {
+        const double face = hi_side ? z.hi()[d] : z.lo()[d];
+        if (hi_side ? face >= 1.0 : face <= 0.0) continue;  // space boundary
+        Point probe = z.center();
+        probe[d] = hi_side ? face : face - kEps;
+        if (point_known_covered(probe)) continue;
+        audit_probe_inflight_ = true;
+        route(probe, [this, z, d, hi_side, probe](Peer owner, int /*hops*/) {
+          audit_probe_inflight_ = false;
+          if (!running_ || zones_.empty()) return;
+          if (owner.valid() && owner.addr != addr()) {
+            // Someone does own the space; we just lost track of them.
+            // Exchange claims so the neighbor tables re-link.
+            note_lost(owner);
+            send_zone_update(owner.addr);
+            return;
+          }
+          if (owner.valid()) return;  // resolved to us: closed meanwhile
+          if (point_known_covered(probe)) return;  // likewise
+          claim_gap(z, d, hi_side);
+        });
+        return;  // one probe per round keeps claims serialized
+      }
+    }
+  }
+}
+
+void CanNode::claim_gap(const Zone& z, std::size_t d, bool hi_side) {
+  // The hole's true extent is unknown (its owners are dead and gone), so
+  // claim the mirror of our own zone across the shared face — a bounded,
+  // deterministic bite — minus every zone we know to be owned. Repeated
+  // audit rounds grow the claim until the tiling closes; if the bite
+  // overlaps a live stranger's zone after all, the GUID-ordered conflict
+  // rule in on_zone_update resolves the double claim on first contact.
+  Point lo = z.lo();
+  Point hi = z.hi();
+  if (hi_side) {
+    lo[d] = z.hi()[d];
+    hi[d] = std::min(1.0, z.hi()[d] + z.extent(d));
+  } else {
+    hi[d] = z.lo()[d];
+    lo[d] = std::max(0.0, z.lo()[d] - z.extent(d));
+  }
+  if (!(lo[d] < hi[d])) return;
+  std::vector<Zone> pieces{Zone(lo, hi)};
+  auto carve = [&pieces](const Zone& owned) {
+    std::vector<Zone> next;
+    for (const Zone& piece : pieces) {
+      std::vector<Zone> sub = subtract(piece, owned);
+      next.insert(next.end(), sub.begin(), sub.end());
+    }
+    pieces = std::move(next);
+  };
+  for (const Zone& mine : zones_) carve(mine);
+  for (const auto& [naddr, ns] : neighbors_) {
+    for (const Zone& theirs : ns.zones) carve(theirs);
+  }
+  if (pieces.empty()) return;
+  for (const Zone& piece : pieces) zones_.push_back(piece);
+  coalesce(zones_);
+  note_zones_changed();
+  ++stats_.gap_repairs;
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kAntiEntropyRepair, addr(),
+                    obs::kNoActor, 2, 0, static_cast<double>(zones_.size()));
+  prune_neighbors();
+  broadcast_zone_update();
 }
 
 }  // namespace pgrid::can

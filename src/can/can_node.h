@@ -15,6 +15,7 @@
 #include "can/geometry.h"
 #include "can/messages.h"
 #include "common/flat_map.h"
+#include "common/phi_detector.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "net/network.h"
@@ -39,6 +40,16 @@ struct CanConfig {
   /// Weight of a node's own load in the per-dimension upstream load report
   /// (the remainder comes from the report received from above).
   double push_alpha = 0.5;
+  /// φ-accrual liveness (default off = legacy fixed neighbor_timeout).
+  /// When on, staleness is judged against each neighbor's learned update
+  /// inter-arrival gaps: congested-but-alive neighbors are only *suspected*
+  /// (re-linked with a direct zone update) instead of taken over.
+  PhiAccrualConfig phi;
+  /// Anti-entropy tiling audit period (zero = off). Each round probes one
+  /// uncovered face of this node's zones via routing; space no reachable
+  /// node claims (a hole left by a correlated crash of a whole region) is
+  /// claimed by the prober, bounded by its own zone extents.
+  sim::SimTime audit_period = sim::SimTime::zero();
 };
 
 struct CanStats {
@@ -47,6 +58,8 @@ struct CanStats {
   std::uint64_t routes_failed = 0;
   std::uint64_t takeovers = 0;
   RunningStats route_hops;
+  std::uint64_t suspicions = 0;   // φ: stale neighbors not yet taken over
+  std::uint64_t gap_repairs = 0;  // anti-entropy tiling-gap claims
 };
 
 /// Everything a node knows about a neighbor.
@@ -67,6 +80,9 @@ struct NeighborState {
   /// update from this neighbor (no conflict action, no hints sent).
   /// 0 = never; epochs start at 1. See on_zone_update's fast path.
   std::uint64_t scan_epoch = 0;
+  /// Update inter-arrival history for φ-accrual liveness (CanConfig::phi).
+  /// Recorded unconditionally (cheap), consulted only when enabled.
+  PhiDetector phi;
 };
 
 class CanNode {
@@ -177,6 +193,14 @@ class CanNode {
 
   void start_maintenance();
   void do_update();
+  /// One anti-entropy round: probe the first face of our zones not covered
+  /// by any known zone; claim the space if routing finds no owner either.
+  void do_gap_audit();
+  /// Claim the mirror of zone `z` across face (`d`, `hi_side`), minus every
+  /// zone we already know about (ours and neighbors').
+  void claim_gap(const Zone& z, std::size_t d, bool hi_side);
+  /// True iff some zone we know of (our own or a neighbor's) contains `p`.
+  [[nodiscard]] bool point_known_covered(const Point& p) const noexcept;
   /// Freeze this node's advertised state for a ZoneUpdate fan-out.
   [[nodiscard]] std::shared_ptr<const ZoneUpdate::Snapshot> make_zone_snapshot()
       const;
@@ -257,6 +281,8 @@ class CanNode {
   FlatMap<net::NodeAddr, Zone> pending_grants_;
 
   std::unique_ptr<sim::PeriodicTask> update_task_;
+  std::unique_ptr<sim::PeriodicTask> audit_task_;  // anti-entropy (gated)
+  bool audit_probe_inflight_ = false;
   CanStats stats_;
 };
 

@@ -85,6 +85,7 @@ void ChordNode::crash() {
   rebuild_route_scan();
   lost_.clear();
   lost_cursor_ = 0;
+  detectors_.clear();
 }
 
 void ChordNode::install_state(Peer predecessor, std::vector<Peer> successor_list,
@@ -172,7 +173,18 @@ void ChordNode::lookup_ask(const std::shared_ptr<LookupState>& st,
               if (!running_) return;
               if (reply == nullptr) {
                 // Dead hop: scrub it, remember to route around it, retry.
-                remove_failed(target);
+                // Under φ-accrual, a peer we have heard from recently is
+                // only suspected — route around it this lookup, but keep
+                // its table entries until the silence becomes implausible.
+                if (!config_.phi.enabled || phi_allows_evict(target.addr)) {
+                  remove_failed(target);
+                } else {
+                  ++stats_.suspicions;
+                  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kPhiSuspect,
+                                    addr(),
+                                    static_cast<std::uint32_t>(target.addr),
+                                    1);
+                }
                 if (!contains_id(st->avoid, target.id)) {
                   st->avoid.push_back(target.id);
                 }
@@ -255,6 +267,9 @@ void ChordNode::rebuild_route_scan() {
 
 bool ChordNode::handle(net::NodeAddr from, net::MessagePtr& msg) {
   PGRID_EXPECTS(msg != nullptr);
+  // Any message from a routing peer is proof of life — including non-Chord
+  // grid traffic from a co-located stack, which falls through below.
+  if (running_ && config_.phi.enabled) note_alive(from);
   if (rpc_.consume_reply(msg)) return true;
   if (!running_) {
     // Stale message for a crashed incarnation; consume Chord-tagged ones.
@@ -333,6 +348,18 @@ void ChordNode::do_stabilize() {
                   [this, succ](net::MessagePtr reply) {
               if (!running_) return;
               if (reply == nullptr) {
+                if (config_.phi.enabled && !phi_allows_evict(succ.addr)) {
+                  // Suspect, don't evict: the successor has been heard from
+                  // recently enough that this timeout is more likely loss or
+                  // congestion. Refresh the list tail from the first backup
+                  // so an eventual eviction starts from fresh state.
+                  ++stats_.suspicions;
+                  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kPhiSuspect,
+                                    addr(),
+                                    static_cast<std::uint32_t>(succ.addr), 1);
+                  refresh_successor_tail();
+                  return;
+                }
                 remove_failed(succ);
                 if (successors_.empty()) {
                   successors_.assign(1, self_peer());
@@ -393,6 +420,13 @@ void ChordNode::do_check_predecessor() {
                   [this, pred](net::MessagePtr reply) {
               if (!running_) return;
               if (reply == nullptr && predecessor_ == pred) {
+                if (config_.phi.enabled && !phi_allows_evict(pred.addr)) {
+                  ++stats_.suspicions;
+                  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kPhiSuspect,
+                                    addr(),
+                                    static_cast<std::uint32_t>(pred.addr), 1);
+                  return;
+                }
                 predecessor_ = kNoPeer;
               }
             });
@@ -401,6 +435,10 @@ void ChordNode::do_check_predecessor() {
 void ChordNode::remove_failed(Peer peer) {
   PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayRepair, addr(),
                     static_cast<std::uint32_t>(peer.addr), 1);
+  ++stats_.evictions;
+  if (auto it = detectors_.find(peer.addr); it != detectors_.end()) {
+    detectors_.erase(it);
+  }
   note_lost(peer);
   successors_.erase(std::remove(successors_.begin(), successors_.end(), peer),
                     successors_.end());
@@ -454,6 +492,64 @@ void ChordNode::revive(Peer peer) {
   // Either way, let the peer consider us as predecessor; its own
   // reconciliation and stabilize rounds extend the merge from its side.
   rpc_.send(peer.addr, std::make_unique<Notify>(self_peer()));
+}
+
+// --- φ-accrual liveness ------------------------------------------------------
+
+void ChordNode::note_alive(net::NodeAddr from) {
+  if (from == addr()) return;
+  const auto now = net_.simulator().now();
+  if (auto it = detectors_.find(from); it != detectors_.end()) {
+    it->second.heartbeat(now);
+    return;
+  }
+  // Admit only current routing peers so the map stays O(table size).
+  bool tracked = predecessor_.valid() && predecessor_.addr == from;
+  if (!tracked) {
+    for (const Peer& p : route_scan_) {
+      if (p.addr == from) {
+        tracked = true;
+        break;
+      }
+    }
+  }
+  if (!tracked) return;
+  PhiDetector det;
+  det.heartbeat(now);
+  detectors_.emplace(from, det);
+}
+
+bool ChordNode::phi_allows_evict(net::NodeAddr peer) const {
+  const auto it = detectors_.find(peer);
+  // No arrival history to judge by: fall back to the legacy rule (a timed-
+  // out RPC condemns the peer) so a born-dead peer cannot linger forever.
+  if (it == detectors_.end() || !it->second.seen()) return true;
+  return it->second.evict(net_.simulator().now(), config_.phi,
+                          config_.rpc_timeout * config_.rpc_attempts);
+}
+
+void ChordNode::refresh_successor_tail() {
+  if (successors_.size() < 2) return;
+  const Peer head = successors_.front();
+  const Peer backup = successors_[1];
+  if (!backup.valid() || backup.addr == addr()) return;
+  rpc_.call_retry(
+      backup.addr, [] { return std::make_unique<StabilizeReq>(); },
+      config_.rpc_timeout, 1, [this, head, backup](net::MessagePtr reply) {
+        if (!running_ || reply == nullptr) return;
+        // Only apply if the suspected head is still in place: an eviction
+        // meanwhile already rebuilt the list.
+        if (successors_.empty() || !(successors_.front() == head)) return;
+        const auto* resp = net::msg_cast<StabilizeResp>(reply.get());
+        std::vector<Peer> tail;
+        tail.reserve(resp->successors.size() + 1);
+        tail.push_back(backup);
+        for (const Peer& p : resp->successors) tail.push_back(p);
+        adopt_successor_list(head, tail);
+        ++stats_.succ_refreshes;
+        PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kAntiEntropyRepair,
+                          addr(), static_cast<std::uint32_t>(backup.addr), 3);
+      });
 }
 
 Peer ChordNode::random_peer(Rng& rng) const {

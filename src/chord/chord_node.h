@@ -20,6 +20,8 @@
 
 #include "chord/messages.h"
 #include "chord/peer.h"
+#include "common/flat_map.h"
+#include "common/phi_detector.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "net/network.h"
@@ -41,6 +43,11 @@ struct ChordConfig {
   int lookup_retries = 3;
   /// Static-membership experiments can skip periodic maintenance entirely.
   bool run_maintenance = true;
+  /// φ-accrual liveness (default off = legacy timeout-evicts-immediately).
+  /// When on, an RPC timeout against a peer we have recently heard from
+  /// only *suspects* it (triggering a successor-tail refresh) — eviction
+  /// waits until the silence is implausible under the learned arrival gaps.
+  PhiAccrualConfig phi;
 };
 
 struct ChordStats {
@@ -48,6 +55,9 @@ struct ChordStats {
   std::uint64_t lookups_ok = 0;
   std::uint64_t lookups_failed = 0;
   RunningStats lookup_hops;
+  std::uint64_t suspicions = 0;      // φ: timeouts downgraded to suspicion
+  std::uint64_t evictions = 0;       // remove_failed invocations
+  std::uint64_t succ_refreshes = 0;  // suspicion-triggered tail refreshes
 };
 
 class ChordNode {
@@ -105,6 +115,8 @@ class ChordNode {
     return (successors_.capacity() + route_scan_.capacity() +
             lost_.capacity()) *
                sizeof(Peer) +
+           detectors_.capacity() *
+               sizeof(std::pair<net::NodeAddr, PhiDetector>) +
            sizeof(fingers_);
   }
 
@@ -155,6 +167,17 @@ class ChordNode {
   /// Recompute route_scan_; must follow any fingers_/successors_ change.
   void rebuild_route_scan();
 
+  // --- φ-accrual liveness (config_.phi) ----------------------------------
+  /// Record an arrival from `from` if it is a current routing peer (bounds
+  /// detector growth to the table); no-op when the detector is disabled.
+  void note_alive(net::NodeAddr from);
+  /// True when the detector agrees the peer may be evicted (or there is no
+  /// arrival history to judge by, which falls back to the legacy rule).
+  [[nodiscard]] bool phi_allows_evict(net::NodeAddr peer) const;
+  /// Suspicion action: rebuild the successor-list tail behind the (kept)
+  /// head from the first live backup's fresh view of the ring.
+  void refresh_successor_tail();
+
   // --- partition-heal reconciliation ------------------------------------
   // Peers evicted by remove_failed are remembered (bounded) and probed one
   // per stabilize round. A probe answered means the peer was not dead but
@@ -187,6 +210,10 @@ class ChordNode {
   static constexpr std::size_t kLostCap = 16;
   std::vector<Peer> lost_;  // candidates for ring-merge probing
   std::size_t lost_cursor_ = 0;
+
+  /// Per-peer arrival history for φ-accrual; populated only while
+  /// config_.phi.enabled, and only for peers present in the routing state.
+  FlatMap<net::NodeAddr, PhiDetector> detectors_;
 
   std::unique_ptr<sim::PeriodicTask> stabilize_task_;
   std::unique_ptr<sim::PeriodicTask> fix_fingers_task_;

@@ -70,6 +70,13 @@ void GridNode::start() {
   owner_monitor_task_ = std::make_unique<sim::PeriodicTask>(
       net_.simulator(), config_.heartbeat_period,
       [this] { monitor_owned_jobs(); }, phase(config_.heartbeat_period));
+  if (config_.audit_period > sim::SimTime::zero()) {
+    // Gated before the phase draw: with anti-entropy off, the RNG sequence
+    // is untouched and fixed-seed runs stay byte-identical.
+    audit_task_ = std::make_unique<sim::PeriodicTask>(
+        net_.simulator(), config_.audit_period, [this] { audit_owned_jobs(); },
+        phase(config_.audit_period));
+  }
   if (rn_) rn_->start();
   update_load_gauge();
 }
@@ -80,6 +87,7 @@ void GridNode::crash() {
   running_ = false;
   heartbeat_task_.reset();
   owner_monitor_task_.reset();
+  audit_task_.reset();
   net_.simulator().cancel(completion_event_);
   completion_event_ = sim::kInvalidEvent;
   executing_ = false;
@@ -650,6 +658,8 @@ void GridNode::dispatch(Guid guid, Peer run, int match_hops) {
     od.run = run;
     od.dispatched = true;
     od.last_heartbeat = net_.simulator().now();
+    od.phi.reset();
+    od.phi.heartbeat(od.last_heartbeat);
     collector_->on_matched(od.profile.seq, net_.simulator().now(), match_hops,
                            static_cast<std::uint32_t>(run.addr));
     PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobMatched, addr(),
@@ -675,6 +685,8 @@ void GridNode::dispatch(Guid guid, Peer run, int match_hops) {
                 job.run = run;
                 job.dispatched = true;
                 job.last_heartbeat = net_.simulator().now();
+                job.phi.reset();
+                job.phi.heartbeat(job.last_heartbeat);
                 collector_->on_matched(job.profile.seq, net_.simulator().now(),
                                        match_hops,
                                        static_cast<std::uint32_t>(run.addr));
@@ -696,13 +708,19 @@ void GridNode::monitor_owned_jobs() {
       config_.heartbeat_period * config_.heartbeat_miss_threshold;
   std::vector<Guid> lost;
   for (auto& [guid, od] : owned_) {
-    if (od.dispatched && now - od.last_heartbeat > deadline) {
-      lost.push_back(guid);
-    }
+    if (!od.dispatched) continue;
+    // φ-accrual (when enabled) judges the run node by its learned heartbeat
+    // inter-arrival distribution instead of the fixed deadline; while the
+    // history is still thin it falls back to exactly the fixed rule.
+    const bool dead = config_.phi.enabled
+                          ? od.phi.evict(now, config_.phi, deadline)
+                          : now - od.last_heartbeat > deadline;
+    if (dead) lost.push_back(guid);
   }
   for (Guid guid : lost) {
     OwnedJob& od = owned_.at(guid);
     ++stats_.run_recoveries;
+    note_eviction(od.run.addr);
     collector_->on_requeue(od.profile.seq);
     PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kHeartbeatMiss, addr(),
                       static_cast<std::uint32_t>(od.run.addr), 1,
@@ -724,6 +742,7 @@ void GridNode::on_heartbeat(net::NodeAddr from, net::MessagePtr& msg) {
       it != owned_.end() && it->second.profile.generation == m->generation;
   if (known && it->second.run.addr == from) {
     it->second.last_heartbeat = net_.simulator().now();
+    it->second.phi.heartbeat(it->second.last_heartbeat);
   }
   rpc_.reply(from, *m, std::make_unique<HeartbeatAck>(known));
 }
@@ -744,11 +763,14 @@ void GridNode::on_owner_handoff(net::NodeAddr from, net::MessagePtr& msg) {
     od.run = m->run_node;
     od.dispatched = true;
     od.last_heartbeat = net_.simulator().now();
+    od.phi.heartbeat(od.last_heartbeat);
     owned_.emplace(m->profile.guid, std::move(od));
   } else {
     it->second.run = m->run_node;
     it->second.dispatched = true;
     it->second.last_heartbeat = net_.simulator().now();
+    it->second.phi.reset();
+    it->second.phi.heartbeat(it->second.last_heartbeat);
   }
   rpc_.reply(from, *m, std::make_unique<OwnerHandoffAck>());
 }
@@ -787,6 +809,7 @@ void GridNode::on_dispatch(net::NodeAddr from, net::MessagePtr& msg) {
         q.profile.generation == m->profile.generation) {
       q.owner = m->owner;
       q.missed_acks = 0;
+      q.phi.heartbeat(net_.simulator().now());
       if (m->rpc_id != 0) {
         rpc_.reply(from, *m,
                    std::make_unique<DispatchResp>(true, queue_length()));
@@ -797,6 +820,7 @@ void GridNode::on_dispatch(net::NodeAddr from, net::MessagePtr& msg) {
   QueuedJob q;
   q.profile = m->profile;
   q.owner = m->owner;
+  q.phi.heartbeat(net_.simulator().now());
 #ifndef PGRID_OBS_DISABLED
   // Save the dispatch message's span: the handler runs under it now, but
   // execution completes from a timer later, outside any ambient context.
@@ -965,24 +989,95 @@ void GridNode::do_heartbeats() {
                 }
                 if (q == nullptr) return;  // completed meanwhile
                 if (reply == nullptr) {
-                  if (++q->missed_acks >= config_.heartbeat_miss_threshold &&
-                      !q->recovering_owner) {
+                  ++q->missed_acks;
+                  // Fixed rule: give up after N consecutive missed acks.
+                  // φ-accrual: give up when the silence since the last ack
+                  // is implausible under the learned ack-gap distribution.
+                  const bool dead =
+                      config_.phi.enabled
+                          ? q->phi.evict(net_.simulator().now(), config_.phi,
+                                         config_.heartbeat_period *
+                                             config_.heartbeat_miss_threshold)
+                          : q->missed_acks >= config_.heartbeat_miss_threshold;
+                  if (dead && !q->recovering_owner) {
                     PGRID_TRACE_EVENT(net_.trace(),
                                       obs::EventKind::kHeartbeatMiss, addr(),
                                       static_cast<std::uint32_t>(
                                           q->owner.addr),
                                       2, q->profile.seq);
+                    note_eviction(q->owner.addr);
                     recover_owner(guid);
                   }
                   return;
                 }
                 q->missed_acks = 0;
+                q->phi.heartbeat(net_.simulator().now());
                 if (!net::msg_cast<HeartbeatAck>(reply.get())->known &&
                     !q->recovering_owner) {
                   // The owner lost (or never had) the record: re-replicate.
                   recover_owner(guid);
                 }
               });
+  }
+}
+
+void GridNode::note_eviction(net::NodeAddr peer) {
+  if (!config_.liveness_oracle) return;
+  const double down_since = config_.liveness_oracle(peer);
+  if (down_since < 0.0) {
+    ++stats_.fp_evictions;
+    return;
+  }
+  const double latency = net_.simulator().now().sec() - down_since;
+  stats_.detection_latency.add(latency);
+  // The fixed rule detects at worst one monitor/heartbeat round after the
+  // fixed deadline elapses; anything slower than that bound is a late
+  // detection the legacy detector would have beaten.
+  const double fixed_bound =
+      (config_.heartbeat_period * (config_.heartbeat_miss_threshold + 1)).sec();
+  if (latency > fixed_bound + 1e-9) ++stats_.fn_evictions;
+}
+
+void GridNode::audit_owned_jobs() {
+  if (owned_.empty() || (chord_ == nullptr && can_ == nullptr)) return;
+  std::vector<Guid> guids;
+  guids.reserve(owned_.size());
+  for (const auto& [guid, od] : owned_) {
+    if (od.dispatched && od.run.valid()) guids.push_back(guid);
+  }
+  for (Guid guid : guids) {
+    const auto resolve = [this, guid](Peer current, int) {
+      auto it = owned_.find(guid);
+      if (!running_ || it == owned_.end()) return;
+      if (!current.valid() || current.addr == addr()) return;  // still ours
+      // The overlay now maps this GUID elsewhere (a healed partition or a
+      // rejoined node moved the key): re-register the record with the
+      // current owner and retire our duplicate, so exactly one owner is
+      // monitoring the run node when it next looks the job up.
+      const JobProfile profile = it->second.profile;
+      const Peer run = it->second.run;
+      rpc_.call(current.addr, std::make_unique<OwnerHandoff>(profile, run),
+                config_.rpc_timeout,
+                [this, guid, current](net::MessagePtr reply) {
+                  if (!running_ || reply == nullptr) return;
+                  auto jt = owned_.find(guid);
+                  if (jt == owned_.end()) return;
+                  ++stats_.owner_audit_repairs;
+                  PGRID_TRACE_EVENT(net_.trace(),
+                                    obs::EventKind::kAntiEntropyRepair,
+                                    addr(),
+                                    static_cast<std::uint32_t>(current.addr),
+                                    1, jt->second.profile.seq);
+                  owned_.erase(jt);
+                });
+    };
+    if (chord_) {
+      chord_->lookup(guid, resolve);
+    } else if (can_) {
+      auto it = owned_.find(guid);
+      if (it == owned_.end()) continue;
+      can_->route(it->second.profile.can_coords, resolve);
+    }
   }
 }
 

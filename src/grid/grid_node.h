@@ -11,11 +11,13 @@
 // owner and run nodes").
 
 #include <deque>
+#include <functional>
 #include <memory>
 
 #include "can/can_node.h"
 #include "chord/chord_node.h"
 #include "common/flat_map.h"
+#include "common/phi_detector.h"
 #include "common/rng.h"
 #include "grid/job.h"
 #include "grid/messages.h"
@@ -52,6 +54,24 @@ struct GridNodeConfig {
   int match_max_attempts = 8;
   sim::SimTime match_retry_delay = sim::SimTime::seconds(3.0);
 
+  /// φ-accrual failure detection for heartbeat monitoring (both owner→run
+  /// and run→owner directions). Off by default: the legacy fixed
+  /// `heartbeat_period × miss_threshold` deadline applies and event/RNG
+  /// sequences are byte-identical to pre-detector builds.
+  PhiAccrualConfig phi;
+
+  /// Anti-entropy owner audit: period between background checks that every
+  /// owned-job record still agrees with the overlay's current GUID→owner
+  /// mapping; divergent records are re-registered with the rightful owner.
+  /// Zero (the default) disables the audit task entirely.
+  sim::SimTime audit_period = sim::SimTime::zero();
+
+  /// Stats-only liveness oracle injected by the harness: returns the sim
+  /// time (in seconds) at which the address went down, or a negative value
+  /// if it is currently up. Used solely to classify evictions as false
+  /// positives / late detections — never consulted for protocol decisions.
+  std::function<double(net::NodeAddr)> liveness_oracle;
+
   // RN-Tree matchmaking (§3.1).
   std::uint32_t rn_walk_len = 2;   // limited random walk after DHT mapping
   std::uint32_t rn_search_k = 4;   // extended search candidate target
@@ -83,6 +103,11 @@ struct GridNodeStats {
   std::uint64_t can_forwards = 0;
   std::uint64_t walks_started = 0;  // TTL-walk probes launched
   std::uint64_t walks_failed = 0;   // probes that found nothing (TTL/timeout)
+  // Detector quality (populated only when a liveness oracle is injected).
+  std::uint64_t fp_evictions = 0;  // evicted a peer that was actually alive
+  std::uint64_t fn_evictions = 0;  // detections slower than the fixed rule
+  std::uint64_t owner_audit_repairs = 0;  // divergent owner records re-homed
+  Samples detection_latency;  // actual death → eviction, seconds
 };
 
 class GridNode final : public net::MessageHandler {
@@ -187,6 +212,8 @@ class GridNode final : public net::MessageHandler {
     bool dispatched = false;
     int attempts = 0;
     std::uint32_t forward_budget = 0;  // CAN: remaining ownership moves
+    PhiDetector phi;  // run-node heartbeat inter-arrivals (consulted when
+                      // config_.phi.enabled; passive otherwise)
   };
 
   void become_owner(const JobProfile& profile, std::uint32_t hops,
@@ -197,6 +224,12 @@ class GridNode final : public net::MessageHandler {
                  std::function<void(Peer, int)> cb);
   void dispatch(Guid guid, Peer run, int match_hops);
   void monitor_owned_jobs();
+  /// Anti-entropy: verify each owned record against the overlay's current
+  /// GUID→owner mapping; hand divergent records to the rightful owner.
+  void audit_owned_jobs();
+  /// Classify an eviction decision against the injected liveness oracle
+  /// (false positive / detection latency / late detection). Stats only.
+  void note_eviction(net::NodeAddr peer);
   void on_heartbeat(net::NodeAddr from, net::MessagePtr& msg);
   void on_job_done(const JobDone& msg);
   void on_owner_handoff(net::NodeAddr from, net::MessagePtr& msg);
@@ -217,6 +250,7 @@ class GridNode final : public net::MessageHandler {
     Peer owner;
     int missed_acks = 0;
     bool recovering_owner = false;
+    PhiDetector phi;  // owner heartbeat-ack inter-arrivals
     /// Span of the DispatchJob that queued this job (unsampled for most):
     /// completion fires from a bare timer, so the run leg's Result/JobDone
     /// sends re-enter the trace through this saved context.
@@ -271,6 +305,7 @@ class GridNode final : public net::MessageHandler {
 
   std::unique_ptr<sim::PeriodicTask> heartbeat_task_;
   std::unique_ptr<sim::PeriodicTask> owner_monitor_task_;
+  std::unique_ptr<sim::PeriodicTask> audit_task_;  // only when audit_period > 0
 
   GridNodeStats stats_;
 };

@@ -55,6 +55,16 @@ void GridSystem::build() {
   GridNodeConfig node_config = config_.node;
   node_config.kind = config_.kind;
   if (config_.light_maintenance) apply_light_maintenance(&node_config);
+  // One φ-accrual config drives every protocol layer stacked on the node.
+  node_config.chord.phi = node_config.phi;
+  node_config.can.phi = node_config.phi;
+  node_config.rntree.phi = node_config.phi;
+  down_since_.assign(workload_.spec.node_count, -1.0);
+  if (config_.track_liveness) {
+    node_config.liveness_oracle = [this](net::NodeAddr a) {
+      return a < down_since_.size() ? down_since_[a] : -1.0;
+    };
+  }
 
   Rng node_rng = rng_.fork(2);
   nodes_.reserve(workload_.spec.node_count);
@@ -316,6 +326,7 @@ Peer GridSystem::find_bootstrap(std::size_t excluding) const {
 void GridSystem::crash_node(std::size_t index) {
   GridNode& n = node(index);
   if (!n.running()) return;
+  if (index < down_since_.size()) down_since_[index] = sim_.now().sec();
   net_->set_alive(n.addr(), false);
   n.crash();
 }
@@ -323,6 +334,7 @@ void GridSystem::crash_node(std::size_t index) {
 void GridSystem::restart_node(std::size_t index) {
   GridNode& n = node(index);
   if (n.running()) return;
+  if (index < down_since_.size()) down_since_[index] = -1.0;
   net_->set_alive(n.addr(), true);
   n.restart(find_bootstrap(index));
 }
@@ -393,8 +405,51 @@ GridNodeStats GridSystem::aggregate_node_stats() const {
     total.can_forwards += s.can_forwards;
     total.walks_started += s.walks_started;
     total.walks_failed += s.walks_failed;
+    total.fp_evictions += s.fp_evictions;
+    total.fn_evictions += s.fn_evictions;
+    total.owner_audit_repairs += s.owner_audit_repairs;
+    for (double x : s.detection_latency.values()) {
+      total.detection_latency.add(x);
+    }
   }
   return total;
+}
+
+std::vector<std::size_t> GridSystem::correlated_victims(double fraction,
+                                                        double start_u) const {
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->running()) live.push_back(i);
+  }
+  if (live.empty()) return {};
+  if (uses_can(config_.kind)) {
+    // A run of nodes sorted by the first rep-point coordinate is a slab of
+    // the CAN space: zones of coordinate-adjacent nodes are adjacent.
+    std::sort(live.begin(), live.end(), [this](std::size_t a, std::size_t b) {
+      const double pa = nodes_[a]->can()->rep_point()[0];
+      const double pb = nodes_[b]->can()->rep_point()[0];
+      if (pa != pb) return pa < pb;
+      return nodes_[a]->id() < nodes_[b]->id();
+    });
+  } else {
+    // GUID order: a contiguous run is a contiguous arc of the Chord ring.
+    std::sort(live.begin(), live.end(), [this](std::size_t a, std::size_t b) {
+      return nodes_[a]->id() < nodes_[b]->id();
+    });
+  }
+  auto count = static_cast<std::size_t>(
+      static_cast<double>(live.size()) * fraction + 0.5);
+  count = std::min(count, live.size());
+  if (count == 0) return {};
+  std::size_t start = static_cast<std::size_t>(
+      start_u * static_cast<double>(live.size()));
+  if (start >= live.size()) start = live.size() - 1;
+  std::vector<std::size_t> victims;
+  victims.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    victims.push_back(live[(start + k) % live.size()]);
+  }
+  return victims;
 }
 
 }  // namespace pgrid::grid

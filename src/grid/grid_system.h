@@ -42,6 +42,10 @@ struct GridConfig {
   /// Skip the automatic arrival-time schedule: jobs are released through
   /// submit_job() instead (used by the DAG runner, §5 future work).
   bool manual_submission = false;
+  /// Inject a stats-only liveness oracle into every node so eviction
+  /// decisions can be classified as false positives / late detections
+  /// (GridNodeStats::fp_evictions etc.). Purely observational.
+  bool track_liveness = false;
   /// Observability: event tracing, time-series sampling, output paths.
   obs::ObsConfig obs;
 };
@@ -79,6 +83,14 @@ class GridSystem {
   void crash_node(std::size_t index);
   void restart_node(std::size_t index);
   [[nodiscard]] bool node_running(std::size_t index) const;
+
+  /// Topology-correlated victim set: `fraction` of the live nodes that are
+  /// contiguous in overlay order — a Chord arc (GUID order) for ring kinds,
+  /// a coordinate slab (first rep-point dimension) for CAN kinds — starting
+  /// at position `start_u` ∈ [0,1) of that order. Deterministic given the
+  /// current membership; draws no randomness itself.
+  [[nodiscard]] std::vector<std::size_t> correlated_victims(
+      double fraction, double start_u) const;
 
   /// Attach continuous churn driven by the failure injector.
   void enable_churn(const sim::ChurnModel& model);
@@ -173,6 +185,10 @@ class GridSystem {
   obs::RunProfile profile_;
   bool owns_log_clock_ = false;
   std::uint64_t terminal_jobs_ = 0;
+  /// Ground-truth liveness ledger for the injected oracle: seconds at which
+  /// each node address went down, or -1 while it is up. Maintained on every
+  /// crash/restart (cheap assignments; consulted only via the oracle).
+  std::vector<double> down_since_;
   double last_arrival_sec_ = 0.0;
   double latest_release_sec_ = 0.0;
   bool built_ = false;

@@ -35,7 +35,8 @@ constexpr KindInfo kKinds[] = {
     {"msg_drop_fault", "fault"},  {"msg_duplicate", "fault"},
     {"msg_reorder", "fault"},     {"fault_partition_cut", "fault"},
     {"fault_partition_heal", "fault"}, {"fault_gray", "fault"},
-    {"crash_burst", "fault"},     {"span_begin", "span"},
+    {"crash_burst", "fault"},     {"phi_suspect", "robust"},
+    {"anti_entropy_repair", "robust"}, {"span_begin", "span"},
     {"span_end", "span"},
 };
 static_assert(sizeof(kKinds) / sizeof(kKinds[0]) ==

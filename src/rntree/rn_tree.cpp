@@ -62,6 +62,7 @@ void RnTreeService::stop() {
   rpc_.cancel_all();
   for (auto& [id, pending] : pending_searches_) {
     net_.simulator().cancel(pending.timeout_event);
+    net_.simulator().cancel(pending.lease_event);
   }
   pending_searches_.clear();
   children_.clear();
@@ -106,9 +107,22 @@ Aggregate RnTreeService::subtree_aggregate() const {
 void RnTreeService::expire_children() {
   const auto now = net_.simulator().now();
   for (auto it = children_.begin(); it != children_.end();) {
-    it = (now - it->second.last_heard > config_.child_expiry)
-             ? children_.erase(it)
-             : std::next(it);
+    bool expired;
+    if (config_.phi.enabled) {
+      const ChildState& c = it->second;
+      expired = c.phi.evict(now, config_.phi, config_.child_expiry);
+      if (!expired && now - c.last_heard > config_.child_expiry) {
+        // Legacy expiry would have dropped this child; φ judges its slowed
+        // cadence survivable, keeping the subtree aggregate intact.
+        ++stats_.suspicions;
+        PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kPhiSuspect,
+                          chord_.addr(), it->first, 3, 0,
+                          c.phi.phi(now, config_.phi, config_.child_expiry));
+      }
+    } else {
+      expired = now - it->second.last_heard > config_.child_expiry;
+    }
+    it = expired ? children_.erase(it) : std::next(it);
   }
 }
 
@@ -155,17 +169,75 @@ void RnTreeService::search(const Query& query, std::uint32_t k,
 
   PendingSearch pending;
   pending.cb = std::move(cb);
+  pending.query = query;
+  pending.k = k;
+  pending.deadline = net_.simulator().now() + config_.search_timeout;
+  pending.lease_retries_left = config_.lease_retries;
   pending.timeout_event =
       net_.simulator().schedule_in(config_.search_timeout, [this, id] {
         auto it = pending_searches_.find(id);
         if (it == pending_searches_.end()) return;
         SearchCallback callback = std::move(it->second.cb);
+        net_.simulator().cancel(it->second.lease_event);
         pending_searches_.erase(it);
         ++stats_.searches_timed_out;
         callback({}, 0);
       });
+  if (config_.token_lease > sim::SimTime::zero()) {
+    pending.lease_event = net_.simulator().schedule_in(
+        config_.token_lease, [this, id] { regenerate_token(id); });
+  }
   pending_searches_.emplace(id, std::move(pending));
 
+  process_token(std::move(token));
+}
+
+void RnTreeService::regenerate_token(std::uint64_t old_id) {
+  auto it = pending_searches_.find(old_id);
+  if (it == pending_searches_.end() || !running_) return;
+  PendingSearch pending = std::move(it->second);
+  pending_searches_.erase(it);
+  net_.simulator().cancel(pending.timeout_event);
+  const auto now = net_.simulator().now();
+  const auto remaining = pending.deadline - now;
+  if (pending.lease_retries_left <= 0 ||
+      remaining <= sim::SimTime::zero()) {
+    // Lease budget exhausted: concede now instead of idling to the deadline.
+    ++stats_.searches_timed_out;
+    SearchCallback callback = std::move(pending.cb);
+    callback({}, 0);
+    return;
+  }
+  --pending.lease_retries_left;
+  ++stats_.tokens_regenerated;
+  PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kAntiEntropyRepair,
+                    chord_.addr(), obs::kNoActor, 4, old_id, 0.0);
+
+  // Re-key the pending entry under a fresh search id: the seen-token ring
+  // dedups on (initiator, search_id, hops), and a same-id rewalk retraces
+  // the deterministic descent with identical hop counts — it would be
+  // swallowed as a network duplicate at the first node it revisits.
+  const std::uint64_t id = next_search_id_++;
+  pending.timeout_event = net_.simulator().schedule_in(remaining, [this, id] {
+    auto pit = pending_searches_.find(id);
+    if (pit == pending_searches_.end()) return;
+    SearchCallback callback = std::move(pit->second.cb);
+    net_.simulator().cancel(pit->second.lease_event);
+    pending_searches_.erase(pit);
+    ++stats_.searches_timed_out;
+    callback({}, 0);
+  });
+  const auto lease = std::min(config_.token_lease, remaining);
+  pending.lease_event = net_.simulator().schedule_in(
+      lease, [this, id] { regenerate_token(id); });
+
+  auto token = std::make_unique<TokenPass>();
+  token->search_id = id;
+  token->initiator = chord_.self_peer();
+  token->query = pending.query;
+  token->k = pending.k;
+  token->max_visits = config_.max_visits;
+  pending_searches_.emplace(id, std::move(pending));
   process_token(std::move(token));
 }
 
@@ -287,6 +359,7 @@ void RnTreeService::on_agg_update(const AggUpdate& msg) {
   child.id = msg.sender.id;
   child.aggregate = msg.aggregate;
   child.last_heard = net_.simulator().now();
+  child.phi.heartbeat(child.last_heard);
 }
 
 void RnTreeService::on_token(net::NodeAddr from, net::MessagePtr& msg) {
@@ -323,6 +396,7 @@ void RnTreeService::on_search_result(const SearchResult& msg) {
   if (it == pending_searches_.end()) return;  // timed out already
   SearchCallback callback = std::move(it->second.cb);
   net_.simulator().cancel(it->second.timeout_event);
+  net_.simulator().cancel(it->second.lease_event);
   pending_searches_.erase(it);
   ++stats_.searches_completed;
   stats_.search_hops.add(msg.hops);

@@ -26,6 +26,8 @@ struct FaultRound {
     kGray,
     kDuplication,
     kReorder,
+    kCorrelatedBurst,
+    kFlapping,
   };
   Kind kind = Kind::kPartition;
   double start_sec = 0.0;
@@ -42,6 +44,9 @@ struct FaultRound {
   std::vector<net::NodeAddr> gray_nodes;
   double probability = 0.0;   // duplication / reorder
   double window_sec = 0.0;    // reorder
+  double start_u = 0.0;       // correlated burst / flapping: arc position
+  double up_sec = 0.0;        // flapping: mean up dwell
+  double down_sec = 0.0;      // flapping: mean down dwell
 };
 
 std::vector<FaultRound> draw_schedule(const ChaosConfig& cfg, Rng& rng) {
@@ -54,6 +59,12 @@ std::vector<FaultRound> draw_schedule(const ChaosConfig& cfg, Rng& rng) {
     classes.push_back(FaultRound::Kind::kDuplication);
   }
   if (cfg.enable_reorder) classes.push_back(FaultRound::Kind::kReorder);
+  // New classes append after the legacy six: with them off (the default)
+  // the class vector — and every draw below — is unchanged for old seeds.
+  if (cfg.enable_correlated) {
+    classes.push_back(FaultRound::Kind::kCorrelatedBurst);
+  }
+  if (cfg.enable_flapping) classes.push_back(FaultRound::Kind::kFlapping);
 
   std::vector<FaultRound> schedule;
   if (classes.empty()) return schedule;
@@ -108,6 +119,16 @@ std::vector<FaultRound> draw_schedule(const ChaosConfig& cfg, Rng& rng) {
       case FaultRound::Kind::kReorder:
         round.probability = rng.uniform(0.1, 0.4);
         round.window_sec = rng.uniform(0.05, 0.4);
+        break;
+      case FaultRound::Kind::kCorrelatedBurst:
+        round.fraction = rng.uniform(0.15, 0.35);
+        round.start_u = rng.uniform();
+        break;
+      case FaultRound::Kind::kFlapping:
+        round.fraction = rng.uniform(0.05, 0.2);
+        round.start_u = rng.uniform();
+        round.up_sec = rng.uniform(3.0, 10.0);
+        round.down_sec = rng.uniform(2.0, 8.0);
         break;
     }
     schedule.push_back(std::move(round));
@@ -164,6 +185,23 @@ void arm_schedule(const std::vector<FaultRound>& schedule,
         });
         sim.schedule_in(end,
                         [&fp] { fp.set_reorder(0.0, SimTime::zero()); });
+        break;
+      case FaultRound::Kind::kCorrelatedBurst:
+        // Victims are resolved at fire time against the then-current live
+        // membership: a contiguous overlay arc/slab, not a uniform sample.
+        sim.schedule_in(start, [&system, &round] {
+          const auto victims =
+              system.correlated_victims(round.fraction, round.start_u);
+          system.churn()->crash_burst_members(victims, round.duration_sec);
+        });
+        break;
+      case FaultRound::Kind::kFlapping:
+        sim.schedule_in(start, [&system, &round] {
+          const auto victims =
+              system.correlated_victims(round.fraction, round.start_u);
+          system.churn()->flap(victims, round.up_sec, round.down_sec,
+                               round.duration_sec);
+        });
         break;
     }
   }
@@ -268,14 +306,21 @@ void check_monitor_leaks(grid::GridSystem& system, ChaosReport* report) {
 }  // namespace
 
 std::string ChaosConfig::replay_command() const {
-  return format("./build/examples/chaos_replay --kind=%s --seed=%llu "
-                "--nodes=%zu --jobs=%zu",
-                grid::matchmaker_name(kind),
-                static_cast<unsigned long long>(seed), nodes, jobs);
+  std::string cmd =
+      format("./build/examples/chaos_replay --kind=%s --seed=%llu "
+             "--nodes=%zu --jobs=%zu",
+             grid::matchmaker_name(kind),
+             static_cast<unsigned long long>(seed), nodes, jobs);
+  // Extended flags appear only when set, so legacy replay lines are
+  // byte-identical to what the 24-run matrix always printed.
+  if (enable_correlated) cmd += " --correlated";
+  if (enable_flapping) cmd += " --flapping";
+  if (self_healing) cmd += " --self-healing";
+  return cmd;
 }
 
 std::string ChaosReport::summary() const {
-  return format(
+  std::string line = format(
       "chaos kind=%s seed=%llu %s: completed=%llu/%zu abandoned=%llu "
       "dup_results=%llu crashes=%llu recoveries=%llu partitions=%llu/%llu "
       "drops(part=%llu fault=%llu) dup=%llu reorder=%llu t=%.0fs",
@@ -293,6 +338,16 @@ std::string ChaosReport::summary() const {
       static_cast<unsigned long long>(stats.duplicated),
       static_cast<unsigned long long>(stats.reordered),
       stats.sim_duration_sec);
+  // Appended only in self-healing mode: the default matrix's summary lines
+  // stay byte-identical.
+  if (config.self_healing) {
+    line += format(" phi(susp=%llu fp=%llu fn=%llu) repairs=%llu",
+                   static_cast<unsigned long long>(stats.suspicions),
+                   static_cast<unsigned long long>(stats.fp_evictions),
+                   static_cast<unsigned long long>(stats.fn_evictions),
+                   static_cast<unsigned long long>(stats.repairs));
+  }
+  return line;
 }
 
 bool parse_matchmaker(const std::string& name, grid::MatchmakerKind* out) {
@@ -335,6 +390,13 @@ ChaosReport run_chaos(const ChaosConfig& cfg) {
   gcfg.client.resubmit_base_sec = 60.0;
   gcfg.client.resubmit_runtime_factor = 2.0;
   gcfg.obs.trace = cfg.trace;
+  if (cfg.self_healing) {
+    gcfg.node.phi.enabled = true;  // propagated to chord/can/rntree by build()
+    gcfg.node.audit_period = SimTime::seconds(15.0);       // owner audits
+    gcfg.node.can.audit_period = SimTime::seconds(15.0);   // tiling audits
+    gcfg.node.rntree.token_lease = SimTime::seconds(10.0); // search leases
+    gcfg.track_liveness = true;  // classify evictions as FP / late
+  }
 
   grid::GridSystem system(gcfg, workload::generate(spec));
   system.build();
@@ -356,9 +418,9 @@ ChaosReport run_chaos(const ChaosConfig& cfg) {
   Rng chaos_rng(hash_combine(mix64(cfg.seed), 0x9e3779b97f4a7c15ULL));
   const std::vector<FaultRound> schedule = draw_schedule(cfg, chaos_rng);
   if (cfg.verbose) {
-    static const char* kKindNames[] = {"partition", "crash-burst",
-                                       "congestion", "gray", "duplication",
-                                       "reorder"};
+    static const char* kKindNames[] = {
+        "partition",  "crash-burst",      "congestion", "gray",
+        "duplication", "reorder",         "correlated-burst", "flapping"};
     for (const FaultRound& r : schedule) {
       std::fprintf(stderr,
                    "chaos-schedule %s t=[%.0f,%.0f] frac=%.2f loss=%.2f "
@@ -468,6 +530,25 @@ ChaosReport run_chaos(const ChaosConfig& cfg) {
   st.duplicated = ns.messages_duplicated;
   st.reordered = ns.messages_reordered;
   st.sim_duration_sec = system.simulator().now().sec();
+  const grid::GridNodeStats agg = system.aggregate_node_stats();
+  st.fp_evictions = agg.fp_evictions;
+  st.fn_evictions = agg.fn_evictions;
+  st.repairs = agg.owner_audit_repairs;
+  for (std::size_t i = 0; i < system.node_count(); ++i) {
+    grid::GridNode& n = system.node(i);
+    if (n.chord() != nullptr) {
+      st.suspicions += n.chord()->stats().suspicions;
+      st.repairs += n.chord()->stats().succ_refreshes;
+    }
+    if (n.can() != nullptr) {
+      st.suspicions += n.can()->stats().suspicions;
+      st.repairs += n.can()->stats().gap_repairs;
+    }
+    if (n.rntree() != nullptr) {
+      st.suspicions += n.rntree()->stats().suspicions;
+      st.repairs += n.rntree()->stats().tokens_regenerated;
+    }
+  }
   return report;
 }
 

@@ -50,6 +50,21 @@ struct ChaosConfig {
   bool enable_gray = true;
   bool enable_duplication = true;
   bool enable_reorder = true;
+  // Extended fault classes — default OFF: the drawn schedule is a pure
+  // function of (seed, enabled-class vector), so turning these on changes
+  // every round of the run. Existing seeds stay reproducible with them off.
+  /// Topology-correlated crash bursts: a contiguous Chord arc / CAN slab
+  /// (15-35% of the live nodes) fails at once and rejoins later.
+  bool enable_correlated = false;
+  /// Rapid join-leave flapping: a contiguous 5-20% of the nodes cycles
+  /// through short crash/recover dwells for the round's duration.
+  bool enable_flapping = false;
+
+  /// Self-healing mode: enable φ-accrual liveness on every layer plus the
+  /// online anti-entropy machinery (owner audits, CAN gap audits, Chord
+  /// successor-tail refresh, RN-tree token leases) and the liveness oracle
+  /// that classifies evictions as false positives / late detections.
+  bool self_healing = false;
 
   /// Record a trace; on violation it is exported to trace_jsonl_path
   /// (when non-empty) for post-mortem.
@@ -77,6 +92,11 @@ struct ChaosStats {
   std::uint64_t duplicated = 0;
   std::uint64_t reordered = 0;
   double sim_duration_sec = 0.0;
+  // Self-healing instrumentation (nonzero only with phi / audits enabled).
+  std::uint64_t suspicions = 0;       // φ downgrades across all layers
+  std::uint64_t repairs = 0;          // anti-entropy repairs across layers
+  std::uint64_t fp_evictions = 0;     // evicted-but-alive (needs oracle)
+  std::uint64_t fn_evictions = 0;     // detected later than the fixed rule
 };
 
 struct ChaosReport {

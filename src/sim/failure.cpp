@@ -104,6 +104,70 @@ std::size_t FailureInjector::crash_burst(double fraction,
   return count;
 }
 
+std::size_t FailureInjector::crash_burst_members(
+    const std::vector<std::size_t>& members, double recover_after_sec) {
+  std::size_t crashed = 0;
+  for (const std::size_t member : members) {
+    PGRID_EXPECTS(member < up_.size());
+    if (!up_[member]) continue;
+    sim_.cancel(pending_[member]);
+    pending_[member] = kInvalidEvent;
+    crash_now(member);
+    ++crashed;
+    if (recover_after_sec > 0.0) {
+      const double jittered =
+          recover_after_sec * (1.0 + 0.25 * rng_.uniform());
+      pending_[member] =
+          sim_.schedule_in(SimTime::seconds(jittered), [this, member] {
+            pending_[member] = kInvalidEvent;
+            if (!running_ || up_[member]) return;
+            recover_now(member);
+            if (model_.mean_lifetime_sec > 0.0 && eligible_[member]) {
+              schedule_crash(member);
+            }
+          });
+    }
+  }
+  return crashed;
+}
+
+void FailureInjector::flap(const std::vector<std::size_t>& members,
+                           double up_sec, double down_sec,
+                           double duration_sec) {
+  PGRID_EXPECTS(up_sec > 0.0 && down_sec > 0.0 && duration_sec > 0.0);
+  const SimTime deadline = sim_.now() + SimTime::seconds(duration_sec);
+  for (const std::size_t member : members) {
+    PGRID_EXPECTS(member < up_.size());
+    sim_.cancel(pending_[member]);
+    pending_[member] = kInvalidEvent;
+    flap_step(member, up_sec, down_sec, deadline);
+  }
+}
+
+void FailureInjector::flap_step(std::size_t member, double up_sec,
+                                double down_sec, SimTime deadline) {
+  // Each step toggles the member after an exponential dwell in its current
+  // state; past the deadline the chain ends, recovering the member if the
+  // last toggle left it down.
+  const double mean = up_[member] ? up_sec : down_sec;
+  const SimTime dwell = SimTime::seconds(rng_.exponential(mean));
+  pending_[member] = sim_.schedule_in(
+      dwell, [this, member, up_sec, down_sec, deadline] {
+        pending_[member] = kInvalidEvent;
+        if (!running_) return;
+        if (sim_.now() >= deadline) {
+          if (!up_[member]) recover_now(member);
+          return;
+        }
+        if (up_[member]) {
+          crash_now(member);
+        } else {
+          recover_now(member);
+        }
+        flap_step(member, up_sec, down_sec, deadline);
+      });
+}
+
 void FailureInjector::crash_now(std::size_t member) {
   PGRID_EXPECTS(member < up_.size());
   if (!up_[member]) return;

@@ -60,9 +60,27 @@ class FailureInjector {
   /// number of members actually crashed.
   std::size_t crash_burst(double fraction, double recover_after_sec = 0.0);
 
+  /// Topology-correlated mass failure: crash exactly the given members (the
+  /// caller picked them, e.g. a contiguous Chord arc or CAN slab via
+  /// GridSystem::correlated_victims). Recovery staggering matches
+  /// crash_burst. Returns the number actually crashed (already-down members
+  /// are skipped).
+  std::size_t crash_burst_members(const std::vector<std::size_t>& members,
+                                  double recover_after_sec = 0.0);
+
+  /// Rapid join-leave flapping: each of `members` enters a crash/recover
+  /// cycle with mean up time `up_sec` and mean down time `down_sec`
+  /// (exponential, independently jittered) until `duration_sec` elapses,
+  /// after which any member still down is recovered. Members already down
+  /// start with the recovery half-cycle.
+  void flap(const std::vector<std::size_t>& members, double up_sec,
+            double down_sec, double duration_sec);
+
  private:
   void schedule_crash(std::size_t member);
   void schedule_recover(std::size_t member);
+  void flap_step(std::size_t member, double up_sec, double down_sec,
+                 SimTime deadline);
   [[nodiscard]] bool past_stop() const;
 
   Simulator& sim_;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "grid/grid_system.h"
+#include "net/fault_plane.h"
 
 namespace pgrid::grid {
 namespace {
@@ -150,6 +151,96 @@ TEST(GridRecovery, RestartedNodeRejoinsAndServes) {
   system.run();
   ASSERT_TRUE(system.finished());
   EXPECT_EQ(system.collector().completed_count(), 20u);
+}
+
+/// Crash the owner of a job running on a *different* node (so the run node
+/// survives and must hand off monitoring). Returns the crashed index, or
+/// SIZE_MAX if no such owner exists yet.
+std::size_t crash_one_remote_owner(GridSystem& system) {
+  for (std::size_t i = 0; i < system.node_count(); ++i) {
+    for (std::uint64_t seq : system.node(i).owned_seqs()) {
+      const auto& outcome = system.collector().job(seq);
+      if (outcome.started() && !outcome.completed() && outcome.run_node != i) {
+        system.crash_node(i);
+        return i;
+      }
+    }
+  }
+  return SIZE_MAX;
+}
+
+// Owner-failure recovery must tolerate a network that duplicates
+// heartbeats: a doubled heartbeat from the (dead) owner's last breath or
+// from the run node must neither resurrect the dead owner in anyone's
+// tables nor double-complete a job. Deterministic: fixed seed, fixed
+// runtimes, duplication drawn from the fault plane's seeded RNG.
+TEST(GridRecovery, OwnerDeathRecoversUnderDuplicatedHeartbeats) {
+  GridSystem system(recovery_config(MatchmakerKind::kRnTree, 7),
+                    recovery_workload(7, 10, 6, 300.0));
+  system.build();
+  system.network().fault_plane().set_duplication(0.5);
+  system.run_for(40.0);
+
+  const std::size_t owner_idx = crash_one_remote_owner(system);
+  ASSERT_NE(owner_idx, SIZE_MAX) << "no suitable owner found";
+
+  system.run();
+  ASSERT_TRUE(system.finished());
+  const auto& c = system.collector();
+  // Exactly once despite every message being a coin-flip duplicate.
+  EXPECT_EQ(c.completed_count(), 6u);
+  EXPECT_GE(system.aggregate_node_stats().owner_recoveries, 1u);
+  EXPECT_GT(system.net_stats().messages_duplicated, 0u);
+}
+
+// Same shape under reordering: heartbeats (and the recovery protocol's own
+// messages) can arrive behind later sends. A stale pre-crash heartbeat
+// arriving after the eviction decision must not corrupt monitoring state.
+TEST(GridRecovery, OwnerDeathRecoversUnderReorderedHeartbeats) {
+  GridSystem system(recovery_config(MatchmakerKind::kRnTree, 8),
+                    recovery_workload(8, 10, 6, 300.0));
+  system.build();
+  system.network().fault_plane().set_reorder(0.5, sim::SimTime::seconds(2.0));
+  system.run_for(40.0);
+
+  const std::size_t owner_idx = crash_one_remote_owner(system);
+  ASSERT_NE(owner_idx, SIZE_MAX) << "no suitable owner found";
+
+  system.run();
+  ASSERT_TRUE(system.finished());
+  const auto& c = system.collector();
+  EXPECT_EQ(c.completed_count(), 6u);
+  EXPECT_GE(system.aggregate_node_stats().owner_recoveries, 1u);
+  EXPECT_GT(system.net_stats().messages_reordered, 0u);
+}
+
+// End-to-end with the φ-accrual detector driving evictions instead of the
+// fixed deadline: recovery still happens, and with the ground-truth oracle
+// attached the eviction of a genuinely crashed node is not a false
+// positive.
+TEST(GridRecovery, PhiDetectorDrivesOwnerRecovery) {
+  GridConfig config = recovery_config(MatchmakerKind::kRnTree, 9);
+  config.node.phi.enabled = true;
+  config.node.audit_period = sim::SimTime::seconds(15.0);
+  config.track_liveness = true;
+  GridSystem system(config, recovery_workload(9, 10, 6, 300.0));
+  system.run_for(40.0);
+
+  const std::size_t owner_idx = crash_one_remote_owner(system);
+  ASSERT_NE(owner_idx, SIZE_MAX) << "no suitable owner found";
+
+  system.run();
+  ASSERT_TRUE(system.finished());
+  const auto& c = system.collector();
+  EXPECT_EQ(c.completed_count(), 6u);
+  const auto stats = system.aggregate_node_stats();
+  EXPECT_GE(stats.owner_recoveries, 1u);
+  // The victim was genuinely dead: no eviction was a false positive, and
+  // each classified detection carries a positive latency.
+  EXPECT_EQ(stats.fp_evictions, 0u);
+  for (double latency : stats.detection_latency.values()) {
+    EXPECT_GT(latency, 0.0);
+  }
 }
 
 class ChurnSweep : public ::testing::TestWithParam<MatchmakerKind> {};
