@@ -7,11 +7,13 @@
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/config.h"
+#include "common/hash.h"
 #include "grid/grid_system.h"
 #include "net/message_pool.h"
 #include "obs/memory.h"
@@ -26,7 +28,9 @@ namespace pgrid::bench {
 ///  2: adds schema_version and the mem_* per-subsystem byte fields
 ///  3: adds detector-quality fields (fp_evictions, fn_evictions,
 ///     anti_entropy_repairs, recovery_latency_p50/p99)
-inline constexpr int kBenchJsonSchemaVersion = 3;
+///  4: adds maintenance-batching fields (batching flag, batches_sent,
+///     batch_parts_sent, batches_delivered, batch_parts_delivered)
+inline constexpr int kBenchJsonSchemaVersion = 4;
 
 /// Build flavor baked into every JSON row so downstream tooling (and
 /// reviewers of results/*.txt) can reject numbers recorded from an
@@ -62,6 +66,45 @@ struct Scale {
     return s;
   }
 };
+
+/// Named derivation streams: every bench draws its workload and system seeds
+/// from disjoint regions of the 64-bit space instead of ad-hoc `base + k`
+/// offsets. The old scheme collided silently — e.g. scalability's workload
+/// seed (`base + nodes`) equals its system seed (`base + 13`) whenever a
+/// sweep ever includes 13-node cells, and two benches run with the same
+/// --seed reused each other's streams outright.
+enum class SeedStream : std::uint64_t {
+  kWorkload = 0x9001,
+  kSystem = 0x9002,
+};
+
+/// Derive a per-cell seed: mix the user's base seed, the stream tag, and a
+/// cell-specific salt through the splitmix64-based hash_combine. Bijective
+/// mixing means distinct (base, stream, salt) triples collide with only
+/// generic birthday probability rather than by construction.
+[[nodiscard]] inline std::uint64_t derive_seed(std::uint64_t base,
+                                               SeedStream stream,
+                                               std::uint64_t salt = 0) {
+  return hash_combine(hash_combine(mix64(base),
+                                   static_cast<std::uint64_t>(stream)),
+                      mix64(salt));
+}
+
+/// Fail fast if any two derived seeds collide: a collision would silently
+/// correlate cells that the bench treats as independent.
+inline void assert_distinct_seeds(const std::vector<std::uint64_t>& seeds) {
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      if (seeds[i] == seeds[j]) {
+        std::fprintf(stderr,
+                     "bench: derived seed collision between cells %zu and %zu "
+                     "(0x%016" PRIx64 ")\n",
+                     i, j, seeds[i]);
+        std::abort();
+      }
+    }
+  }
+}
 
 inline workload::WorkloadSpec make_spec(const Scale& scale,
                                         workload::Mix node_mix,
@@ -111,6 +154,12 @@ struct CellResult {
   std::uint64_t requeues = 0;
   std::uint64_t pushes = 0;
   std::uint64_t forwards = 0;
+  // Maintenance batching (DESIGN.md §16): envelopes on the wire and the
+  // logical messages they carried. Zero when GridConfig::batching is off.
+  std::uint64_t batches_sent = 0;
+  std::uint64_t batch_parts_sent = 0;
+  std::uint64_t batches_delivered = 0;
+  std::uint64_t batch_parts_delivered = 0;
   // Profiling (wall clock of the simulator itself, not sim time).
   double build_wall_sec = 0.0;
   double run_wall_sec = 0.0;
@@ -175,6 +224,10 @@ inline CellResult summarize(const grid::GridSystem& system) {
   r.messages_delivered = system.net_stats().messages_delivered;
   r.bytes_sent = system.net_stats().bytes_sent;
   r.bytes_delivered = system.net_stats().bytes_delivered;
+  r.batches_sent = system.net_stats().batches_sent;
+  r.batch_parts_sent = system.net_stats().batch_parts_sent;
+  r.batches_delivered = system.net_stats().batches_delivered;
+  r.batch_parts_delivered = system.net_stats().batch_parts_delivered;
   r.build_wall_sec = system.profile().phase_sec("build");
   r.run_wall_sec = system.profile().phase_sec("run");
   r.sim_events = system.profile().events();
@@ -217,6 +270,10 @@ inline CellResult average(const std::vector<CellResult>& cells) {
     avg.requeues += c.requeues;
     avg.pushes += c.pushes;
     avg.forwards += c.forwards;
+    avg.batches_sent += c.batches_sent;
+    avg.batch_parts_sent += c.batch_parts_sent;
+    avg.batches_delivered += c.batches_delivered;
+    avg.batch_parts_delivered += c.batch_parts_delivered;
     avg.fp_evictions += c.fp_evictions;
     avg.fn_evictions += c.fn_evictions;
     avg.anti_entropy_repairs += c.anti_entropy_repairs;
@@ -246,6 +303,10 @@ inline CellResult average(const std::vector<CellResult>& cells) {
   avg.messages_delivered /= cells.size();
   avg.bytes_sent /= cells.size();
   avg.bytes_delivered /= cells.size();
+  avg.batches_sent /= cells.size();
+  avg.batch_parts_sent /= cells.size();
+  avg.batches_delivered /= cells.size();
+  avg.batch_parts_delivered /= cells.size();
   avg.build_wall_sec /= n;
   avg.run_wall_sec /= n;
   avg.sim_events /= cells.size();
@@ -324,6 +385,8 @@ class BenchJson {
         "\"messages_sent\":%" PRIu64 ",\"messages_delivered\":%" PRIu64
         ",\"bytes_sent\":%" PRIu64 ",\"bytes_delivered\":%" PRIu64
         ",\"resubmissions\":%" PRIu64 ",\"requeues\":%" PRIu64
+        ",\"batches_sent\":%" PRIu64 ",\"batch_parts_sent\":%" PRIu64
+        ",\"batches_delivered\":%" PRIu64 ",\"batch_parts_delivered\":%" PRIu64
         ",\"build_wall_sec\":%.6f,\"run_wall_sec\":%.6f,"
         "\"sim_events\":%" PRIu64 ",\"events_per_wall_sec\":%.1f,"
         "\"sim_queue_peak\":%" PRIu64 ",\"sim_tombstone_peak\":%" PRIu64
@@ -336,7 +399,9 @@ class BenchJson {
         r.wait_avg, r.wait_stdev, r.match_hops_avg, r.injection_hops_avg,
         r.jobs_per_node_cv, r.completed_fraction, r.makespan_sec, r.messages,
         r.messages_delivered, r.bytes_sent, r.bytes_delivered,
-        r.resubmissions, r.requeues, r.build_wall_sec, r.run_wall_sec,
+        r.resubmissions, r.requeues, r.batches_sent, r.batch_parts_sent,
+        r.batches_delivered, r.batch_parts_delivered, r.build_wall_sec,
+        r.run_wall_sec,
         r.sim_events, r.events_per_wall_sec,
         static_cast<std::uint64_t>(r.sim_queue_peak),
         static_cast<std::uint64_t>(r.sim_tombstone_peak),

@@ -49,6 +49,20 @@ int main(int argc, char** argv) {
   std::printf("churn_survival: %zu nodes, %zu jobs\n", scale.nodes,
               scale.jobs);
 
+  // Derived seeds, one workload/system pair per sweep. Cells *within* a
+  // sweep intentionally share them: every detector/healing variant replays
+  // the same workload under the same system stream, so differences are the
+  // treatment, not sampling noise. The four streams must be distinct.
+  const std::uint64_t seed_wl_a =
+      derive_seed(scale.seed, SeedStream::kWorkload, /*salt=*/1);
+  const std::uint64_t seed_sys_a =
+      derive_seed(scale.seed, SeedStream::kSystem, /*salt=*/1);
+  const std::uint64_t seed_wl_b =
+      derive_seed(scale.seed, SeedStream::kWorkload, /*salt=*/2);
+  const std::uint64_t seed_sys_b =
+      derive_seed(scale.seed, SeedStream::kSystem, /*salt=*/2);
+  assert_distinct_seeds({seed_wl_a, seed_sys_a, seed_wl_b, seed_sys_b});
+
   // --- sweep A: detector quality under lying networks ----------------------
   enum class Fault { kGray, kCongestion };
   struct Cell {
@@ -66,9 +80,9 @@ int main(int argc, char** argv) {
   const auto results = sim::run_sweep<CellResult>(
       cells.size(), scale.threads, [&](std::size_t i) {
         const Cell& cell = cells[i];
-        const auto spec = make_spec(scale, Mix::kMixed, Mix::kMixed, 0.4,
-                                    scale.seed + 41);
-        grid::GridConfig gc = make_grid_config(cell.kind, scale.seed + 11);
+        const auto spec =
+            make_spec(scale, Mix::kMixed, Mix::kMixed, 0.4, seed_wl_a);
+        grid::GridConfig gc = make_grid_config(cell.kind, seed_sys_a);
         gc.light_maintenance = false;
         gc.client.resubmit_base_sec = 300.0;
         gc.client.resubmit_runtime_factor = 8.0;
@@ -173,9 +187,9 @@ int main(int argc, char** argv) {
   const auto bresults = sim::run_sweep<CellResult>(
       bcells.size(), scale.threads, [&](std::size_t i) {
         const BurstCell& cell = bcells[i];
-        const auto spec = make_spec(scale, Mix::kMixed, Mix::kMixed, 0.4,
-                                    scale.seed + 53);
-        grid::GridConfig gc = make_grid_config(cell.kind, scale.seed + 13);
+        const auto spec =
+            make_spec(scale, Mix::kMixed, Mix::kMixed, 0.4, seed_wl_b);
+        grid::GridConfig gc = make_grid_config(cell.kind, seed_sys_b);
         gc.light_maintenance = false;
         gc.client.resubmit_base_sec = 300.0;
         gc.client.resubmit_runtime_factor = 8.0;

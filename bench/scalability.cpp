@@ -2,10 +2,16 @@
 // logarithmically (Chord) / sub-linearly (CAN) with system size while wait
 // times stay flat when load is scaled proportionally.
 //
-//   scalability [--max-nodes=2048] ...
+//   scalability [--max-nodes=2048] [--max-batched=10240] [--mega-can=0] ...
 //
 // Nodes sweep {128..max} with jobs = 5 x nodes (constant per-node load);
 // reports wait time, overlay hops, and messages per job for RN and CAN.
+//
+// A second series re-runs RN and CAN at {1024, 2048, 4096, 10240} (capped by
+// --max-batched) with maintenance batching on (DESIGN.md §16): the large-N
+// rows the unbatched protocols cannot reach in reasonable wall time, plus an
+// A/B traffic ratio at the sizes both series cover. --mega-can=1 additionally
+// runs a gated 100k-node CAN bootstrap + short steady-state smoke.
 
 #include <chrono>
 #include <cmath>
@@ -25,6 +31,8 @@ int main(int argc, char** argv) {
   Scale base = Scale::from_config(config);
   const auto max_nodes =
       static_cast<std::size_t>(config.get_int("max-nodes", 2048));
+  const auto max_batched =
+      static_cast<std::size_t>(config.get_int("max-batched", 10240));
 
   std::vector<std::size_t> sizes;
   for (std::size_t n = 128; n <= max_nodes; n *= 2) sizes.push_back(n);
@@ -36,11 +44,30 @@ int main(int argc, char** argv) {
   struct Cell {
     std::size_t nodes;
     MatchmakerKind kind;
+    bool batching;
   };
   std::vector<Cell> cells;
   for (std::size_t n : sizes) {
-    for (MatchmakerKind kind : kinds) cells.push_back(Cell{n, kind});
+    for (MatchmakerKind kind : kinds) cells.push_back(Cell{n, kind, false});
   }
+  // The batched large-N series (overlay matchmakers only: batching targets
+  // maintenance traffic, which the centralized baseline does not generate).
+  for (std::size_t n : {std::size_t{1024}, std::size_t{2048},
+                        std::size_t{4096}, std::size_t{10240}}) {
+    if (n > max_batched) continue;
+    cells.push_back(Cell{n, MatchmakerKind::kRnTree, true});
+    cells.push_back(Cell{n, MatchmakerKind::kCanBasic, true});
+  }
+
+  // Per-cell seeds: workload varies per size (same workload across the
+  // matchmakers and across batching on/off at one size, so those rows stay
+  // comparable); the system stream is disjoint from every workload stream.
+  std::vector<std::uint64_t> seed_audit;
+  for (std::size_t n : sizes) {
+    seed_audit.push_back(derive_seed(base.seed, SeedStream::kWorkload, n));
+  }
+  seed_audit.push_back(derive_seed(base.seed, SeedStream::kSystem));
+  assert_distinct_seeds(seed_audit);
 
   std::printf("scalability: jobs = 5 x nodes, arrival rate scaled to keep "
               "per-node load constant\n");
@@ -55,10 +82,14 @@ int main(int argc, char** argv) {
         // (~0.8) across sizes.
         scale.mean_interarrival_sec =
             scale.mean_runtime_sec / (0.8 * static_cast<double>(cell.nodes));
-        const auto spec = make_spec(scale, Mix::kMixed, Mix::kMixed, 0.4,
-                                    base.seed + cell.nodes);
+        const auto spec =
+            make_spec(scale, Mix::kMixed, Mix::kMixed, 0.4,
+                      derive_seed(base.seed, SeedStream::kWorkload,
+                                  cell.nodes));
         const auto pool_before = net::MessagePool::stats();
-        grid::GridConfig gc = make_grid_config(cell.kind, base.seed + 13);
+        grid::GridConfig gc = make_grid_config(
+            cell.kind, derive_seed(base.seed, SeedStream::kSystem));
+        gc.batching.enabled = cell.batching;
         // Streaming aggregates: the scaling sweep's job count grows with the
         // node count, so per-job records would dominate memory at the top end.
         gc.obs.streaming_metrics = true;
@@ -70,14 +101,16 @@ int main(int argc, char** argv) {
       });
 
   print_header("Scaling of wait time and overlay cost");
-  std::printf("%-8s %-13s %10s %10s %12s %12s %12s\n", "nodes", "matchmaker",
-              "wait-avg", "wait-sd", "hops/job", "msgs/job", "completed");
+  std::printf("%-8s %-13s %-6s %10s %10s %12s %12s %12s\n", "nodes",
+              "matchmaker", "batch", "wait-avg", "wait-sd", "hops/job",
+              "msgs/job", "completed");
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& cell = cells[i];
     const CellResult& r = results[i];
-    std::printf("%-8zu %-13s %10.1f %10.1f %12.2f %12.0f %11.1f%%\n",
-                cell.nodes, grid::matchmaker_name(cell.kind), r.wait_avg,
-                r.wait_stdev, r.injection_hops_avg + r.match_hops_avg,
+    std::printf("%-8zu %-13s %-6s %10.1f %10.1f %12.2f %12.0f %11.1f%%\n",
+                cell.nodes, grid::matchmaker_name(cell.kind),
+                cell.batching ? "on" : "off", r.wait_avg, r.wait_stdev,
+                r.injection_hops_avg + r.match_hops_avg,
                 static_cast<double>(r.messages) /
                     static_cast<double>(cell.nodes * 5),
                 100.0 * r.completed_fraction);
@@ -88,9 +121,50 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& cell = cells[i];
     const std::string label = std::to_string(cell.nodes) + "/" +
-                              grid::matchmaker_name(cell.kind);
+                              grid::matchmaker_name(cell.kind) +
+                              (cell.batching ? "/batched" : "");
     print_summary_line(label, results[i]);
     json.row(label, results[i]);
+  }
+
+  // A/B traffic ratio at the sizes both series cover: the headline batching
+  // win (wire messages and bytes saved by coalescing maintenance rounds).
+  print_header("Batching A/B (same size+matchmaker, off vs on)");
+  std::printf("%-8s %-13s %14s %14s %10s %10s\n", "nodes", "matchmaker",
+              "msgs-off", "msgs-on", "msg-ratio", "byte-ratio");
+  bool gate_failed = false;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!cells[i].batching) continue;
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      if (cells[j].batching || cells[j].nodes != cells[i].nodes ||
+          cells[j].kind != cells[i].kind) {
+        continue;
+      }
+      const double msg_ratio = results[i].messages == 0
+                                   ? 0.0
+                                   : static_cast<double>(results[j].messages) /
+                                         static_cast<double>(results[i].messages);
+      const double byte_ratio =
+          results[i].bytes_sent == 0
+              ? 0.0
+              : static_cast<double>(results[j].bytes_sent) /
+                    static_cast<double>(results[i].bytes_sent);
+      std::printf("%-8zu %-13s %14" PRIu64 " %14" PRIu64 " %9.2fx %9.2fx\n",
+                  cells[i].nodes, grid::matchmaker_name(cells[i].kind),
+                  results[j].messages, results[i].messages, msg_ratio,
+                  byte_ratio);
+      // The headline gate: CAN maintenance dominates wire traffic at scale,
+      // so coalescing must buy >= 4x at 2048 nodes and beyond whenever both
+      // series cover the size. RN-tree is reported but not gated — its
+      // traffic is matchmaking tokens, which batching leaves alone.
+      if (cells[i].kind == MatchmakerKind::kCanBasic &&
+          cells[i].nodes >= 2048 && msg_ratio < 4.0) {
+        std::fprintf(stderr,
+                     "FAIL: CAN batching ratio %.2fx < 4x at %zu nodes\n",
+                     msg_ratio, cells[i].nodes);
+        gate_failed = true;
+      }
+    }
   }
   // --- overlay construction throughput --------------------------------------
   // Instant-wiring cost alone, past the full-simulation sweep's sizes: the
@@ -142,10 +216,50 @@ int main(int argc, char** argv) {
                r);
     }
   }
+  // --- gated 100k-node CAN smoke (--mega-can=1) -----------------------------
+  // Bootstrap (instant wiring) plus a fixed batched steady-state window: the
+  // "does the 10k barrier actually move" check. The window is bounded (not
+  // run-to-completion) on purpose: at this scale a handful of straggler jobs
+  // would otherwise drag the cell to the 20000 s completion horizon, and the
+  // smoke's question — does a 100k-node CAN build, stay live, and move jobs
+  // under batched maintenance — is answered well before that. Excluded from
+  // the default run because it needs a release build and a few GB of RAM.
+  if (config.get_bool("mega-can", false)) {
+    print_header("Mega-CAN smoke: 100k nodes, batched maintenance");
+    Scale scale = base;
+    scale.nodes = 100000;
+    scale.jobs = 2000;  // a short arrival burst, not a full sweep cell
+    scale.mean_interarrival_sec =
+        scale.mean_runtime_sec / (0.8 * static_cast<double>(scale.nodes));
+    const auto spec = make_spec(
+        scale, Mix::kMixed, Mix::kMixed, 0.4,
+        derive_seed(base.seed, SeedStream::kWorkload, scale.nodes));
+    grid::GridConfig gc = make_grid_config(
+        MatchmakerKind::kCanBasic, derive_seed(base.seed, SeedStream::kSystem));
+    gc.batching.enabled = true;
+    gc.obs.streaming_metrics = true;
+    const auto pool_before = net::MessagePool::stats();
+    grid::GridSystem system(gc, workload::generate(spec));
+    system.run_for(config.get_double("mega-window", 900.0));
+    CellResult r = summarize(system);
+    attach_pool_stats(r, pool_before);
+    print_summary_line("100000/can/batched", r);
+    std::printf("completed %.1f%% within the %.0f s window, build %.1fs, "
+                "peak table memory %.1f MB\n",
+                100.0 * r.completed_fraction,
+                config.get_double("mega-window", 900.0), r.build_wall_sec,
+                static_cast<double>(r.mem_total_bytes) / 1e6);
+    json.row("100000/can/batched", r);
+    if (r.completed_fraction <= 0.0) {
+      std::fprintf(stderr, "FAIL: mega-CAN smoke completed no jobs\n");
+      gate_failed = true;
+    }
+  }
+
   if (json.active()) std::printf("\nwrote %s\n", json.path().c_str());
 
   std::printf("\nExpected shape: hops/job grow ~log2(nodes) for RN and\n"
               "~(d/4)N^(1/d) for CAN; wait stays roughly flat; construction\n"
               "build-sec grows ~N log N (near-linear nodes/sec).\n");
-  return 0;
+  return gate_failed ? 1 : 0;
 }

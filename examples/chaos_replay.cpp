@@ -7,7 +7,7 @@
 //
 //   ./chaos_replay [--kind=rn-tree] [--seed=1] [--nodes=20] [--jobs=40]
 //                  [--rounds=6] [--trace=1] [--correlated] [--flapping]
-//                  [--self-healing]
+//                  [--self-healing] [--batching]
 //
 // --correlated / --flapping extend the drawn fault classes with
 // topology-correlated crash bursts (a contiguous Chord arc / CAN slab) and
@@ -15,6 +15,8 @@
 // they are part of the replay identity and appear in replay commands.
 // --self-healing turns on φ-accrual liveness and the online anti-entropy
 // audits on every node.
+// --batching runs with maintenance batching on (quiet_stride pinned to 1 so
+// the fault schedule and detection cadence are unchanged; see DESIGN.md §16).
 //
 // Exits 0 when every invariant holds; on violation prints the violations,
 // writes chaos_<kind>_<seed>.jsonl if tracing, and exits 1.
@@ -38,6 +40,8 @@ int main(int argc, char** argv) {
       config.set("flapping", "1");
     } else if (token == "--self-healing") {
       config.set("self-healing", "1");
+    } else if (token == "--batching") {
+      config.set("batching", "1");
     } else {
       std::fprintf(stderr, "chaos_replay: unrecognized argument %s\n",
                    token.c_str());
@@ -61,6 +65,7 @@ int main(int argc, char** argv) {
   cfg.enable_correlated = config.get_bool("correlated", false);
   cfg.enable_flapping = config.get_bool("flapping", false);
   cfg.self_healing = config.get_bool("self-healing", false);
+  cfg.batching = config.get_bool("batching", false);
   cfg.trace = config.get_bool("trace", false);
   cfg.verbose = config.get_bool("verbose", false);
   if (cfg.trace) {

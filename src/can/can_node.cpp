@@ -315,6 +315,9 @@ bool CanNode::handle(net::NodeAddr from, net::MessagePtr& msg) {
     case kDimLoadReport:
       on_dim_load(*net::msg_cast<DimLoadReport>(msg.get()));
       return true;
+    case kNeighborHello:
+      on_neighbor_hello(from, *net::msg_cast<NeighborHello>(msg.get()));
+      return true;
     case kNeighborHint: {
       // A third party saw our claim collide with this peer's: probe it so
       // the pairwise conflict resolution can run.
@@ -569,7 +572,29 @@ void CanNode::settle_grant(net::NodeAddr from, const ZoneUpdate& msg) {
   if (git == pending_grants_.end()) return;
   bool covers = false;
   for (const Zone& z : msg.zones()) {
-    if (z.overlaps(git->second)) {
+    if (config_.batching.enabled) {
+      // Strict rule: the claim must contain the whole granted zone. A
+      // grantee that installed the grant claims exactly it; a partial
+      // overlap is a stale pre-grant snapshot (the fault plane replaying
+      // the joiner's previous life, whose old zone can sit inside the
+      // larger regrant). Confirming on such a claim strands the grant:
+      // nobody owns it and nobody tracks it. A false *reclaim*, by
+      // contrast, self-corrects through the double-claim GUID rule, so
+      // when in doubt reclaim. (Batched-mode only: the unbatched protocol
+      // keeps its original byte-for-byte behavior.)
+      bool contains = true;
+      for (std::size_t d = 0; d < config_.dims; ++d) {
+        if (z.lo()[d] > git->second.lo()[d] ||
+            z.hi()[d] < git->second.hi()[d]) {
+          contains = false;
+          break;
+        }
+      }
+      if (contains) {
+        covers = true;
+        break;
+      }
+    } else if (z.overlaps(git->second)) {
       covers = true;
       break;
     }
@@ -642,6 +667,50 @@ void CanNode::on_dim_load(const DimLoadReport& msg) {
   }
 }
 
+void CanNode::on_neighbor_hello(net::NodeAddr from, const NeighborHello& msg) {
+  if (from == addr()) return;
+  // A pull is always honored with a full snapshot. Requests never chain
+  // (see below), so hello traffic per periodic contact stays bounded.
+  if (msg.request_full) send_zone_update(from);
+  const auto it = neighbors_.find(from);
+  if (it == neighbors_.end()) {
+    // The sender believes we are neighbors but we hold no entry (pruned, or
+    // seeded state diverged): pull its full claim so on_zone_update's
+    // adjacency logic can decide.
+    if (!msg.request_full) {
+      rpc_.send(from, std::make_unique<NeighborHello>(
+                          self_peer(), zones_version_, update_seq_, load_,
+                          /*request_full=*/true));
+    }
+    return;
+  }
+  NeighborState& ns = it->second;
+  const auto now = net_.simulator().now();
+  ns.load = msg.load;
+  ns.last_heard = now;
+  ns.phi.heartbeat(now);
+  // Advance the staleness watermark: every full update the sender has
+  // already emitted carries seq <= msg.seq, so any such copy that arrives
+  // after this hello is a duplicate or reordering and must not be applied.
+  // Without this, hello-heavy cadence starves the watermark and lets the
+  // fault plane replay obsolete zone claims into conflict resolution.
+  if (msg.seq > ns.update_seq) ns.update_seq = msg.seq;
+  // The sender is demonstrably alive: cancel any pending takeover, exactly
+  // as a full update would.
+  if (auto t = takeover_timers_.find(from); t != takeover_timers_.end()) {
+    net_.simulator().cancel(t->second);
+    takeover_timers_.erase(t);
+  }
+  if (!msg.request_full && ns.zones_version != msg.zones_version) {
+    // Our stored snapshot of the sender is stale — its full update was lost
+    // or predates us. Pull a resync now rather than waiting for the
+    // sender's forced refresh.
+    rpc_.send(from, std::make_unique<NeighborHello>(
+                        self_peer(), zones_version_, update_seq_, load_,
+                        /*request_full=*/true));
+  }
+}
+
 // --- maintenance -----------------------------------------------------------
 
 void CanNode::start_maintenance() {
@@ -677,6 +746,10 @@ void CanNode::do_update() {
   PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kOverlayMaintain, addr(),
                     obs::kNoActor, 4, 0,
                     static_cast<double>(neighbors_.size()));
+  if (config_.batching.enabled) {
+    do_batched_round();
+    return;
+  }
   broadcast_zone_update();
   send_dim_load_reports();
   // Probe one lost peer per round: if it is alive (healed partition,
@@ -704,6 +777,112 @@ void CanNode::do_update() {
         send_zone_update(naddr);
       }
     } else if (now - ns.last_heard > config_.neighbor_timeout) {
+      schedule_takeover(naddr);
+    }
+  }
+}
+
+void CanNode::do_batched_round() {
+  // One batch scope for the whole round: everything below addressed to the
+  // same neighbor — snapshot or hello plus its dim-load reports — leaves as
+  // a single wire message, and the replies coalesce symmetrically.
+  const net::BatchScope batch(net_, addr());
+  const auto stride =
+      std::max<std::uint32_t>(1, config_.batching.quiet_stride);
+  ++round_;
+
+  // Per-dimension upstream blends, computed once per round (the unbatched
+  // path recomputes the same value per dimension; same numbers).
+  std::array<double, kMaxDims> report{};
+  for (std::size_t d = 0; d < config_.dims; ++d) {
+    const double above = upstream_load_[d];
+    report[d] = above < 0.0 ? load_
+                            : config_.push_alpha * load_ +
+                                  (1.0 - config_.push_alpha) * above;
+  }
+
+  std::shared_ptr<const ZoneUpdate::Snapshot> snap;  // built on first use
+  for (auto& [naddr, ns] : neighbors_) {
+    // Contact each neighbor every stride-th round, spread by address so a
+    // given round touches ~1/stride of the neighborhood.
+    if ((round_ + naddr) % stride != 0) continue;
+    ++ns.contacts_since_full;
+    const bool full = ns.full_sent_version != zones_version_ ||
+                      ns.contacts_since_full >= kFullRefreshContacts;
+    if (full) {
+      if (snap == nullptr) snap = make_zone_snapshot();
+      send_zone_update(naddr, snap);  // resets the bookkeeping fields
+    } else {
+      rpc_.send(naddr, std::make_unique<NeighborHello>(
+                           self_peer(), zones_version_, update_seq_, load_));
+    }
+    // This neighbor's dim-load reports ride the same envelope.
+    for (std::size_t d = 0; d < config_.dims; ++d) {
+      bool below = false;
+      for (const Zone& mz : zones_) {
+        for (const Zone& oz : ns.zones) {
+          if (oz.hi()[d] == mz.lo()[d] && mz.abuts(oz)) {
+            below = true;
+            break;
+          }
+        }
+        if (below) break;
+      }
+      if (below) {
+        rpc_.send(naddr, std::make_unique<DimLoadReport>(
+                             static_cast<std::uint32_t>(d), report[d]));
+      }
+    }
+  }
+
+  // Lost-peer probe, one per round, exactly as in the unbatched path.
+  if (!lost_.empty()) {
+    send_zone_update(lost_[lost_cursor_++ % lost_.size()].addr);
+  }
+
+  // Dangling-grant backstop: a pending grant is normally settled (or
+  // reclaimed) by the grantee's first ZoneUpdate, and a silent grantee is
+  // handled by takeover — but only while its neighbor entry exists. If a
+  // stale claim got the entry dropped as non-adjacent while the grant was
+  // still pending, nobody owns or tracks the granted space. Reclaim it; a
+  // grantee that did install it resurfaces as a double claim and the GUID
+  // rule settles ownership.
+  bool reclaimed = false;
+  for (auto it = pending_grants_.begin(); it != pending_grants_.end();) {
+    if (neighbors_.find(it->first) == neighbors_.end()) {
+      zones_.push_back(it->second);
+      it = pending_grants_.erase(it);
+      reclaimed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (reclaimed) {
+    coalesce(zones_);
+    note_zones_changed();
+    prune_neighbors();
+    broadcast_zone_update();
+  }
+
+  // Failure detection with deadlines scaled by the contact stride, so the
+  // detector tolerates the same number of missed *contacts* as the
+  // unbatched protocol before acting. φ adapts on its own (it learns the
+  // actual inter-arrival cadence) but keeps the same scaled fallback.
+  const auto deadline = config_.neighbor_timeout * static_cast<int>(stride);
+  const auto now = net_.simulator().now();
+  for (const auto& [naddr, ns] : neighbors_) {
+    if (config_.phi.enabled) {
+      if (ns.phi.evict(now, config_.phi, deadline)) {
+        schedule_takeover(naddr);
+      } else if (ns.phi.suspect(now, config_.phi, deadline) &&
+                 takeover_timers_.find(naddr) == takeover_timers_.end()) {
+        ++stats_.suspicions;
+        PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kPhiSuspect, addr(),
+                          naddr, 2, 0,
+                          ns.phi.phi(now, config_.phi, deadline));
+        send_zone_update(naddr);
+      }
+    } else if (now - ns.last_heard > deadline) {
       schedule_takeover(naddr);
     }
   }
@@ -739,6 +918,15 @@ void CanNode::send_zone_update(net::NodeAddr to) {
 
 void CanNode::send_zone_update(
     net::NodeAddr to, std::shared_ptr<const ZoneUpdate::Snapshot> snap) {
+  if (config_.batching.enabled) {
+    // Any full send — periodic, broadcast, suspicion re-link — marks the
+    // receiver as holding this snapshot version, so the next batched
+    // contact can downgrade to a hello.
+    if (auto it = neighbors_.find(to); it != neighbors_.end()) {
+      it->second.full_sent_version = snap->zones_version;
+      it->second.contacts_since_full = 0;
+    }
+  }
   auto msg = std::make_unique<ZoneUpdate>(std::move(snap));
   msg->seq = ++update_seq_;
   rpc_.send(to, std::move(msg));

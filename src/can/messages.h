@@ -26,6 +26,7 @@ enum MsgType : std::uint16_t {
   kZoneUpdate = net::kTagCanBase + 4,
   kDimLoadReport = net::kTagCanBase + 5,
   kNeighborHint = net::kTagCanBase + 6,
+  kNeighborHello = net::kTagCanBase + 7,
 };
 
 /// Wire snapshot of a node's zone holdings, for join handoff.
@@ -174,6 +175,41 @@ struct NeighborHint final : net::Message {
     return 12;
   }
   PGRID_MESSAGE_CLONE(NeighborHint)
+};
+
+/// Compact liveness/load beacon used by batched maintenance (DESIGN.md
+/// §16): sent instead of a full ZoneUpdate when the receiver already holds
+/// the sender's current zone snapshot (tracked sender-side by zones_version).
+/// `request_full` asks the receiver to answer with a full ZoneUpdate — the
+/// pull half of loss recovery: a receiver whose stored snapshot version
+/// disagrees with the beacon's requests a resync instead of staying stale
+/// until the next forced refresh.
+struct NeighborHello final : net::Message {
+  static constexpr std::uint16_t kType = kNeighborHello;
+
+  NeighborHello(Peer s, std::uint64_t v, std::uint64_t seq_, double l,
+                bool rf = false)
+      : Message(kType),
+        sender(s),
+        zones_version(v),
+        seq(seq_),
+        load(l),
+        request_full(rf) {}
+
+  Peer sender;
+  std::uint64_t zones_version;
+  /// The sender's current outgoing ZoneUpdate counter. Receivers advance
+  /// their stored per-neighbor seq watermark from it, so the staleness
+  /// guard in on_zone_update keeps rejecting duplicated old snapshots even
+  /// when hellos (not full updates) carry most of the contact cadence.
+  std::uint64_t seq;
+  double load;
+  bool request_full;
+
+  [[nodiscard]] std::size_t payload_size() const noexcept override {
+    return 12 + 8 + 8 + 8 + 1;
+  }
+  PGRID_MESSAGE_CLONE(NeighborHello)
 };
 
 /// Exponentially-weighted load of the region "above" the sender along one

@@ -106,6 +106,22 @@ void ChordNode::start_maintenance() {
   const auto phase = [&](sim::SimTime period) {
     return sim::SimTime::nanos(rng_.range(0, period.ns() - 1));
   };
+  if (config_.batching.enabled) {
+    // Batched mode: one combined round at stabilize_period runs the whole
+    // trio inside a batch scope, so the stabilize probe, the finger
+    // lookups' first hops, and the predecessor ping that target the same
+    // peer (typically the successor) share one wire message. Fingers are
+    // advanced fix_per_round_ per round to preserve the dedicated task's
+    // long-run repair rate.
+    fix_per_round_ = std::max<int>(
+        1, static_cast<int>(config_.stabilize_period.ns() /
+                            std::max<std::int64_t>(
+                                1, config_.fix_fingers_period.ns())));
+    stabilize_task_ = std::make_unique<sim::PeriodicTask>(
+        simulator, config_.stabilize_period, [this] { do_combined_round(); },
+        phase(config_.stabilize_period));
+    return;
+  }
   stabilize_task_ = std::make_unique<sim::PeriodicTask>(
       simulator, config_.stabilize_period, [this] { do_stabilize(); },
       phase(config_.stabilize_period));
@@ -116,6 +132,13 @@ void ChordNode::start_maintenance() {
       simulator, config_.check_predecessor_period,
       [this] { do_check_predecessor(); },
       phase(config_.check_predecessor_period));
+}
+
+void ChordNode::do_combined_round() {
+  const net::BatchScope batch(net_, addr());
+  do_stabilize();
+  for (int i = 0; i < fix_per_round_; ++i) do_fix_fingers();
+  do_check_predecessor();
 }
 
 // --- lookups ---------------------------------------------------------------

@@ -21,6 +21,7 @@
 #include "chord/messages.h"
 #include "chord/peer.h"
 #include "common/flat_map.h"
+#include "net/batch.h"
 #include "common/phi_detector.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -48,6 +49,11 @@ struct ChordConfig {
   /// only *suspects* it (triggering a successor-tail refresh) — eviction
   /// waits until the silence is implausible under the learned arrival gaps.
   PhiAccrualConfig phi;
+  /// Maintenance batching (DESIGN.md §16). When enabled the stabilize /
+  /// fix-fingers / check-predecessor trio collapses into one combined round
+  /// at stabilize_period, issued inside a batch scope so the probes that
+  /// target the same peer (usually the successor) share a wire message.
+  net::BatchingConfig batching;
 };
 
 struct ChordStats {
@@ -162,6 +168,9 @@ class ChordNode {
   void do_stabilize();
   void do_fix_fingers();
   void do_check_predecessor();
+  /// Batched maintenance: stabilize + several finger fixes + predecessor
+  /// ping in one batch scope (see ChordConfig::batching).
+  void do_combined_round();
   void adopt_successor_list(Peer head, const std::vector<Peer>& tail);
   void remove_failed(Peer peer);
   /// Recompute route_scan_; must follow any fingers_/successors_ change.
@@ -218,6 +227,8 @@ class ChordNode {
   std::unique_ptr<sim::PeriodicTask> stabilize_task_;
   std::unique_ptr<sim::PeriodicTask> fix_fingers_task_;
   std::unique_ptr<sim::PeriodicTask> check_pred_task_;
+  /// Finger fixes per combined batched round (batching mode only).
+  int fix_per_round_ = 1;
 
   ChordStats stats_;
 };

@@ -109,7 +109,12 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 
 void Histogram::add(double x) noexcept {
   ++total_;
-  if (x < lo_) {
+  if (std::isnan(x)) {
+    // NaN fails both range guards below and would reach the float->size_t
+    // cast (undefined behavior). There is no meaningful bucket; count it with
+    // the out-of-range tail so total() still reconciles.
+    ++overflow_;
+  } else if (x < lo_) {
     ++underflow_;
   } else if (x >= hi_) {
     ++overflow_;

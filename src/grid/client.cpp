@@ -53,18 +53,22 @@ void Client::schedule_job(std::uint64_t seq, double arrival_sec,
 }
 
 JobProfile Client::make_profile(std::uint64_t seq, PendingJob& job) {
+  // One interned statics block per submission; every downstream copy of the
+  // profile (messages, owner/run records) shares it by refcount.
+  auto statics = std::make_shared<JobStatics>();
+  statics->constraints = job.constraints;
+  statics->runtime_sec = job.runtime_sec;
+  statics->declared_runtime_sec = job.declared_runtime_sec;
+  statics->output_kb = job.output_kb;
+  // A fresh virtual coordinate per submission: the paper's cluster-breaking
+  // randomization for CAN job placement (§3.2).
+  statics->can_coords = to_can_point(job.constraints, rng_.uniform());
   JobProfile profile;
   profile.seq = seq;
   profile.generation = job.generation;
   profile.guid = JobProfile::derive_guid(seq, job.generation);
   profile.client = addr();
-  profile.constraints = job.constraints;
-  profile.runtime_sec = job.runtime_sec;
-  profile.declared_runtime_sec = job.declared_runtime_sec;
-  profile.output_kb = job.output_kb;
-  // A fresh virtual coordinate per generation: the paper's cluster-breaking
-  // randomization for CAN job placement (§3.2).
-  profile.can_coords = to_can_point(job.constraints, rng_.uniform());
+  profile.statics = std::move(statics);
   return profile;
 }
 

@@ -134,7 +134,7 @@ double GridNode::queue_work_remaining() const {
     if (i == 0 && executing_) {
       work += std::max(0.0, executing_end_sec_ - net_.simulator().now().sec());
     } else {
-      work += queue_[i].profile.runtime_sec;
+      work += queue_[i].profile.runtime_sec();
     }
   }
   return work;
@@ -221,7 +221,7 @@ void GridNode::inject(const JobProfile& profile) {
     case MatchmakerKind::kCanPush: {
       const std::uint32_t push =
           config_.kind == MatchmakerKind::kCanPush ? config_.can_max_push : 0;
-      can_->route(profile.can_coords,
+      can_->route(profile.can_coords(),
                   [this, profile, push](Peer owner, int hops) {
                     if (!running_ || !owner.valid()) return;
                     const auto h =
@@ -312,7 +312,7 @@ std::vector<std::pair<Peer, double>> GridNode::can_candidates(
   std::vector<std::pair<Peer, double>> out;
   if (!can_) return out;
   const can::Point& mine = can_->rep_point();
-  if (can_point_satisfies(mine, profile.can_coords, profile.constraints)) {
+  if (can_point_satisfies(mine, profile.can_coords(), profile.constraints())) {
     out.emplace_back(self_peer(), queue_length());
   }
   for (const auto& [naddr, ns] : can_->neighbors()) {
@@ -323,8 +323,8 @@ std::vector<std::pair<Peer, double>> GridNode::can_candidates(
     // so clusters of identical machines share load, which requires them to
     // be candidates for each other's jobs.
     if (!ns.rep_point.dominates(mine, kNumResources)) continue;
-    if (!can_point_satisfies(ns.rep_point, profile.can_coords,
-                             profile.constraints)) {
+    if (!can_point_satisfies(ns.rep_point, profile.can_coords(),
+                             profile.constraints())) {
       continue;
     }
     out.emplace_back(Peer{naddr, ns.id}, ns.load);
@@ -386,7 +386,7 @@ Peer GridNode::can_upward_target(const JobProfile& profile) const {
   const auto score = [&](const can::Point& p) {
     std::size_t s = 0;
     for (std::size_t r = 0; r < kNumResources; ++r) {
-      if (!profile.constraints.active[r] || p[r] >= profile.can_coords[r]) {
+      if (!profile.constraints().active[r] || p[r] >= profile.can_coords()[r]) {
         ++s;
       }
     }
@@ -414,7 +414,7 @@ Peer GridNode::can_upward_target(const JobProfile& profile) const {
 void GridNode::start_walk(const JobProfile& profile,
                           std::function<void(Peer, int)> cb) {
   // The walk begins at the owner itself.
-  if (profile.constraints.satisfied_by(caps_)) {
+  if (profile.constraints().satisfied_by(caps_)) {
     cb(self_peer(), 0);
     return;
   }
@@ -439,7 +439,7 @@ void GridNode::start_walk(const JobProfile& profile,
       });
   pending_walks_.emplace(id, std::move(pending));
   rpc_.send(first.addr,
-            std::make_unique<WalkProbe>(id, self_peer(), profile.constraints,
+            std::make_unique<WalkProbe>(id, self_peer(), profile.constraints(),
                                         config_.ttl_walk_ttl));
 }
 
@@ -547,9 +547,9 @@ void GridNode::match_and_dispatch(Guid guid) {
       // that orthant (split_for guarantees point ownership), so repeated
       // samples land in a satisfying node's zone — or next to one, where
       // the neighbor fallback finishes the match.
-      can::Point sample = job.profile.can_coords;
+      can::Point sample = job.profile.can_coords();
       for (std::size_t r = 0; r < kNumResources; ++r) {
-        if (job.profile.constraints.active[r]) {
+        if (job.profile.constraints().active[r]) {
           sample[r] = rng_.uniform(sample[r], 1.0);
         } else {
           sample[r] = rng_.uniform();
@@ -588,23 +588,23 @@ void GridNode::matchmake(const JobProfile& profile,
   switch (config_.kind) {
     case MatchmakerKind::kCentralized: {
       const double now = net_.simulator().now().sec();
-      const Peer pick = central_->pick_least_loaded(profile.constraints, now);
+      const Peer pick = central_->pick_least_loaded(profile.constraints(), now);
       if (pick.valid()) {
         // Keep the global view coherent while the dispatch is in flight.
         central_->note_assignment(static_cast<std::uint32_t>(pick.addr),
-                                  profile.runtime_sec, now + 2.0);
+                                  profile.runtime_sec(), now + 2.0);
       }
       cb(pick, 0);
       return;
     }
     case MatchmakerKind::kRandom:
-      cb(central_->pick_random(profile.constraints, rng_), 0);
+      cb(central_->pick_random(profile.constraints(), rng_), 0);
       return;
     case MatchmakerKind::kTtlWalk:
       start_walk(profile, std::move(cb));
       return;
     case MatchmakerKind::kRnTree:
-      rn_->search(to_rn_query(profile.constraints), config_.rn_search_k,
+      rn_->search(to_rn_query(profile.constraints()), config_.rn_search_k,
                   [cb = std::move(cb)](std::vector<rntree::Candidate> cands,
                                        int hops) {
                     Peer best = kNoPeer;
@@ -628,8 +628,8 @@ void GridNode::matchmake(const JobProfile& profile,
         // neighbor qualifies).
         for (const auto& [naddr, ns] : can_->neighbors()) {
           if (ns.rep_point.dims() == can_->rep_point().dims() &&
-              can_point_satisfies(ns.rep_point, profile.can_coords,
-                                  profile.constraints)) {
+              can_point_satisfies(ns.rep_point, profile.can_coords(),
+                                  profile.constraints())) {
             cands.emplace_back(Peer{naddr, ns.id}, ns.load);
           }
         }
@@ -781,7 +781,7 @@ void GridNode::on_dispatch(net::NodeAddr from, net::MessagePtr& msg) {
   const auto* m = net::msg_cast<DispatchJob>(msg.get());
   // §5 quota: refuse jobs declaring more output than this node allows.
   if (config_.max_output_kb > 0.0 &&
-      m->profile.output_kb > config_.max_output_kb) {
+      m->profile.output_kb() > config_.max_output_kb) {
     ++stats_.quota_rejects;
     PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobDispatchReject,
                       addr(), from, 1, m->profile.seq);
@@ -793,7 +793,7 @@ void GridNode::on_dispatch(net::NodeAddr from, net::MessagePtr& msg) {
   }
   // First criterion of matchmaking (§2): the constraints must be met. A
   // stale owner view can still pick us wrongly; reject so it retries.
-  if (!m->profile.constraints.satisfied_by(caps_)) {
+  if (!m->profile.constraints().satisfied_by(caps_)) {
     ++stats_.dispatch_rejects;
     PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobDispatchReject,
                       addr(), from, 2, m->profile.seq);
@@ -851,7 +851,7 @@ void GridNode::maybe_start_next() {
 
   // §5 quota: a job whose actual demand exceeds its declared runtime by the
   // kill factor is terminated at the quota deadline instead of completing.
-  double run_for = job.profile.runtime_sec;
+  double run_for = job.profile.runtime_sec();
   bool will_be_killed = false;
   if (config_.runaway_kill_factor > 0.0) {
     const double quota =
@@ -947,11 +947,11 @@ void GridNode::complete_front() {
     // Block-scoped so the next job's start is not attributed to this span.
     obs::SpanScope run_scope(net_.trace(), job.ctx);
 #endif
-    collector_->add_node_busy(index_, job.profile.runtime_sec);
+    collector_->add_node_busy(index_, job.profile.runtime_sec());
     // `v` is the execution duration: the Chrome exporter renders the slice.
     PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobComplete, addr(),
                       static_cast<std::uint32_t>(job.owner.addr), 0,
-                      job.profile.seq, job.profile.runtime_sec);
+                      job.profile.seq, job.profile.runtime_sec());
     // Fig. 1 step 6: result straight back to the client...
     rpc_.send(job.profile.client, std::make_unique<Result>(
                                       job.profile.seq, job.profile.generation));
@@ -969,6 +969,11 @@ void GridNode::do_heartbeats() {
   // Heartbeat every queued job, including those not yet running (§2).
   // Jobs are identified by GUID: distinct generations of the same job can
   // legitimately coexist in one queue and each has its own owner.
+  //
+  // Batching: heartbeats for jobs monitored by the same owner coalesce
+  // into one wire message per owner per round; the owner's acks coalesce
+  // on the way back via the network's receiver-side scope.
+  const net::BatchScope batch(net_, addr(), config_.batching.enabled);
   std::vector<Guid> guids;
   guids.reserve(queue_.size());
   for (const QueuedJob& q : queue_) guids.push_back(q.profile.guid);
@@ -1076,7 +1081,7 @@ void GridNode::audit_owned_jobs() {
     } else if (can_) {
       auto it = owned_.find(guid);
       if (it == owned_.end()) continue;
-      can_->route(it->second.profile.can_coords, resolve);
+      can_->route(it->second.profile.can_coords(), resolve);
     }
   }
 }
@@ -1135,7 +1140,7 @@ void GridNode::recover_owner(Guid guid) {
   if (chord_) {
     chord_->lookup(profile.guid, [handoff_to](Peer p, int) { handoff_to(p); });
   } else if (can_) {
-    can_->route(profile.can_coords,
+    can_->route(profile.can_coords(),
                 [handoff_to](Peer p, int) { handoff_to(p); });
   } else {
     handoff_to(self_peer());  // no overlay: the run node adopts ownership

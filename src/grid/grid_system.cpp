@@ -59,6 +59,11 @@ void GridSystem::build() {
   node_config.chord.phi = node_config.phi;
   node_config.can.phi = node_config.phi;
   node_config.rntree.phi = node_config.phi;
+  // Likewise one batching config: the grid heartbeat layer and each overlay
+  // batch their own maintenance rounds under the same switch.
+  node_config.batching = config_.batching;
+  node_config.chord.batching = config_.batching;
+  node_config.can.batching = config_.batching;
   down_since_.assign(workload_.spec.node_count, -1.0);
   if (config_.track_liveness) {
     node_config.liveness_oracle = [this](net::NodeAddr a) {

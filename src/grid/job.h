@@ -4,6 +4,7 @@
 // the job and is replicated on the owner and run nodes for recovery.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "can/geometry.h"
@@ -36,11 +37,16 @@ enum class MatchmakerKind {
   return k == MatchmakerKind::kCanBasic || k == MatchmakerKind::kCanPush;
 }
 
-struct JobProfile {
-  std::uint64_t seq = 0;          // workload index; stable across retries
-  std::uint32_t generation = 0;   // client resubmission counter
-  Guid guid;                      // derived from (seq, generation)
-  net::NodeAddr client = net::kNullAddr;
+/// The capability/demand half of a job profile. Immutable once built: the
+/// client mints one JobStatics per submission, and every downstream copy of
+/// the profile — matchmaking messages in flight, the owner's queue record,
+/// the run node's execution record, handoff replicas — shares it through a
+/// refcounted pointer instead of carrying ~150 bytes of repeated
+/// constraint/coordinate state. This interning is the hot-path compaction
+/// half of DESIGN.md §16: the dominant per-node tables (QueuedJob, OwnedJob)
+/// shrink to identity + pointer. Wire accounting is unaffected — messages
+/// still charge the full serialized profile (kProfileWireBytes) per copy.
+struct JobStatics {
   Constraints constraints;
   double runtime_sec = 0.0;  // actual compute demand
   /// Runtime the submitter *declared* (0 = honest, i.e. == runtime_sec);
@@ -48,13 +54,44 @@ struct JobProfile {
   double declared_runtime_sec = 0.0;
   /// Declared output size; nodes with an output quota reject beyond it.
   double output_kb = 2.0;
-
-  [[nodiscard]] double declared_or_actual() const noexcept {
-    return declared_runtime_sec > 0.0 ? declared_runtime_sec : runtime_sec;
-  }
-  /// CAN coordinates (constraints + per-generation virtual coordinate);
+  /// CAN coordinates (constraints + per-submission virtual coordinate);
   /// only meaningful in CAN modes but always carried for simplicity.
   can::Point can_coords;
+};
+
+struct JobProfile {
+  std::uint64_t seq = 0;          // workload index; stable across retries
+  std::uint32_t generation = 0;   // client resubmission counter
+  Guid guid;                      // derived from (seq, generation)
+  net::NodeAddr client = net::kNullAddr;
+  std::shared_ptr<const JobStatics> statics = shared_default();
+
+  [[nodiscard]] const Constraints& constraints() const noexcept {
+    return statics->constraints;
+  }
+  [[nodiscard]] double runtime_sec() const noexcept {
+    return statics->runtime_sec;
+  }
+  [[nodiscard]] double declared_runtime_sec() const noexcept {
+    return statics->declared_runtime_sec;
+  }
+  [[nodiscard]] double output_kb() const noexcept { return statics->output_kb; }
+  [[nodiscard]] const can::Point& can_coords() const noexcept {
+    return statics->can_coords;
+  }
+  [[nodiscard]] double declared_or_actual() const noexcept {
+    return statics->declared_runtime_sec > 0.0 ? statics->declared_runtime_sec
+                                               : statics->runtime_sec;
+  }
+
+  /// Default-constructed profiles stay dereferenceable (zeroed statics)
+  /// without a per-instance allocation.
+  [[nodiscard]] static const std::shared_ptr<const JobStatics>&
+  shared_default() {
+    static const std::shared_ptr<const JobStatics> kDefault =
+        std::make_shared<const JobStatics>();
+    return kDefault;
+  }
 
   /// GUID assignment as in Fig. 1 step 2: hash the job identity.
   [[nodiscard]] static Guid derive_guid(std::uint64_t seq,

@@ -1,0 +1,16 @@
+#include "net/batch.h"
+
+#include "net/network.h"
+
+namespace pgrid::net {
+
+BatchScope::BatchScope(Network& net, NodeAddr from, bool active)
+    : net_(net), from_(from), active_(active) {
+  if (active_) net_.open_batch(from_);
+}
+
+BatchScope::~BatchScope() {
+  if (active_) net_.close_batch(from_);
+}
+
+}  // namespace pgrid::net

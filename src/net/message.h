@@ -24,6 +24,8 @@ inline constexpr std::uint16_t kTagChordBase = 0x100;
 inline constexpr std::uint16_t kTagCanBase = 0x200;
 inline constexpr std::uint16_t kTagRnTreeBase = 0x300;
 inline constexpr std::uint16_t kTagGridBase = 0x400;
+/// Network-layer envelopes (e.g. the maintenance Batch) — not a protocol.
+inline constexpr std::uint16_t kTagNetBase = 0x600;
 inline constexpr std::uint16_t kTagTestBase = 0x700;
 
 class Message;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "net/batch.h"
 #include "net/fault_plane.h"
 
 namespace pgrid::net {
@@ -87,23 +88,105 @@ void Network::deliver(NodeAddr from, NodeAddr to, sim::SimTime delay,
           trace_->record_span(obs::EventKind::kSpanEnd, msg->trace, to, from,
                               tag, msg->rpc_id);
           obs::SpanScope scope(trace_, msg->trace);
-          handlers_[to]->on_message(from, std::move(msg));
+          dispatch(from, to, std::move(msg));
           return;
         }
 #endif
-        handlers_[to]->on_message(from, std::move(msg));
+        dispatch(from, to, std::move(msg));
       });
+}
+
+void Network::dispatch(NodeAddr from, NodeAddr to, MessagePtr msg) {
+  if (msg->type() == Batch::kType) {
+    auto* batch = msg_cast<Batch>(msg.get());
+    ++stats_.batches_delivered;
+    stats_.batch_parts_delivered += batch->parts.size();
+    // Unpack under a receiver-side scope: replies the handler emits while
+    // working through the parts coalesce into one return envelope, so the
+    // savings apply to both directions of an exchange for free.
+    open_batch(to);
+    for (MessagePtr& part : batch->parts) {
+      ++stats_.delivered_by_kind[part->type() & (NetworkStats::kKindSlots - 1)];
+      handlers_[to]->on_message(from, std::move(part));
+    }
+    close_batch(to);
+    return;
+  }
+  handlers_[to]->on_message(from, std::move(msg));
+}
+
+Network::PendingBatch* Network::find_batch(NodeAddr from) noexcept {
+  for (PendingBatch& b : batches_) {
+    if (b.from == from) return &b;
+  }
+  return nullptr;
+}
+
+void Network::open_batch(NodeAddr from) {
+  PGRID_EXPECTS(from < handlers_.size());
+  if (PendingBatch* b = find_batch(from)) {
+    ++b->depth;
+    return;
+  }
+  batches_.push_back(PendingBatch{from, 1, {}});
+}
+
+void Network::close_batch(NodeAddr from) {
+  PendingBatch* b = find_batch(from);
+  PGRID_EXPECTS(b != nullptr);
+  if (--b->depth > 0) return;
+  // Steal the groups before erasing: the flush below re-enters send(),
+  // which may push new scopes and reallocate batches_.
+  std::vector<PendingGroup> groups = std::move(b->groups);
+  batches_.erase(batches_.begin() + (b - batches_.data()));
+  for (PendingGroup& g : groups) {
+    if (g.parts.size() == 1) {
+      // Singleton group: the envelope would only add overhead.
+      send(from, g.to, std::move(g.parts[0]));
+    } else {
+      auto envelope = std::make_unique<Batch>();
+      envelope->parts = std::move(g.parts);
+      send(from, g.to, std::move(envelope));
+    }
+  }
 }
 
 void Network::send(NodeAddr from, NodeAddr to, MessagePtr msg) {
   PGRID_EXPECTS(msg != nullptr);
   PGRID_EXPECTS(from < handlers_.size());
   PGRID_EXPECTS(to < handlers_.size());
+
+  // An open batch scope for this sender buffers the message instead of
+  // putting it on the wire; accounting happens when the scope flushes.
+  if (!batches_.empty()) {
+    if (PendingBatch* b = find_batch(from)) {
+      for (PendingGroup& g : b->groups) {
+        if (g.to == to) {
+          g.parts.push_back(std::move(msg));
+          return;
+        }
+      }
+      b->groups.push_back(PendingGroup{to, {}});
+      b->groups.back().parts.push_back(std::move(msg));
+      return;
+    }
+  }
+
   const std::uint16_t tag = msg->type();
   const std::size_t wire_bytes = kHeaderBytes + msg->payload_size();
   ++stats_.messages_sent;
   ++stats_.sent_by_kind[tag & (NetworkStats::kKindSlots - 1)];
   stats_.bytes_sent += wire_bytes;
+  if (tag == Batch::kType) {
+    // The envelope counts as one wire message; its parts keep per-kind
+    // visibility so protocol mix breakdowns survive batching.
+    const auto* batch = msg_cast<Batch>(msg.get());
+    ++stats_.batches_sent;
+    stats_.batch_parts_sent += batch->parts.size();
+    for (const MessagePtr& part : batch->parts) {
+      ++stats_.sent_by_kind[part->type() & (NetworkStats::kKindSlots - 1)];
+    }
+  }
 
   // Plain-delivery fast path: no fault plane, no trace bus, zero base loss.
   // Every branch below is then a no-op, and the latency draw here consumes

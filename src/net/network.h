@@ -59,6 +59,14 @@ struct NetworkStats {
   std::uint64_t messages_reordered = 0;      // reorder jitter applied
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
+  // Maintenance batching (DESIGN.md §16). Envelopes count once in
+  // messages_sent/delivered; their inner messages count only in the
+  // per-kind tables plus these rollups, so wire traffic and logical
+  // traffic stay separately observable.
+  std::uint64_t batches_sent = 0;
+  std::uint64_t batch_parts_sent = 0;
+  std::uint64_t batches_delivered = 0;
+  std::uint64_t batch_parts_delivered = 0;
 
   /// Per-message-kind counters, indexed by the low bits of the type tag.
   /// All tag ranges in message.h fit in [0, kKindSlots) without aliasing.
@@ -95,6 +103,16 @@ class Network {
   /// a node that dies in flight still loses the message).
   void send(NodeAddr from, NodeAddr to, MessagePtr msg);
 
+  /// Batch scopes (DESIGN.md §16; prefer the RAII BatchScope in batch.h).
+  /// While a scope is open for `from`, its unicast sends are buffered and
+  /// grouped by destination; the outermost close flushes one wire message
+  /// per destination (plain send for singleton groups, Batch envelope
+  /// otherwise). Scopes nest per sender. Delivery of an envelope re-opens a
+  /// scope for the *receiver*, so replies emitted while handling the parts
+  /// coalesce on the way back without any protocol-level cooperation.
+  void open_batch(NodeAddr from);
+  void close_batch(NodeAddr from);
+
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
 
@@ -128,6 +146,25 @@ class Network {
 
  private:
   void deliver(NodeAddr from, NodeAddr to, sim::SimTime delay, MessagePtr msg);
+
+  /// Hand a delivered message to the receiving handler, unpacking Batch
+  /// envelopes (per-part kind accounting + receiver-side batch scope).
+  void dispatch(NodeAddr from, NodeAddr to, MessagePtr msg);
+
+  /// One destination's buffered messages within an open batch scope.
+  struct PendingGroup {
+    NodeAddr to;
+    std::vector<MessagePtr> parts;
+  };
+  /// An open (possibly nested) batch scope for one sender. Groups keep
+  /// first-send order so the flush sequence is deterministic.
+  struct PendingBatch {
+    NodeAddr from;
+    int depth = 0;
+    std::vector<PendingGroup> groups;
+  };
+
+  [[nodiscard]] PendingBatch* find_batch(NodeAddr from) noexcept;
 
   /// Re-derive the cached "plain delivery" predicate (DESIGN.md §13): true
   /// while no fault plane exists, no trace bus is attached, and base loss is
@@ -163,6 +200,9 @@ class Network {
   std::unique_ptr<FaultPlane> fault_;
   std::uint64_t next_rpc_stream_ = 1;
   std::uint64_t rng_forks_ = 0;
+  /// Open batch scopes. At most a handful exist at once (one per node
+  /// currently inside a maintenance round), so linear scan beats a map.
+  std::vector<PendingBatch> batches_;
 };
 
 }  // namespace pgrid::net

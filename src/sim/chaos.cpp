@@ -316,6 +316,7 @@ std::string ChaosConfig::replay_command() const {
   if (enable_correlated) cmd += " --correlated";
   if (enable_flapping) cmd += " --flapping";
   if (self_healing) cmd += " --self-healing";
+  if (batching) cmd += " --batching";
   return cmd;
 }
 
@@ -396,6 +397,13 @@ ChaosReport run_chaos(const ChaosConfig& cfg) {
     gcfg.node.can.audit_period = SimTime::seconds(15.0);   // tiling audits
     gcfg.node.rntree.token_lease = SimTime::seconds(10.0); // search leases
     gcfg.track_liveness = true;  // classify evictions as FP / late
+  }
+  if (cfg.batching) {
+    gcfg.batching.enabled = true;
+    // Stride 1 = pure coalescing: detection deadlines stay on the legacy
+    // cadence, so the invariants judge batching itself, not a slower
+    // failure detector.
+    gcfg.batching.quiet_stride = 1;
   }
 
   grid::GridSystem system(gcfg, workload::generate(spec));

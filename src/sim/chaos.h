@@ -66,6 +66,12 @@ struct ChaosConfig {
   /// that classifies evictions as false positives / late detections.
   bool self_healing = false;
 
+  /// Maintenance batching (DESIGN.md §16) with quiet_stride pinned to 1:
+  /// pure coalescing, so failure-detection cadence matches the unbatched
+  /// protocol and the matrix exercises envelope loss/duplication under
+  /// the same fault schedules. Default off: existing seeds reproduce.
+  bool batching = false;
+
   /// Record a trace; on violation it is exported to trace_jsonl_path
   /// (when non-empty) for post-mortem.
   bool trace = false;

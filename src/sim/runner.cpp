@@ -1,6 +1,8 @@
 #include "sim/runner.h"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
 
 namespace pgrid::sim {
 
@@ -17,19 +19,34 @@ void parallel_for_cells(std::size_t cells, std::size_t threads,
     return;
   }
 
+  // A cell that throws on a worker thread must not std::terminate the whole
+  // sweep: the first exception is captured, the remaining cells drain
+  // unexecuted, and the exception resurfaces on the calling thread after
+  // every worker has joined.
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
     pool.emplace_back([&] {
       for (;;) {
+        if (failed.load(std::memory_order_acquire)) return;
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= cells) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error == nullptr) first_error = std::current_exception();
+          failed.store(true, std::memory_order_release);
+        }
       }
     });
   }
   for (auto& th : pool) th.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 }  // namespace pgrid::sim

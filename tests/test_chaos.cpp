@@ -93,6 +93,51 @@ INSTANTIATE_TEST_SUITE_P(
       return name + "_seed" + std::to_string(std::get<1>(info.param));
     });
 
+// Batched matrix: the same invariants with maintenance batching on
+// (quiet_stride pinned to 1 inside run_chaos, so the drawn fault schedule
+// and the failure-detection cadence are identical to the plain matrix —
+// what changes is that maintenance traffic rides Batch envelopes, which the
+// fault plane drops/duplicates whole). Existing cells above are untouched.
+class BatchedChaosMatrix
+    : public testing::TestWithParam<std::tuple<MatchmakerKind, int>> {};
+
+TEST_P(BatchedChaosMatrix, InvariantsHoldWithBatchedMaintenance) {
+  sim::ChaosConfig cfg;
+  cfg.kind = std::get<0>(GetParam());
+  cfg.seed = static_cast<std::uint64_t>(std::get<1>(GetParam()));
+  cfg.batching = true;
+  const sim::ChaosReport report = sim::run_chaos(cfg);
+  EXPECT_TRUE(report.ok) << report.summary();
+  for (const std::string& v : report.violations) {
+    ADD_FAILURE() << "invariant violated: " << v
+                  << "\n  replay: " << report.replay_command;
+  }
+  EXPECT_EQ(report.stats.completed, cfg.jobs);
+  EXPECT_EQ(report.stats.abandoned, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, BatchedChaosMatrix,
+    testing::Combine(testing::Values(MatchmakerKind::kRnTree,
+                                     MatchmakerKind::kCanBasic,
+                                     MatchmakerKind::kCanPush),
+                     testing::Range(1, 5)),
+    [](const testing::TestParamInfo<BatchedChaosMatrix::ParamType>& info) {
+      std::string name = grid::matchmaker_name(std::get<0>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Chaos, BatchingFlagAppearsInReplayCommand) {
+  sim::ChaosConfig cfg;
+  cfg.batching = true;
+  EXPECT_NE(cfg.replay_command().find("--batching"), std::string::npos);
+  sim::ChaosConfig legacy;
+  EXPECT_EQ(legacy.replay_command().find("--batching"), std::string::npos);
+}
+
 TEST(Chaos, ExtendedClassesAreDeterministic) {
   sim::ChaosConfig cfg;
   cfg.kind = MatchmakerKind::kCanBasic;

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/runner.h"
@@ -50,6 +51,30 @@ TEST(Runner, MoreThreadsThanCellsIsFine) {
     total.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(total.load(), 3);
+}
+
+TEST(Runner, WorkerExceptionRethrownAfterJoin) {
+  // A throwing cell on a worker thread used to hit std::terminate; now the
+  // first exception is rethrown on the calling thread after the pool joins.
+  std::atomic<int> ran{0};
+  try {
+    parallel_for_cells(64, 4, [&](std::size_t i) {
+      if (i == 5) throw std::runtime_error("cell 5 failed");
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected the cell exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cell 5 failed");
+  }
+  // The failure stops new cells from starting, so the sweep drains early.
+  EXPECT_LT(ran.load(), 64);
+}
+
+TEST(Runner, SerialPathPropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for_cells(3, 1,
+                         [](std::size_t) { throw std::logic_error("boom"); }),
+      std::logic_error);
 }
 
 TEST(Runner, HardwareConcurrencyDefault) {

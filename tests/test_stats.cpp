@@ -154,6 +154,19 @@ TEST(Histogram, BucketsAndEdges) {
   EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
 }
 
+TEST(Histogram, NanCountsAsOverflowNotUndefinedBehavior) {
+  // NaN fails both range guards; it must never reach the float->size_t
+  // bucket cast. It lands in the overflow tail so totals still reconcile.
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::nan(""));
+  h.add(-std::nan(""));
+  h.add(5.0);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
 TEST(Histogram, AsciiRendersOneLinePerBucket) {
   Histogram h(0.0, 4.0, 4);
   h.add(1.0);
