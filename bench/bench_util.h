@@ -30,7 +30,9 @@ namespace pgrid::bench {
 ///     anti_entropy_repairs, recovery_latency_p50/p99)
 ///  4: adds maintenance-batching fields (batching flag, batches_sent,
 ///     batch_parts_sent, batches_delivered, batch_parts_delivered)
-inline constexpr int kBenchJsonSchemaVersion = 4;
+///  5: adds sharded-execution fields (shards = worker shard count, 0 for the
+///     sequential engine; wall_ms = build+run wall clock in milliseconds)
+inline constexpr int kBenchJsonSchemaVersion = 5;
 
 /// Build flavor baked into every JSON row so downstream tooling (and
 /// reviewers of results/*.txt) can reject numbers recorded from an
@@ -160,6 +162,11 @@ struct CellResult {
   std::uint64_t batch_parts_sent = 0;
   std::uint64_t batches_delivered = 0;
   std::uint64_t batch_parts_delivered = 0;
+  // Sharded execution (DESIGN.md §17): shard count the cell ran with (0 =
+  // sequential engine) and total wall clock, the quantity the sharded
+  // speedup series compares.
+  std::uint64_t shards = 0;
+  double wall_ms = 0.0;
   // Profiling (wall clock of the simulator itself, not sim time).
   double build_wall_sec = 0.0;
   double run_wall_sec = 0.0;
@@ -230,10 +237,14 @@ inline CellResult summarize(const grid::GridSystem& system) {
   r.batch_parts_delivered = system.net_stats().batch_parts_delivered;
   r.build_wall_sec = system.profile().phase_sec("build");
   r.run_wall_sec = system.profile().phase_sec("run");
+  r.shards = system.config().shards;
+  r.wall_ms = (r.build_wall_sec + r.run_wall_sec) * 1000.0;
   r.sim_events = system.profile().events();
   r.events_per_wall_sec = system.profile().events_per_sec();
-  r.sim_queue_peak = system.simulator().queue_high_water();
-  r.sim_tombstone_peak = system.simulator().tombstone_high_water();
+  // Engine-agnostic peaks: the sharded engine's Simulators are per-shard, so
+  // system.simulator() would read an empty queue there.
+  r.sim_queue_peak = system.sim_queue_peak();
+  r.sim_tombstone_peak = system.sim_tombstone_peak();
   r.resubmissions = c.total_resubmissions();
   r.requeues = c.total_requeues();
   const auto node_stats = system.aggregate_node_stats();
@@ -279,6 +290,8 @@ inline CellResult average(const std::vector<CellResult>& cells) {
     avg.anti_entropy_repairs += c.anti_entropy_repairs;
     avg.recovery_latency_p50 += c.recovery_latency_p50;
     avg.recovery_latency_p99 += c.recovery_latency_p99;
+    avg.shards = std::max(avg.shards, c.shards);
+    avg.wall_ms += c.wall_ms;
     avg.build_wall_sec += c.build_wall_sec;
     avg.run_wall_sec += c.run_wall_sec;
     avg.sim_events += c.sim_events;
@@ -307,6 +320,7 @@ inline CellResult average(const std::vector<CellResult>& cells) {
   avg.batch_parts_sent /= cells.size();
   avg.batches_delivered /= cells.size();
   avg.batch_parts_delivered /= cells.size();
+  avg.wall_ms /= n;
   avg.build_wall_sec /= n;
   avg.run_wall_sec /= n;
   avg.sim_events /= cells.size();
@@ -387,6 +401,7 @@ class BenchJson {
         ",\"resubmissions\":%" PRIu64 ",\"requeues\":%" PRIu64
         ",\"batches_sent\":%" PRIu64 ",\"batch_parts_sent\":%" PRIu64
         ",\"batches_delivered\":%" PRIu64 ",\"batch_parts_delivered\":%" PRIu64
+        ",\"shards\":%" PRIu64 ",\"wall_ms\":%.3f"
         ",\"build_wall_sec\":%.6f,\"run_wall_sec\":%.6f,"
         "\"sim_events\":%" PRIu64 ",\"events_per_wall_sec\":%.1f,"
         "\"sim_queue_peak\":%" PRIu64 ",\"sim_tombstone_peak\":%" PRIu64
@@ -400,8 +415,8 @@ class BenchJson {
         r.jobs_per_node_cv, r.completed_fraction, r.makespan_sec, r.messages,
         r.messages_delivered, r.bytes_sent, r.bytes_delivered,
         r.resubmissions, r.requeues, r.batches_sent, r.batch_parts_sent,
-        r.batches_delivered, r.batch_parts_delivered, r.build_wall_sec,
-        r.run_wall_sec,
+        r.batches_delivered, r.batch_parts_delivered, r.shards, r.wall_ms,
+        r.build_wall_sec, r.run_wall_sec,
         r.sim_events, r.events_per_wall_sec,
         static_cast<std::uint64_t>(r.sim_queue_peak),
         static_cast<std::uint64_t>(r.sim_tombstone_peak),

@@ -9,8 +9,16 @@
 //   - Ring / space construction cost (instant wiring, per node).
 // Counters report simulated hops and simulated latency; wall time measures
 // simulator throughput.
+//
+// Accepts --threads=N for CLI uniformity with the experiment benches;
+// google-benchmark times each case in isolation, so the flag is stripped
+// before Initialize (which would otherwise reject it) and the cases run
+// serially.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
 
 #include <cmath>
 
@@ -219,4 +227,18 @@ BENCHMARK(BM_SimulatorThroughput);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads", 9) == 0) continue;
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

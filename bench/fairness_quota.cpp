@@ -12,7 +12,11 @@
 //    wait-time damage a fraction of runaway jobs inflicts on honest jobs,
 //    with and without the runaway kill factor.
 //
-//   fairness_quota [--nodes=100] [--jobs=1200] ...
+//   fairness_quota [--nodes=100] [--jobs=1200] [--threads=N] ...
+//
+// The two cells of each table are independent fixed-seed runs, so they go
+// through parallel_for_cells like every other bench; --threads=N caps the
+// workers (0 = hardware concurrency). Output order is fixed regardless.
 
 #include <cstdio>
 
@@ -78,17 +82,25 @@ int main(int argc, char** argv) {
   print_header("Fairness: per-client mean slowdown ((wait+run)/run)");
   std::printf("%-12s %14s %14s %14s\n", "queue", "bulk client",
               "small client", "small/bulk");
-  for (QueuePolicy policy : {QueuePolicy::kFifo, QueuePolicy::kFairShare}) {
+  const QueuePolicy policies[] = {QueuePolicy::kFifo, QueuePolicy::kFairShare};
+  struct FairnessRow {
+    double bulk = 0.0;
+    double small = 0.0;
+  };
+  FairnessRow fairness[2];
+  sim::parallel_for_cells(2, scale.threads, [&](std::size_t i) {
     grid::GridConfig gc =
         make_grid_config(MatchmakerKind::kCentralized, scale.seed);
-    gc.node.queue_policy = policy;
+    gc.node.queue_policy = policies[i];
     grid::GridSystem system(gc, fairness_workload);
     system.run();
-    const double bulk = client_slowdown(system, 0);
-    const double small = client_slowdown(system, 1);
+    fairness[i] = {client_slowdown(system, 0), client_slowdown(system, 1)};
+  });
+  for (std::size_t i = 0; i < 2; ++i) {
     std::printf("%-12s %14.2f %14.2f %14.2f\n",
-                policy == QueuePolicy::kFifo ? "fifo" : "fair-share", bulk,
-                small, small / bulk);
+                policies[i] == QueuePolicy::kFifo ? "fifo" : "fair-share",
+                fairness[i].bulk, fairness[i].small,
+                fairness[i].small / fairness[i].bulk);
   }
   std::printf("expected: fair-share pulls the small client's slowdown far\n"
               "below the bulk client's, at little cost to the bulk sweep.\n");
@@ -118,31 +130,45 @@ int main(int argc, char** argv) {
   print_header("Quotas: 5% runaway jobs (25x declared runtime)");
   std::printf("%-22s %12s %12s %12s %12s\n", "policy", "honest-wait",
               "honest-done", "killed", "busy-cv");
-  for (double kill_factor : {0.0, 3.0}) {
+  const double kill_factors[] = {0.0, 3.0};
+  struct QuotaRow {
+    double wait = 0.0;
+    std::size_t done = 0;
+    std::size_t honest = 0;
+    std::uint64_t killed = 0;
+    double busy_cv = 0.0;
+  };
+  QuotaRow quota[2];
+  sim::parallel_for_cells(2, scale.threads, [&](std::size_t i) {
     grid::GridConfig gc =
         make_grid_config(MatchmakerKind::kCentralized, scale.seed);
-    gc.node.runaway_kill_factor = kill_factor;
+    gc.node.runaway_kill_factor = kill_factors[i];
     const workload::Workload w = quota_workload(0.05);
     grid::GridSystem system(gc, w);
     system.run();
     // Honest jobs only.
-    double wait = 0.0;
-    std::size_t done = 0, honest = 0;
+    QuotaRow& row = quota[i];
     for (std::size_t j = 0; j < w.jobs.size(); ++j) {
       if (w.jobs[j].declared_runtime_sec > 0.0) continue;  // runaway
-      ++honest;
+      ++row.honest;
       const auto& o = system.collector().job(j);
       if (o.completed()) {
-        ++done;
-        wait += o.wait_sec();
+        ++row.done;
+        row.wait += o.wait_sec();
       }
     }
+    row.killed = system.aggregate_node_stats().jobs_killed_quota;
+    row.busy_cv = system.collector().busy_per_node().cv();
+  });
+  for (std::size_t i = 0; i < 2; ++i) {
     std::printf("%-22s %12.1f %11zu/%zu %12llu %12.2f\n",
-                kill_factor > 0.0 ? "kill at 3x declared" : "no quota",
-                done ? wait / static_cast<double>(done) : 0.0, done, honest,
-                static_cast<unsigned long long>(
-                    system.aggregate_node_stats().jobs_killed_quota),
-                system.collector().busy_per_node().cv());
+                kill_factors[i] > 0.0 ? "kill at 3x declared" : "no quota",
+                quota[i].done
+                    ? quota[i].wait / static_cast<double>(quota[i].done)
+                    : 0.0,
+                quota[i].done, quota[i].honest,
+                static_cast<unsigned long long>(quota[i].killed),
+                quota[i].busy_cv);
   }
   std::printf("expected: without quotas, runaways occupy nodes 25x longer\n"
               "and honest waits balloon; the kill factor caps the damage.\n");

@@ -12,9 +12,18 @@
 // rows the unbatched protocols cannot reach in reasonable wall time, plus an
 // A/B traffic ratio at the sizes both series cover. --mega-can=1 additionally
 // runs a gated 100k-node CAN bootstrap + short steady-state smoke.
+//
+// Sharded engine (DESIGN.md §17): --shards=N re-runs the batched large-N
+// series on N worker shards and reports wall_ms per row. --shards-ab=N runs
+// the determinism + speedup gate on one cell (--ab-nodes=1024): shards=1 and
+// shards=N must produce bit-identical aggregates, the sequential engine must
+// agree on completion, and N shards must be >= 2x faster than one when the
+// host has at least N cores (the speedup check is skipped, not failed, on
+// smaller machines).
 
 #include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "can/space.h"
@@ -166,6 +175,136 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // --- sharded engine series (--shards=N, DESIGN.md §17) --------------------
+  // The batched large-N cells again, on N worker shards. Cells run one at a
+  // time — each already spawns its own shard workers, so sweeping them in
+  // parallel on top would oversubscribe the host.
+  const auto shard_count =
+      static_cast<std::size_t>(config.get_int("shards", 0));
+  if (shard_count > 0) {
+    print_header("Sharded engine (batched maintenance, " +
+                 std::to_string(shard_count) + " shards)");
+    std::printf("%-8s %-13s %12s %12s %10s %10s\n", "nodes", "matchmaker",
+                "wall-ms", "events", "ev/s-k", "completed");
+    for (std::size_t n : {std::size_t{1024}, std::size_t{2048},
+                          std::size_t{4096}, std::size_t{10240}}) {
+      if (n > max_batched) continue;
+      for (MatchmakerKind kind :
+           {MatchmakerKind::kRnTree, MatchmakerKind::kCanBasic}) {
+        Scale scale = base;
+        scale.nodes = n;
+        scale.jobs = n * 5;
+        scale.mean_interarrival_sec =
+            scale.mean_runtime_sec / (0.8 * static_cast<double>(n));
+        const auto spec =
+            make_spec(scale, Mix::kMixed, Mix::kMixed, 0.4,
+                      derive_seed(base.seed, SeedStream::kWorkload, n));
+        grid::GridConfig gc = make_grid_config(
+            kind, derive_seed(base.seed, SeedStream::kSystem));
+        gc.batching.enabled = true;
+        gc.shards = shard_count;
+        grid::GridSystem system(gc, workload::generate(spec));
+        system.run();
+        const CellResult r = summarize(system);
+        std::printf("%-8zu %-13s %12.0f %12" PRIu64 " %10.0f %9.1f%%\n", n,
+                    grid::matchmaker_name(kind), r.wall_ms, r.sim_events,
+                    r.events_per_wall_sec / 1000.0,
+                    100.0 * r.completed_fraction);
+        json.row(std::to_string(n) + "/" + grid::matchmaker_name(kind) +
+                     "/sh" + std::to_string(shard_count),
+                 r);
+      }
+    }
+  }
+
+  // --- sharded-vs-sequential A/B gate (--shards-ab=N) -----------------------
+  const auto ab_shards =
+      static_cast<std::size_t>(config.get_int("shards-ab", 0));
+  if (ab_shards > 0) {
+    const auto ab_nodes =
+        static_cast<std::size_t>(config.get_int("ab-nodes", 1024));
+    print_header("Sharded A/B gate (" + std::to_string(ab_nodes) +
+                 " nodes, shards 1 vs " + std::to_string(ab_shards) + ")");
+    Scale scale = base;
+    scale.nodes = ab_nodes;
+    scale.jobs = ab_nodes * 5;
+    scale.mean_interarrival_sec =
+        scale.mean_runtime_sec / (0.8 * static_cast<double>(ab_nodes));
+    const auto spec =
+        make_spec(scale, Mix::kMixed, Mix::kMixed, 0.4,
+                  derive_seed(base.seed, SeedStream::kWorkload, ab_nodes));
+    const workload::Workload w = workload::generate(spec);
+    const auto run_cell = [&](std::size_t shards) {
+      grid::GridConfig gc = make_grid_config(
+          MatchmakerKind::kCanBasic, derive_seed(base.seed,
+                                                 SeedStream::kSystem));
+      gc.batching.enabled = true;
+      gc.shards = shards;
+      grid::GridSystem system(gc, w);
+      system.run();
+      return summarize(system);
+    };
+    const CellResult seq = run_cell(0);
+    const CellResult sh1 = run_cell(1);
+    const CellResult shn = run_cell(ab_shards);
+    const std::string shn_name = "shards=" + std::to_string(ab_shards);
+    const auto print_cell = [](const std::string& name, const CellResult& r) {
+      std::printf("%-12s wall %8.0f ms, events %" PRIu64 ", msgs %" PRIu64
+                  ", completed %.1f%%, makespan %.0fs, wait %.2fs\n",
+                  name.c_str(), r.wall_ms, r.sim_events, r.messages,
+                  100.0 * r.completed_fraction, r.makespan_sec, r.wait_avg);
+    };
+    print_cell("sequential", seq);
+    print_cell("shards=1", sh1);
+    print_cell(shn_name, shn);
+    // Exact shard-count independence: every aggregate bit-identical between
+    // shards=1 and shards=N (same keyed trajectory, merged the same way).
+    const bool identical =
+        sh1.sim_events == shn.sim_events && sh1.messages == shn.messages &&
+        sh1.messages_delivered == shn.messages_delivered &&
+        sh1.bytes_sent == shn.bytes_sent &&
+        sh1.bytes_delivered == shn.bytes_delivered &&
+        sh1.completed_fraction == shn.completed_fraction &&
+        sh1.makespan_sec == shn.makespan_sec &&
+        sh1.wait_avg == shn.wait_avg && sh1.wait_stdev == shn.wait_stdev &&
+        sh1.match_hops_avg == shn.match_hops_avg &&
+        sh1.jobs_per_node_cv == shn.jobs_per_node_cv;
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FAIL: sharded aggregates differ between 1 and %zu "
+                   "shards\n",
+                   ab_shards);
+      gate_failed = true;
+    }
+    // The sequential engine runs a different RNG regime (DESIGN.md §17), so
+    // only semantic invariants are compared: everything completes.
+    if (seq.completed_fraction != shn.completed_fraction) {
+      std::fprintf(stderr,
+                   "FAIL: sequential completed %.4f != sharded %.4f\n",
+                   seq.completed_fraction, shn.completed_fraction);
+      gate_failed = true;
+    }
+    const unsigned cores = std::thread::hardware_concurrency();
+    const double speedup =
+        shn.run_wall_sec > 0.0 ? sh1.run_wall_sec / shn.run_wall_sec : 0.0;
+    if (cores >= ab_shards) {
+      std::printf("speedup: %.2fx at %zu shards (%u cores)\n", speedup,
+                  ab_shards, cores);
+      if (speedup < 2.0) {
+        std::fprintf(stderr, "FAIL: sharded speedup %.2fx < 2x\n", speedup);
+        gate_failed = true;
+      }
+    } else {
+      std::printf("speedup: %.2fx at %zu shards — gate skipped (%u cores "
+                  "< %zu)\n",
+                  speedup, ab_shards, cores, ab_shards);
+    }
+    if (identical) {
+      std::printf("aggregates: bit-identical across shard counts (events, "
+                  "traffic, waits, makespan)\n");
+    }
+  }
+
   // --- overlay construction throughput --------------------------------------
   // Instant-wiring cost alone, past the full-simulation sweep's sizes: the
   // O(N log N) bootstrap is what makes 10k+ node experiments feasible, so

@@ -11,11 +11,23 @@
 //   rpc_echo             — full stack: RpcEndpoint call -> Network send ->
 //                          handler -> reply -> continuation, with the
 //                          timeout cancel on every success.
+//   shard_barrier        — barrier-round cost of the sharded engine
+//                          (DESIGN.md §17): every window fires exactly one
+//                          event per shard, so windows/sec is the pure
+//                          synchronization overhead a sharded run pays per
+//                          lookahead window.
+//   shard_handoff        — cross-shard inbox throughput: a 2-shard ping-pong
+//                          through the production ShardBus path (send ->
+//                          mailbox park -> drain -> keyed delivery), batched
+//                          so the mailbox dominates the barriers.
 //
 // Flags: --events=N (default 2M; fired events per cell), --smoke=1 (50k
 // events, for CI), --json[=path] (one row per cell, BENCH_simcore_micro.json
-// by default), --seed=S.
+// by default), --seed=S, --threads=N (worker-thread count = shard count for
+// the shard_barrier cell; 0 = default 4. The scalar cells are timing-
+// sensitive and always run serially).
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -27,6 +39,8 @@
 #include "net/message.h"
 #include "net/network.h"
 #include "net/rpc.h"
+#include "net/shard_bus.h"
+#include "sim/sharded.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -42,6 +56,10 @@ struct CellResult {
   std::uint64_t tombstone_peak = 0;
   std::uint64_t heap_peak = 0;
   std::uint64_t compactions = 0;
+  // Sharded cells only (0 on the scalar cells).
+  std::uint64_t shards = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t handoffs = 0;
 };
 
 class WallTimer {
@@ -177,7 +195,112 @@ CellResult bench_rpc_echo(std::uint64_t target, std::uint64_t seed) {
   return r;
 }
 
+CellResult bench_shard_barrier(std::size_t shards, std::uint64_t rounds) {
+  CellResult r{.cell = "shard_barrier"};
+  r.shards = shards;
+  const sim::SimTime lookahead = sim::SimTime::millis(1);
+  sim::ShardedEngine engine(shards, lookahead);
+  // One self-rescheduling pump per shard, period == lookahead: every barrier
+  // window executes exactly one event per shard and immediately exposes the
+  // next, so the run is `rounds` back-to-back windows with no idle jumps —
+  // wall time is almost entirely drain + barrier A + barrier B overhead.
+  struct Pump {
+    sim::Simulator& sim;
+    sim::SimTime period;
+    void operator()() const { sim.schedule_in(period, *this); }
+  };
+  for (std::size_t s = 0; s < shards; ++s) {
+    engine.shard(s).schedule_in(lookahead, Pump{engine.shard(s), lookahead});
+  }
+  const WallTimer timer;
+  engine.run_until(sim::SimTime::millis(static_cast<std::int64_t>(rounds)));
+  r.wall_sec = timer.sec();
+  r.events = engine.executed();
+  r.windows = engine.windows();
+  // The headline rate for this cell is windows/sec, not events/sec.
+  r.events_per_sec =
+      r.wall_sec > 0.0 ? static_cast<double>(r.windows) / r.wall_sec : 0.0;
+  r.queue_peak = engine.queue_high_water();
+  r.tombstone_peak = engine.tombstone_high_water();
+  return r;
+}
+
+struct HandoffPeer final : net::MessageHandler {
+  net::Network& net;
+  net::NodeAddr self = 0;
+  net::NodeAddr peer = 0;
+  std::uint64_t batch = 0;
+  std::uint64_t target = 0;
+  std::uint64_t received = 0;
+
+  explicit HandoffPeer(net::Network& network) : net(network) {}
+
+  void send_batch() {
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      net.send(self, peer, std::make_unique<EchoMsg>(received + i));
+    }
+  }
+  void on_message(net::NodeAddr, net::MessagePtr) override {
+    ++received;
+    // Volley back once the whole batch has landed; stop at the target so the
+    // queues drain and the engine's stop rule ends the run.
+    if (received % batch == 0 && received < target) send_batch();
+  }
+};
+
+CellResult bench_shard_handoff(std::uint64_t target) {
+  CellResult r{.cell = "shard_handoff"};
+  r.shards = 2;
+  // Batched 2-shard ping-pong: every message crosses the shard boundary, and
+  // 64 messages ride each window so mailbox park/drain/keyed-delivery — not
+  // the barrier — dominates. handoffs/sec is the headline rate.
+  constexpr std::uint64_t kBatch = 64;
+  const sim::SimTime lookahead = sim::SimTime::millis(1);
+  sim::ShardedEngine engine(2, lookahead);
+  net::ShardBus bus(2, /*seed=*/42);
+  const net::LatencyModel latency{sim::SimTime::millis(1),
+                                  sim::SimTime::millis(2)};
+  net::Network net0(engine.shard(0), Rng{1}, latency);
+  net::Network net1(engine.shard(1), Rng{2}, latency);
+  bus.attach(0, net0);
+  bus.attach(1, net1);
+  HandoffPeer a(net0);
+  HandoffPeer b(net1);
+  a.self = bus.register_handler(&a, 0);
+  b.self = bus.register_handler(&b, 1);
+  a.peer = b.self;
+  b.peer = a.self;
+  a.batch = b.batch = kBatch;
+  a.target = b.target = target / 2;
+  bus.freeze();
+  engine.set_drain([&bus](std::size_t s) {
+    bus.drain_into(static_cast<std::uint32_t>(s));
+  });
+  engine.shard(0).schedule_in(lookahead, [&a] { a.send_batch(); });
+
+  const WallTimer timer;
+  engine.run_until(sim::SimTime::max());
+  r.wall_sec = timer.sec();
+  r.events = engine.executed();
+  r.windows = engine.windows();
+  r.handoffs = bus.handoffs();
+  r.events_per_sec =
+      r.wall_sec > 0.0 ? static_cast<double>(r.handoffs) / r.wall_sec : 0.0;
+  r.queue_peak = engine.queue_high_water();
+  r.tombstone_peak = engine.tombstone_high_water();
+  return r;
+}
+
 void print_cell(const CellResult& r) {
+  if (r.shards > 0) {
+    std::printf("%-22s %10" PRIu64 " events in %6.3fs  %8.0fk %s/s  shards %"
+                PRIu64 "  windows %" PRIu64 "  handoffs %" PRIu64 "\n",
+                r.cell.c_str(), r.events, r.wall_sec,
+                r.events_per_sec / 1000.0,
+                r.handoffs > 0 ? "handoffs" : "windows", r.shards, r.windows,
+                r.handoffs);
+    return;
+  }
   std::printf(
       "%-22s %10" PRIu64 " events in %6.3fs  %8.0fk ev/s  queue peak %" PRIu64
       "  tombstone peak %" PRIu64 "  heap peak %" PRIu64 "  compactions %" PRIu64
@@ -191,9 +314,11 @@ void json_row(std::FILE* f, const CellResult& r) {
                "{\"bench\":\"simcore_micro\",\"cell\":\"%s\",\"events\":%" PRIu64
                ",\"wall_sec\":%.6f,\"events_per_sec\":%.1f,\"queue_peak\":%" PRIu64
                ",\"tombstone_peak\":%" PRIu64 ",\"heap_peak\":%" PRIu64
-               ",\"compactions\":%" PRIu64 "}\n",
+               ",\"compactions\":%" PRIu64 ",\"shards\":%" PRIu64
+               ",\"windows\":%" PRIu64 ",\"handoffs\":%" PRIu64 "}\n",
                r.cell.c_str(), r.events, r.wall_sec, r.events_per_sec,
-               r.queue_peak, r.tombstone_peak, r.heap_peak, r.compactions);
+               r.queue_peak, r.tombstone_peak, r.heap_peak, r.compactions,
+               r.shards, r.windows, r.handoffs);
 }
 
 }  // namespace
@@ -205,6 +330,13 @@ int main(int argc, char** argv) {
   const auto target = static_cast<std::uint64_t>(
       config.get_int("events", smoke ? 50'000 : 2'000'000));
   const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 1));
+  const auto threads =
+      static_cast<std::size_t>(config.get_int("threads", 0));
+  const std::size_t barrier_shards = threads > 0 ? threads : 4;
+  // Barrier rounds are far slower than heap events (two std::barrier waits
+  // each); cap them so the default run stays in the seconds range.
+  const std::uint64_t rounds =
+      std::min<std::uint64_t>(target / barrier_shards, 100'000);
 
   std::printf("simcore_micro: %" PRIu64 " events per cell%s\n", target,
               smoke ? " (smoke)" : "");
@@ -213,6 +345,8 @@ int main(int argc, char** argv) {
       bench_schedule_fire(target),
       bench_schedule_cancel_fire(target),
       bench_rpc_echo(smoke ? target / 10 : target / 4, seed),
+      bench_shard_barrier(barrier_shards, rounds),
+      bench_shard_handoff(smoke ? target / 10 : target / 4),
   };
   for (const CellResult& r : cells) print_cell(r);
 

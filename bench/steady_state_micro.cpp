@@ -25,7 +25,10 @@
 // network: the obs-on leg of CI's A/B against the default obs-off run),
 // --detector=1 (append a heartbeat_storm_phi cell that runs a φ-accrual
 // detector per sender on the fan-in path — the A/B that bounds the
-// detector's bookkeeping cost; default output is unchanged).
+// detector's bookkeeping cost; default output is unchanged),
+// --threads=N (accepted for CLI uniformity with the experiment benches;
+// these cells time a single hot loop each and co-scheduling them would
+// contaminate the wall clocks, so they always run serially).
 
 #include <chrono>
 #include <cinttypes>
@@ -340,6 +343,9 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 1));
   const bool obs = config.get_bool("obs", false);
   const bool detector = config.get_bool("detector", false);
+  // Accepted so every bench takes --threads; timing cells stay serial (see
+  // the header comment).
+  (void)config.get_int("threads", 0);
 
   std::printf("steady_state_micro [%s%s]: %" PRIu64 " messages per cell%s\n",
               kBuildType, obs ? ", obs-on" : "", target,

@@ -18,14 +18,24 @@
 // --batching runs with maintenance batching on (quiet_stride pinned to 1 so
 // the fault schedule and detection cadence are unchanged; see DESIGN.md §16).
 //
+// --matrix ignores the single-schedule flags and runs the standard 24-cell
+// matrix (rn-tree/can/can-push x seeds 1..8) through parallel_for_cells;
+// --extended appends the 12-cell self-healing matrix (x seeds 1..4, with
+// correlated bursts and flapping). --threads=N sets the worker count
+// (0 = hardware concurrency). Per-cell verdict lines print in cell order and
+// are byte-identical for every thread count, so CI can diff a --threads=1
+// pass against a parallel one.
+//
 // Exits 0 when every invariant holds; on violation prints the violations,
 // writes chaos_<kind>_<seed>.jsonl if tracing, and exits 1.
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "sim/chaos.h"
+#include "sim/runner.h"
 
 using namespace pgrid;
 
@@ -42,11 +52,63 @@ int main(int argc, char** argv) {
       config.set("self-healing", "1");
     } else if (token == "--batching") {
       config.set("batching", "1");
+    } else if (token == "--matrix") {
+      config.set("matrix", "1");
+    } else if (token == "--extended") {
+      config.set("extended", "1");
     } else {
       std::fprintf(stderr, "chaos_replay: unrecognized argument %s\n",
                    token.c_str());
       return 2;
     }
+  }
+
+  if (config.get_bool("matrix", false)) {
+    struct Cell {
+      grid::MatchmakerKind kind;
+      std::uint64_t seed;
+      bool ext;
+    };
+    std::vector<Cell> cells;
+    for (const grid::MatchmakerKind k :
+         {grid::MatchmakerKind::kRnTree, grid::MatchmakerKind::kCanBasic,
+          grid::MatchmakerKind::kCanPush}) {
+      for (std::uint64_t s = 1; s <= 8; ++s) cells.push_back({k, s, false});
+    }
+    if (config.get_bool("extended", false)) {
+      for (const grid::MatchmakerKind k :
+           {grid::MatchmakerKind::kRnTree, grid::MatchmakerKind::kCanBasic,
+            grid::MatchmakerKind::kCanPush}) {
+        for (std::uint64_t s = 1; s <= 4; ++s) cells.push_back({k, s, true});
+      }
+    }
+    std::vector<sim::ChaosReport> reports(cells.size());
+    sim::parallel_for_cells(
+        cells.size(),
+        static_cast<std::size_t>(config.get_int("threads", 0)),
+        [&](std::size_t i) {
+          sim::ChaosConfig cell;
+          cell.kind = cells[i].kind;
+          cell.seed = cells[i].seed;
+          if (cells[i].ext) {
+            cell.enable_correlated = true;
+            cell.enable_flapping = true;
+            cell.self_healing = true;
+          }
+          reports[i] = sim::run_chaos(cell);
+        });
+    bool all_ok = true;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%s\n", reports[i].summary().c_str());
+      if (!reports[i].ok) {
+        all_ok = false;
+        for (const std::string& v : reports[i].violations) {
+          std::printf("  VIOLATION: %s\n", v.c_str());
+        }
+        std::printf("  replay: %s\n", reports[i].replay_command.c_str());
+      }
+    }
+    return all_ok ? 0 : 1;
   }
 
   sim::ChaosConfig cfg;

@@ -3,7 +3,7 @@
 // a feel for the trade-offs before running the full benches.
 //
 //   ./compare_matchmakers [--nodes=150] [--jobs=900] [--constraint=0.4]
-//                         [--clustered=0]
+//                         [--clustered=0] [--threads=N]
 
 #include <cstdio>
 #include <vector>
@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
     std::size_t completed;
   };
   const auto rows = sim::run_sweep<Row>(
-      kinds.size(), 0, [&](std::size_t i) {
+      kinds.size(), static_cast<std::size_t>(config.get_int("threads", 0)),
+      [&](std::size_t i) {
         grid::GridConfig gc;
         gc.kind = kinds[i];
         gc.seed = spec.seed + 100;

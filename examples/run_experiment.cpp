@@ -126,6 +126,10 @@ int main(int argc, char** argv) {
     gc.node.queue_policy = grid::QueuePolicy::kFairShare;
   }
   gc.node.runaway_kill_factor = config.get_double("kill-factor", 0.0);
+  // --shards=N runs the conservative-lookahead sharded engine (DESIGN.md
+  // §17). Overlay matchmakers only; incompatible with churn/trace/timeseries
+  // (build_sharded rejects those combinations).
+  gc.shards = static_cast<std::size_t>(config.get_int("shards", 0));
 
   // --- failure detection / anti-entropy ------------------------------------
   gc.node.heartbeat_period = sim::SimTime::seconds(

@@ -844,7 +844,8 @@ void GridNode::maybe_start_next() {
   // (this function is reached from timers as often as from handlers).
   obs::SpanScope start_scope(net_.trace(), job.ctx);
 #endif
-  collector_->on_started(job.profile.seq, net_.simulator().now());
+  collector_->on_started(job.profile.seq, net_.simulator().now(),
+                         static_cast<std::uint32_t>(addr()));
   PGRID_TRACE_EVENT(net_.trace(), obs::EventKind::kJobStart, addr(),
                     static_cast<std::uint32_t>(job.owner.addr), 0,
                     job.profile.seq, queue_length());

@@ -7,6 +7,7 @@
 #include "chord/ring.h"
 #include "common/logging.h"
 #include "net/message_pool.h"
+#include "sim/shard_plan.h"
 
 namespace pgrid::grid {
 
@@ -24,8 +25,10 @@ void apply_light_maintenance(GridNodeConfig* config) {
 GridSystem::GridSystem(GridConfig config, workload::Workload workload)
     : config_(config),
       workload_(std::move(workload)),
+      // Sharded runs force batch collectors: lifecycle events for one job
+      // land on several shards, and only batch records merge exactly.
       collector_(workload_.jobs.size(), workload_.spec.node_count,
-                 config.obs.streaming_metrics),
+                 config.obs.streaming_metrics && config.shards == 0),
       rng_(mix64(config.seed) ^ 0xA5A5A5A5A5A5A5A5ULL) {
   PGRID_EXPECTS(workload_.node_caps.size() == workload_.spec.node_count);
 }
@@ -44,14 +47,6 @@ void GridSystem::build() {
   Logger::set_time_source([this] { return sim_.now().sec(); });
   owns_log_clock_ = true;
 
-  net_ = std::make_unique<net::Network>(sim_, rng_.fork(1), config_.latency,
-                                        config_.loss_probability);
-  if (config_.obs.trace) {
-    trace_ = std::make_unique<obs::TraceBus>(sim_, config_.obs.trace_capacity);
-    trace_->set_trace_sampling(config_.obs.trace_sample_every);
-    net_->set_trace(trace_.get());
-  }
-
   GridNodeConfig node_config = config_.node;
   node_config.kind = config_.kind;
   if (config_.light_maintenance) apply_light_maintenance(&node_config);
@@ -69,6 +64,19 @@ void GridSystem::build() {
     node_config.liveness_oracle = [this](net::NodeAddr a) {
       return a < down_since_.size() ? down_since_[a] : -1.0;
     };
+  }
+
+  if (config_.shards > 0) {
+    build_sharded(node_config);
+    return;
+  }
+
+  net_ = std::make_unique<net::Network>(sim_, rng_.fork(1), config_.latency,
+                                        config_.loss_probability);
+  if (config_.obs.trace) {
+    trace_ = std::make_unique<obs::TraceBus>(sim_, config_.obs.trace_capacity);
+    trace_->set_trace_sampling(config_.obs.trace_sample_every);
+    net_->set_trace(trace_.get());
   }
 
   Rng node_rng = rng_.fork(2);
@@ -204,6 +212,120 @@ void GridSystem::build() {
   if (sampler_ != nullptr) sampler_->start();
 }
 
+void GridSystem::build_sharded(const GridNodeConfig& node_config) {
+  // Sharded v1 scope (DESIGN.md §17): steady-state overlay planes only.
+  // Every excluded feature is rejected here rather than silently degraded.
+  PGRID_EXPECTS(uses_chord(config_.kind) || uses_can(config_.kind));
+  PGRID_EXPECTS(!config_.obs.trace);
+  PGRID_EXPECTS(config_.obs.sample_period_sec == 0.0);
+  PGRID_EXPECTS(config_.obs.metrics_csv_path.empty());
+  PGRID_EXPECTS(!config_.manual_submission);
+  // The lookahead window is the minimum link latency; a zero floor would
+  // collapse windows to single events.
+  PGRID_EXPECTS(config_.latency.min > sim::SimTime::zero());
+
+  const std::size_t shards = config_.shards;
+  engine_ = std::make_unique<sim::ShardedEngine>(shards, config_.latency.min);
+  Logger::set_time_source([this] { return engine_->now().sec(); });
+
+  // The bus seed is derived from the config seed without consuming rng_:
+  // rng_'s fork sequence (1=net, 2=nodes, 3=clients) must stay identical to
+  // the sequential build so per-node streams are engine-independent.
+  bus_ = std::make_unique<net::ShardBus>(
+      shards, hash_combine(mix64(config_.seed), 0x5348415244ULL));  // "SHARD"
+  Rng net_rng = rng_.fork(1);
+  shard_nets_.reserve(shards);
+  shard_collectors_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shard_nets_.push_back(std::make_unique<net::Network>(
+        engine_->shard(s), net_rng.fork(s), config_.latency,
+        config_.loss_probability));
+    bus_->attach(static_cast<std::uint32_t>(s), *shard_nets_[s]);
+    shard_collectors_.push_back(std::make_unique<metrics::Collector>(
+        workload_.jobs.size(), workload_.spec.node_count,
+        /*streaming=*/false));
+  }
+
+  // Partition nodes into contiguous Guid-order arcs (the ring order
+  // correlated_victims uses): overlay neighbours share a shard, so most
+  // protocol traffic never crosses the bus. Guids are a pure function of
+  // (seed, index) — the plan is identical for every run of this config.
+  const std::size_t n = workload_.spec.node_count;
+  std::vector<Guid> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(Guid::of(hash_combine(mix64(config_.seed), mix64(i))));
+  }
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&ids](std::size_t a, std::size_t b) { return ids[a] < ids[b]; });
+  const sim::ShardPlan plan =
+      sim::plan_shards(order, static_cast<std::uint32_t>(shards));
+
+  // Node construction mirrors the sequential loop exactly — same node_rng
+  // draw order, same addr == index invariant (registration goes through the
+  // bus's global directory regardless of which shard's Network is used).
+  Rng node_rng = rng_.fork(2);
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<GridNode>(
+        *shard_nets_[plan.shard_of[i]], static_cast<std::uint32_t>(i), ids[i],
+        workload_.node_caps[i], node_rng.uniform(), node_config, &central_,
+        shard_collectors_[plan.shard_of[i]].get(), node_rng.fork(i)));
+    PGRID_ASSERT(nodes_.back()->addr() == i);
+    central_.register_node(nodes_.back().get());
+  }
+
+  if (uses_chord(config_.kind)) {
+    std::vector<chord::ChordNode*> ring;
+    ring.reserve(nodes_.size());
+    for (auto& node : nodes_) ring.push_back(node->chord());
+    chord::wire_ring_instantly(ring);
+  } else {
+    std::vector<can::CanNode*> space;
+    space.reserve(nodes_.size());
+    for (auto& node : nodes_) space.push_back(node->can());
+    can::wire_space_instantly(space, kCanDims);
+  }
+  for (auto& node : nodes_) node->start();
+
+  std::vector<net::NodeAddr> pool;
+  pool.reserve(nodes_.size());
+  for (auto& node : nodes_) pool.push_back(node->addr());
+
+  // Clients round-robin across shards; their rng streams and addresses are
+  // shard-count-independent (fork(c) and sequential bus registration).
+  Rng client_rng = rng_.fork(3);
+  clients_.reserve(workload_.spec.client_count);
+  for (std::size_t c = 0; c < workload_.spec.client_count; ++c) {
+    const std::size_t s = c % shards;
+    clients_.push_back(std::make_unique<Client>(
+        *shard_nets_[s], config_.client, shard_collectors_[s].get(),
+        client_rng.fork(c)));
+    clients_.back()->set_injection_pool(pool);
+    clients_.back()->on_terminal = [this] {
+      terminal_jobs_.fetch_add(1, std::memory_order_relaxed);
+    };
+  }
+  for (std::size_t j = 0; j < workload_.jobs.size(); ++j) {
+    const workload::JobSpec& job = workload_.jobs[j];
+    clients_[job.client % clients_.size()]->schedule_job(
+        j, job.arrival_sec, job.constraints, job.runtime_sec,
+        job.declared_runtime_sec, job.output_kb);
+    last_arrival_sec_ = std::max(last_arrival_sec_, job.arrival_sec);
+  }
+
+  bus_->freeze();
+  engine_->set_drain([bus = bus_.get()](std::size_t s) {
+    bus->drain_into(static_cast<std::uint32_t>(s));
+  });
+  engine_->set_thread_init([this](std::size_t s) {
+    sim::Simulator* clock = &engine_->shard(s);
+    Logger::set_time_source([clock] { return clock->now().sec(); });
+  });
+}
+
 void GridSystem::register_builtin_metrics() {
   // Message-pool recycling effectiveness (thread-local: valid because each
   // system runs confined to one sweep thread).
@@ -281,6 +403,9 @@ void GridSystem::register_builtin_metrics() {
 }
 
 void GridSystem::submit_job(std::uint64_t seq, double delay_sec) {
+  // Manual submission is outside sharded v1 (build_sharded rejects the
+  // config); reaching here sharded means a driver bug.
+  PGRID_EXPECTS(!sharded_mode());
   build();
   PGRID_EXPECTS(seq < workload_.jobs.size());
   const workload::JobSpec& job = workload_.jobs[seq];
@@ -291,20 +416,33 @@ void GridSystem::submit_job(std::uint64_t seq, double delay_sec) {
       job.output_kb);
 }
 
+void GridSystem::merge_shard_metrics() {
+  if (engine_ == nullptr) return;
+  std::vector<const metrics::Collector*> parts;
+  parts.reserve(shard_collectors_.size());
+  for (const auto& c : shard_collectors_) parts.push_back(c.get());
+  collector_.merge_from_shards(parts);
+}
+
 void GridSystem::run() {
   build();
   obs::RunProfile::Timer run_timer(profile_, "run");
-  const std::uint64_t events_before = sim_.executed();
+  const std::uint64_t events_before = sim_events();
   // The horizon trails the latest release time: DAG-style submissions can
   // extend the schedule long past the workload's nominal last arrival.
   while (!finished()) {
     const double horizon = std::max(last_arrival_sec_, latest_release_sec_) +
                            config_.horizon_slack_sec;
-    if (sim_.now().sec() >= horizon) break;
-    sim_.run_until(sim_.now() + sim::SimTime::seconds(60.0));
+    if (now_sec() >= horizon) break;
+    if (engine_ != nullptr) {
+      engine_->run_until(engine_->now() + sim::SimTime::seconds(60.0));
+    } else {
+      sim_.run_until(sim_.now() + sim::SimTime::seconds(60.0));
+    }
   }
-  profile_.add_events(sim_.executed() - events_before);
-  profile_.note_queue_peaks(sim_.queue_high_water(), sim_.tombstone_high_water());
+  merge_shard_metrics();
+  profile_.add_events(sim_events() - events_before);
+  profile_.note_queue_peaks(sim_queue_peak(), sim_tombstone_peak());
   // End-of-run footprint lands in the profile summary only when metrics are
   // on, keeping obs-off stdout untouched.
   if (registry_ != nullptr) profile_.note_memory(memory_breakdown());
@@ -313,10 +451,46 @@ void GridSystem::run() {
 void GridSystem::run_for(double sec) {
   build();
   obs::RunProfile::Timer run_timer(profile_, "run");
-  const std::uint64_t events_before = sim_.executed();
-  sim_.run_until(sim_.now() + sim::SimTime::seconds(sec));
-  profile_.add_events(sim_.executed() - events_before);
-  profile_.note_queue_peaks(sim_.queue_high_water(), sim_.tombstone_high_water());
+  const std::uint64_t events_before = sim_events();
+  if (engine_ != nullptr) {
+    engine_->run_until(engine_->now() + sim::SimTime::seconds(sec));
+  } else {
+    sim_.run_until(sim_.now() + sim::SimTime::seconds(sec));
+  }
+  merge_shard_metrics();
+  profile_.add_events(sim_events() - events_before);
+  profile_.note_queue_peaks(sim_queue_peak(), sim_tombstone_peak());
+}
+
+const net::NetworkStats& GridSystem::net_stats() const {
+  if (net_ != nullptr) return net_->stats();
+  // Sharded: sum the per-shard Networks field-wise on demand. Every counter
+  // increments on exactly one shard (the sender's for send-side counters,
+  // the destination's for delivery-side), so the sum equals what a single
+  // network would have recorded for the same trajectory.
+  merged_stats_ = net::NetworkStats{};
+  for (const auto& net : shard_nets_) {
+    const net::NetworkStats& s = net->stats();
+    merged_stats_.messages_sent += s.messages_sent;
+    merged_stats_.messages_delivered += s.messages_delivered;
+    merged_stats_.messages_dropped_dead += s.messages_dropped_dead;
+    merged_stats_.messages_dropped_loss += s.messages_dropped_loss;
+    merged_stats_.messages_dropped_partition += s.messages_dropped_partition;
+    merged_stats_.messages_dropped_fault += s.messages_dropped_fault;
+    merged_stats_.messages_duplicated += s.messages_duplicated;
+    merged_stats_.messages_reordered += s.messages_reordered;
+    merged_stats_.bytes_sent += s.bytes_sent;
+    merged_stats_.bytes_delivered += s.bytes_delivered;
+    merged_stats_.batches_sent += s.batches_sent;
+    merged_stats_.batch_parts_sent += s.batch_parts_sent;
+    merged_stats_.batches_delivered += s.batches_delivered;
+    merged_stats_.batch_parts_delivered += s.batch_parts_delivered;
+    for (std::size_t k = 0; k < net::NetworkStats::kKindSlots; ++k) {
+      merged_stats_.sent_by_kind[k] += s.sent_by_kind[k];
+      merged_stats_.delivered_by_kind[k] += s.delivered_by_kind[k];
+    }
+  }
+  return merged_stats_;
 }
 
 Peer GridSystem::find_bootstrap(std::size_t excluding) const {
@@ -329,6 +503,7 @@ Peer GridSystem::find_bootstrap(std::size_t excluding) const {
 }
 
 void GridSystem::crash_node(std::size_t index) {
+  PGRID_EXPECTS(!sharded_mode());  // churn is outside sharded v1 (§17)
   GridNode& n = node(index);
   if (!n.running()) return;
   if (index < down_since_.size()) down_since_[index] = sim_.now().sec();
@@ -337,6 +512,7 @@ void GridSystem::crash_node(std::size_t index) {
 }
 
 void GridSystem::restart_node(std::size_t index) {
+  PGRID_EXPECTS(!sharded_mode());
   GridNode& n = node(index);
   if (n.running()) return;
   if (index < down_since_.size()) down_since_[index] = -1.0;
@@ -349,6 +525,7 @@ bool GridSystem::node_running(std::size_t index) const {
 }
 
 void GridSystem::enable_churn(const sim::ChurnModel& model) {
+  PGRID_EXPECTS(!sharded_mode());
   build();
   churn_ = std::make_unique<sim::FailureInjector>(
       sim_, rng_.fork(4), model, nodes_.size(),
@@ -378,7 +555,8 @@ bool GridSystem::write_observability() const {
 
 obs::MemoryAccountant GridSystem::memory_breakdown() const {
   obs::MemoryAccountant acc;
-  acc.add(obs::MemClass::kSimEvents, sim_.memory_bytes());
+  acc.add(obs::MemClass::kSimEvents,
+          engine_ != nullptr ? engine_->memory_bytes() : sim_.memory_bytes());
   acc.add(obs::MemClass::kMessagePool, net::MessagePool::stats().memory_bytes());
   for (const auto& n : nodes_) n->account_memory(acc);
   // Clients: the pending-job map is grid bookkeeping; their RPC slabs are
@@ -390,6 +568,7 @@ obs::MemoryAccountant GridSystem::memory_breakdown() const {
     acc.add(obs::MemClass::kTraceRing, trace_->memory_bytes());
   }
   std::size_t metrics_bytes = collector_.memory_bytes();
+  for (const auto& c : shard_collectors_) metrics_bytes += c->memory_bytes();
   if (registry_ != nullptr) metrics_bytes += registry_->memory_bytes();
   if (sampler_ != nullptr) metrics_bytes += sampler_->memory_bytes();
   acc.add(obs::MemClass::kMetrics, metrics_bytes);

@@ -6,6 +6,7 @@
 // This is the library's main entry point: every bench and example builds a
 // GridConfig + Workload, runs a GridSystem, and reads the Collector.
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -19,8 +20,10 @@
 #include "obs/profile.h"
 #include "obs/registry.h"
 #include "obs/sampler.h"
+#include "net/shard_bus.h"
 #include "obs/trace.h"
 #include "sim/failure.h"
+#include "sim/sharded.h"
 #include "sim/simulator.h"
 #include "workload/workload.h"
 
@@ -55,6 +58,16 @@ struct GridConfig {
   bool track_liveness = false;
   /// Observability: event tracing, time-series sampling, output paths.
   obs::ObsConfig obs;
+  /// Sharded execution (DESIGN.md §17): 0 (default) runs the sequential
+  /// engine, byte-identical to builds without the feature; N >= 1 partitions
+  /// nodes into N contiguous Guid-order arcs, each on its own worker thread,
+  /// synchronized by conservative-lookahead windows. Sharded outputs are a
+  /// deterministic function of (seed, config) — the same for every N — but
+  /// differ from the sequential engine's (the shared-RNG draw order cannot
+  /// be parallelized); aggregate invariants (completions, event counts)
+  /// match. Sharded v1 carries the steady-state plane only: overlay
+  /// matchmakers, no churn/crash/restart, no fault plane, no trace/sampler.
+  std::size_t shards = 0;
 };
 
 class GridSystem {
@@ -83,7 +96,9 @@ class GridSystem {
   void mark_external_terminal() { ++terminal_jobs_; }
 
   [[nodiscard]] bool finished() const noexcept {
-    return built_ && terminal_jobs_ >= workload_.jobs.size();
+    return built_ &&
+           terminal_jobs_.load(std::memory_order_relaxed) >=
+               workload_.jobs.size();
   }
 
   /// Crash / restart a grid node (overlays rejoin through a live peer).
@@ -111,13 +126,35 @@ class GridSystem {
   [[nodiscard]] const sim::Simulator& simulator() const noexcept {
     return sim_;
   }
+
+  // --- engine-agnostic aggregates (valid in both execution modes) ----------
+  [[nodiscard]] bool sharded_mode() const noexcept {
+    return config_.shards > 0;
+  }
+  /// The sharded engine (null in sequential mode).
+  [[nodiscard]] sim::ShardedEngine* engine() noexcept { return engine_.get(); }
+  [[nodiscard]] std::uint64_t sim_events() const noexcept {
+    return engine_ != nullptr ? engine_->executed() : sim_.executed();
+  }
+  [[nodiscard]] std::size_t sim_queued() const noexcept {
+    return engine_ != nullptr ? engine_->queued() : sim_.queued();
+  }
+  [[nodiscard]] std::size_t sim_queue_peak() const noexcept {
+    return engine_ != nullptr ? engine_->queue_high_water()
+                              : sim_.queue_high_water();
+  }
+  [[nodiscard]] std::size_t sim_tombstone_peak() const noexcept {
+    return engine_ != nullptr ? engine_->tombstone_high_water()
+                              : sim_.tombstone_high_water();
+  }
+  [[nodiscard]] double now_sec() const noexcept {
+    return engine_ != nullptr ? engine_->now().sec() : sim_.now().sec();
+  }
   [[nodiscard]] metrics::Collector& collector() noexcept { return collector_; }
   [[nodiscard]] const metrics::Collector& collector() const noexcept {
     return collector_;
   }
-  [[nodiscard]] const net::NetworkStats& net_stats() const {
-    return net_->stats();
-  }
+  [[nodiscard]] const net::NetworkStats& net_stats() const;
   /// The simulated network (valid after build()); chaos scenarios reach the
   /// fault plane through this.
   [[nodiscard]] net::Network& network() { return *net_; }
@@ -168,11 +205,23 @@ class GridSystem {
  private:
   [[nodiscard]] Peer find_bootstrap(std::size_t excluding) const;
   void register_builtin_metrics();
+  void build_sharded(const GridNodeConfig& node_config);
+  /// Rebuild collector_ from the per-shard collectors (sharded mode; no-op
+  /// sequentially). Idempotent — called after every run()/run_for() leg.
+  void merge_shard_metrics();
 
   GridConfig config_;
   workload::Workload workload_;
   sim::Simulator sim_;
   std::unique_ptr<net::Network> net_;
+  // Sharded mode: the engine's per-shard Simulators/Networks/Collectors
+  // replace sim_/net_/direct collector writes; collector_ holds the merged
+  // view after run(), merged_stats_ the summed NetworkStats on demand.
+  std::unique_ptr<sim::ShardedEngine> engine_;
+  std::unique_ptr<net::ShardBus> bus_;
+  std::vector<std::unique_ptr<net::Network>> shard_nets_;
+  std::vector<std::unique_ptr<metrics::Collector>> shard_collectors_;
+  mutable net::NetworkStats merged_stats_;
   metrics::Collector collector_;
   CentralScheduler central_;
   Rng rng_;
@@ -191,7 +240,9 @@ class GridSystem {
   mutable MemGaugeCache mem_cache_;
   obs::RunProfile profile_;
   bool owns_log_clock_ = false;
-  std::uint64_t terminal_jobs_ = 0;
+  /// Atomic: client on_terminal callbacks fire on shard worker threads in
+  /// sharded mode (relaxed increments commute; sequential cost is nil).
+  std::atomic<std::uint64_t> terminal_jobs_{0};
   /// Ground-truth liveness ledger for the injected oracle: seconds at which
   /// each node address went down, or -1 while it is up. Maintained on every
   /// crash/restart (cheap assignments; consulted only via the oracle).

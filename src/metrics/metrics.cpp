@@ -64,7 +64,8 @@ void Collector::on_matched(std::uint64_t seq, sim::SimTime t, int hops,
   j.run_node = run_node;
 }
 
-void Collector::on_started(std::uint64_t seq, sim::SimTime t) {
+void Collector::on_started(std::uint64_t seq, sim::SimTime t,
+                           std::uint32_t run_node) {
   if (streaming_) {
     auto it = inflight_.find(seq);
     if (it == inflight_.end() || it->second.started) return;
@@ -83,7 +84,11 @@ void Collector::on_started(std::uint64_t seq, sim::SimTime t) {
   JobOutcome& j = jobs_.at(seq);
   if (j.started_sec == JobOutcome::kNever) {
     j.started_sec = t.sec();
+    j.start_node = run_node == kUnknownNode ? j.run_node : run_node;
     ++started_n_;
+    // node_jobs_ attribution keeps the historical rule (last matched run
+    // node) so fixed-seed sequential outputs stay byte-identical; the merge
+    // path recomputes from start_node instead.
     if (j.run_node < node_jobs_.size()) ++node_jobs_[j.run_node];
   }
 }
@@ -137,6 +142,90 @@ void Collector::on_unmatched(std::uint64_t seq) {
 
 void Collector::add_node_busy(std::uint32_t node, double seconds) {
   if (node < node_busy_.size()) node_busy_[node] += seconds;
+}
+
+void Collector::merge_from_shards(const std::vector<const Collector*>& parts) {
+  PGRID_EXPECTS(!streaming_);
+  jobs_.assign(job_count_, JobOutcome{});
+  node_jobs_.assign(node_jobs_.size(), 0);
+  node_busy_.assign(node_busy_.size(), 0.0);
+  completed_n_ = started_n_ = unmatched_n_ = 0;
+  resubmissions_n_ = requeues_n_ = 0;
+  makespan_sec_ = 0.0;
+
+  const auto first_wins = [](double& dst, double src) {
+    if (src != JobOutcome::kNever &&
+        (dst == JobOutcome::kNever || src < dst)) {
+      dst = src;
+      return true;
+    }
+    return false;
+  };
+
+  for (const Collector* part : parts) {
+    PGRID_EXPECTS(part != nullptr && !part->streaming_);
+    PGRID_EXPECTS(part->jobs_.size() == jobs_.size());
+    PGRID_EXPECTS(part->node_busy_.size() == node_busy_.size());
+    for (std::size_t seq = 0; seq < jobs_.size(); ++seq) {
+      const JobOutcome& s = part->jobs_[seq];
+      JobOutcome& d = jobs_[seq];
+      first_wins(d.submit_sec, s.submit_sec);
+      if (first_wins(d.matched_sec, s.matched_sec)) d.match_hops = s.match_hops;
+      first_wins(d.completed_sec, s.completed_sec);
+      // The first started record pins the executing node: start_node is a
+      // shard-local fact of the started event (run_node of the started
+      // part can be stale — the match was recorded on another shard). Exact
+      // time ties (two dup-dispatched starts in the same nanosecond) break
+      // toward the smaller address so the result is independent of the
+      // parts' iteration order, hence of the shard count.
+      if (first_wins(d.started_sec, s.started_sec)) {
+        d.start_node = s.start_node;
+        d.run_node = s.start_node;
+      } else if (s.started_sec != JobOutcome::kNever &&
+                 s.started_sec == d.started_sec &&
+                 s.start_node < d.start_node) {
+        d.start_node = s.start_node;
+        d.run_node = s.start_node;
+      }
+      // Owner is last-wins sequentially (re-homing); merge by latest time.
+      if (s.owner_sec != JobOutcome::kNever && s.owner_sec >= d.owner_sec) {
+        d.owner_sec = s.owner_sec;
+        d.injection_hops = s.injection_hops;
+      }
+      d.resubmissions += s.resubmissions;
+      d.requeues += s.requeues;
+      d.unmatched = d.unmatched || s.unmatched;
+    }
+    for (std::size_t n = 0; n < node_busy_.size(); ++n) {
+      node_busy_[n] += part->node_busy_[n];
+    }
+  }
+
+  for (std::size_t seq = 0; seq < jobs_.size(); ++seq) {
+    JobOutcome& j = jobs_[seq];
+    // Never-started jobs keep the run node chosen by the earliest match (the
+    // sequential record would hold the same value via first-match-wins).
+    if (j.started_sec == JobOutcome::kNever &&
+        j.matched_sec != JobOutcome::kNever) {
+      for (const Collector* part : parts) {
+        if (part->jobs_[seq].matched_sec == j.matched_sec) {
+          j.run_node = part->jobs_[seq].run_node;
+          break;
+        }
+      }
+    }
+    if (j.started_sec != JobOutcome::kNever) {
+      ++started_n_;
+      if (j.start_node < node_jobs_.size()) ++node_jobs_[j.start_node];
+    }
+    if (j.completed_sec != JobOutcome::kNever) {
+      ++completed_n_;
+      makespan_sec_ = std::max(makespan_sec_, j.completed_sec);
+    }
+    if (j.unmatched) ++unmatched_n_;
+    resubmissions_n_ += j.resubmissions;
+    requeues_n_ += j.requeues;
+  }
 }
 
 const JobOutcome& Collector::job(std::uint64_t seq) const {

@@ -37,6 +37,12 @@ struct JobOutcome {
   std::uint32_t resubmissions = 0;
   std::uint32_t requeues = 0;     // owner re-dispatched after a failure
   std::uint32_t run_node = 0;
+  /// The node that actually began execution (recorded by on_started's
+  /// caller). Usually equals run_node; they diverge when a lost dispatch
+  /// reply makes the owner re-match while the first run node proceeds. The
+  /// sharded merge rebuilds node_jobs_ from this field — unlike run_node it
+  /// is a shard-local fact of the started event.
+  std::uint32_t start_node = 0;
   bool unmatched = false;         // matchmaking gave up
 
   [[nodiscard]] bool completed() const noexcept {
@@ -63,12 +69,29 @@ class Collector {
   void on_owner(std::uint64_t seq, sim::SimTime t, int injection_hops);
   void on_matched(std::uint64_t seq, sim::SimTime t, int hops,
                   std::uint32_t run_node);
-  void on_started(std::uint64_t seq, sim::SimTime t);
+  /// `run_node` is the caller's own address (the node beginning execution);
+  /// callers that do not know it (legacy tests) omit it and the record falls
+  /// back to the last matched run node.
+  static constexpr std::uint32_t kUnknownNode = 0xffffffffu;
+  void on_started(std::uint64_t seq, sim::SimTime t,
+                  std::uint32_t run_node = kUnknownNode);
   void on_completed(std::uint64_t seq, sim::SimTime t);
   void on_resubmit(std::uint64_t seq);
   void on_requeue(std::uint64_t seq);
   void on_unmatched(std::uint64_t seq);
   void add_node_busy(std::uint32_t node, double seconds);
+
+  /// Rebuild this collector as the merge of a sharded run's per-shard parts
+  /// (batch mode only, both sides). Each lifecycle event lands in the shard
+  /// collector of the node or client that observed it; the merge reassembles
+  /// per-job records field-wise — first event (minimum time) wins, mirroring
+  /// the sequential dedup guards; owner is last-wins; per-job retry counters
+  /// sum — then recomputes every aggregate counter from the merged records
+  /// (node busy-seconds, which have no record backing, sum element-wise).
+  /// A pure function of the parts' contents, so the result is identical for
+  /// every shard count that produced the same trajectory. Idempotent:
+  /// existing contents are discarded.
+  void merge_from_shards(const std::vector<const Collector*>& parts);
 
   // --- summaries ----------------------------------------------------------
   /// Per-job record; batch mode only.

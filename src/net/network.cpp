@@ -4,6 +4,7 @@
 
 #include "net/batch.h"
 #include "net/fault_plane.h"
+#include "net/shard_bus.h"
 
 namespace pgrid::net {
 
@@ -24,33 +25,74 @@ Network::~Network() = default;
 
 NodeAddr Network::add_handler(MessageHandler* handler) {
   PGRID_EXPECTS(handler != nullptr);
+  if (bus_ != nullptr) return bus_->register_handler(handler, shard_);
   handlers_.push_back(handler);
   alive_.push_back(true);
   return static_cast<NodeAddr>(handlers_.size() - 1);
 }
 
 void Network::set_handler(NodeAddr addr, MessageHandler* handler) {
+  if (bus_ != nullptr) {
+    bus_->set_handler(addr, handler);
+    return;
+  }
   PGRID_EXPECTS(addr < handlers_.size());
   handlers_[addr] = handler;
 }
 
 void Network::set_alive(NodeAddr addr, bool is_alive) {
+  if (bus_ != nullptr) {
+    bus_->set_alive(addr, is_alive);
+    return;
+  }
   PGRID_EXPECTS(addr < alive_.size());
   alive_[addr] = is_alive;
 }
 
 bool Network::alive(NodeAddr addr) const {
+  if (bus_ != nullptr) return bus_->alive(addr);
   PGRID_EXPECTS(addr < alive_.size());
   return alive_[addr];
 }
 
+std::size_t Network::addr_count() const noexcept {
+  return bus_ != nullptr ? bus_->addr_count() : handlers_.size();
+}
+
+bool Network::addr_alive(NodeAddr addr) const {
+  return bus_ != nullptr ? bus_->alive(addr) : alive_[addr];
+}
+
+MessageHandler* Network::handler_of(NodeAddr addr) const {
+  return bus_ != nullptr ? bus_->handler(addr) : handlers_[addr];
+}
+
+void Network::enable_sharding(ShardBus* bus, std::uint32_t shard) {
+  PGRID_EXPECTS(bus != nullptr);
+  PGRID_EXPECTS(bus_ == nullptr);
+  // Sharded v1 carries the steady-state plane only: no fault plane, no trace
+  // bus, and an empty local address space (the directory is the only one).
+  PGRID_EXPECTS(handlers_.empty());
+  PGRID_EXPECTS(fault_ == nullptr);
+  PGRID_EXPECTS(trace_ == nullptr);
+  bus_ = bus;
+  shard_ = shard;
+}
+
+Rng Network::fork_rng_for(NodeAddr addr) {
+  if (bus_ != nullptr) return bus_->fork_endpoint_rng(addr);
+  return fork_rng();
+}
+
 void Network::set_trace(obs::TraceBus* bus) noexcept {
+  PGRID_EXPECTS(bus == nullptr || bus_ == nullptr);  // no tracing when sharded
   trace_ = bus;
   if (fault_ != nullptr) fault_->set_trace(bus);
   refresh_fast_path();
 }
 
 FaultPlane& Network::fault_plane() {
+  PGRID_EXPECTS(bus_ == nullptr);  // no adversarial plane when sharded
   if (fault_ == nullptr) {
     fault_ = std::make_unique<FaultPlane>(sim_, fork_rng());
     fault_->set_trace(trace_);
@@ -107,12 +149,12 @@ void Network::dispatch(NodeAddr from, NodeAddr to, MessagePtr msg) {
     open_batch(to);
     for (MessagePtr& part : batch->parts) {
       ++stats_.delivered_by_kind[part->type() & (NetworkStats::kKindSlots - 1)];
-      handlers_[to]->on_message(from, std::move(part));
+      handler_of(to)->on_message(from, std::move(part));
     }
     close_batch(to);
     return;
   }
-  handlers_[to]->on_message(from, std::move(msg));
+  handler_of(to)->on_message(from, std::move(msg));
 }
 
 Network::PendingBatch* Network::find_batch(NodeAddr from) noexcept {
@@ -123,7 +165,7 @@ Network::PendingBatch* Network::find_batch(NodeAddr from) noexcept {
 }
 
 void Network::open_batch(NodeAddr from) {
-  PGRID_EXPECTS(from < handlers_.size());
+  PGRID_EXPECTS(from < addr_count());
   if (PendingBatch* b = find_batch(from)) {
     ++b->depth;
     return;
@@ -153,8 +195,8 @@ void Network::close_batch(NodeAddr from) {
 
 void Network::send(NodeAddr from, NodeAddr to, MessagePtr msg) {
   PGRID_EXPECTS(msg != nullptr);
-  PGRID_EXPECTS(from < handlers_.size());
-  PGRID_EXPECTS(to < handlers_.size());
+  PGRID_EXPECTS(from < addr_count());
+  PGRID_EXPECTS(to < addr_count());
 
   // An open batch scope for this sender buffers the message instead of
   // putting it on the wire; accounting happens when the scope flushes.
@@ -186,6 +228,14 @@ void Network::send(NodeAddr from, NodeAddr to, MessagePtr msg) {
     for (const MessagePtr& part : batch->parts) {
       ++stats_.sent_by_kind[part->type() & (NetworkStats::kKindSlots - 1)];
     }
+  }
+
+  // Sharded tail: per-sender draws and mailbox routing (DESIGN.md §17). The
+  // sequential paths below are untouched — a non-sharded network never takes
+  // this branch, keeping its runs byte-identical.
+  if (bus_ != nullptr) {
+    send_sharded(from, to, std::move(msg));
+    return;
   }
 
   // Plain-delivery fast path: no fault plane, no trace bus, zero base loss.
@@ -272,6 +322,65 @@ void Network::send(NodeAddr from, NodeAddr to, MessagePtr msg) {
     deliver(from, to, delay_once(), std::move(duplicate));
   }
   deliver(from, to, delay_once(), std::move(msg));
+}
+
+void Network::send_sharded(NodeAddr from, NodeAddr to, MessagePtr msg) {
+  // Same decision order as the sequential general path (alive → loss →
+  // latency), but every draw comes from the *sender's* stream: the sender's
+  // send sequence is deterministic by induction over windows, so the draws —
+  // unlike draws from a network-global stream — do not depend on how sends
+  // from different nodes interleave across shards.
+  if (!bus_->alive(from)) {
+    ++stats_.messages_dropped_dead;
+    return;
+  }
+  Rng& rng = bus_->sender_rng(from);
+  if (loss_probability_ > 0.0 && rng.bernoulli(loss_probability_)) {
+    ++stats_.messages_dropped_loss;
+    return;
+  }
+  sim::SimTime lat = latency_.min;
+  if (latency_width_ns_ != 0) {
+    lat = sim::SimTime::nanos(
+        latency_lo_ns_ +
+        static_cast<std::int64_t>(rng.below(latency_width_ns_)));
+  }
+  const sim::SimTime at = sim_.now() + lat;
+  const std::uint64_t key = bus_->next_key(from);
+  const std::uint32_t dst_shard = bus_->shard_of(to);
+  if (dst_shard == shard_) {
+    schedule_keyed_delivery(from, to, at, key, std::move(msg));
+    return;
+  }
+  // Cross-shard: park in the (src, dst) mailbox; the destination worker
+  // drains it next round. Lookahead guarantees `at` lands at or beyond the
+  // window barrier, never in the destination's past.
+  bus_->enqueue(shard_, dst_shard,
+                ShardBus::RemoteMessage{at, from, to, key, std::move(msg)});
+}
+
+void Network::schedule_keyed_delivery(NodeAddr from, NodeAddr to,
+                                      sim::SimTime at, std::uint64_t key,
+                                      MessagePtr msg) {
+  const std::uint16_t tag = msg->type();
+  const std::size_t wire_bytes = kHeaderBytes + msg->payload_size();
+  sim_.schedule_at_keyed(
+      at, key, [this, from, to, tag, wire_bytes, msg = std::move(msg)]() mutable {
+        if (!bus_->alive(to)) {
+          ++stats_.messages_dropped_dead;
+          return;
+        }
+        ++stats_.messages_delivered;
+        ++stats_.delivered_by_kind[tag & (NetworkStats::kKindSlots - 1)];
+        stats_.bytes_delivered += wire_bytes;
+        dispatch(from, to, std::move(msg));
+      });
+}
+
+void Network::deliver_remote(NodeAddr from, NodeAddr to, sim::SimTime at,
+                             std::uint64_t key, MessagePtr msg) {
+  PGRID_EXPECTS(bus_ != nullptr);
+  schedule_keyed_delivery(from, to, at, key, std::move(msg));
 }
 
 }  // namespace pgrid::net

@@ -21,6 +21,7 @@
 namespace pgrid::net {
 
 class FaultPlane;
+class ShardBus;
 
 /// Latency model for one-way point-to-point delivery.
 struct LatencyModel {
@@ -132,7 +133,28 @@ class Network {
   /// Derive an independent RNG stream (RPC backoff jitter, tests).
   [[nodiscard]] Rng fork_rng() noexcept { return rng_.fork(++rng_forks_); }
 
-  [[nodiscard]] std::size_t size() const noexcept { return handlers_.size(); }
+  /// RNG stream for a per-address consumer (RpcEndpoint backoff jitter).
+  /// Sequentially this is exactly fork_rng() — same shared counter, same
+  /// stream, byte-identical runs. Sharded it derives from (bus seed, addr)
+  /// so the stream does not depend on global construction order or on which
+  /// shard's network the endpoint lives in.
+  [[nodiscard]] Rng fork_rng_for(NodeAddr addr);
+
+  [[nodiscard]] std::size_t size() const noexcept { return addr_count(); }
+
+  /// Join this network to a cross-shard bus as shard `shard` (DESIGN.md
+  /// §17). From then on the address space lives in the bus directory and
+  /// send() routes cross-shard traffic through per-shard-pair mailboxes
+  /// with provenance tie-break keys and per-sender RNG streams. Requires a
+  /// pristine network: no handlers, no fault plane, no trace bus.
+  void enable_sharding(ShardBus* bus, std::uint32_t shard);
+  [[nodiscard]] bool sharded() const noexcept { return bus_ != nullptr; }
+
+  /// Schedule a delivery parked by a remote shard (ShardBus::drain_into).
+  /// `at` is absolute and, by the lookahead argument, never in this shard's
+  /// past; `key` is the sender's provenance key.
+  void deliver_remote(NodeAddr from, NodeAddr to, sim::SimTime at,
+                      std::uint64_t key, MessagePtr msg);
 
   /// Allocate a unique RPC id stream. Several RpcEndpoints can share one
   /// address (e.g. the Chord layer and the grid layer of the same node);
@@ -146,6 +168,19 @@ class Network {
 
  private:
   void deliver(NodeAddr from, NodeAddr to, sim::SimTime delay, MessagePtr msg);
+
+  /// Sharded send tail: per-sender loss/latency draws, provenance key, then
+  /// either a local keyed delivery or a mailbox handoff.
+  void send_sharded(NodeAddr from, NodeAddr to, MessagePtr msg);
+
+  /// Common delivery event for local keyed sends and drained remote ones.
+  void schedule_keyed_delivery(NodeAddr from, NodeAddr to, sim::SimTime at,
+                               std::uint64_t key, MessagePtr msg);
+
+  // Address-space reads routed through the bus directory when sharded.
+  [[nodiscard]] std::size_t addr_count() const noexcept;
+  [[nodiscard]] bool addr_alive(NodeAddr addr) const;
+  [[nodiscard]] MessageHandler* handler_of(NodeAddr addr) const;
 
   /// Hand a delivered message to the receiving handler, unpacking Batch
   /// envelopes (per-part kind accounting + receiver-side batch scope).
@@ -200,6 +235,8 @@ class Network {
   std::unique_ptr<FaultPlane> fault_;
   std::uint64_t next_rpc_stream_ = 1;
   std::uint64_t rng_forks_ = 0;
+  ShardBus* bus_ = nullptr;
+  std::uint32_t shard_ = 0;
   /// Open batch scopes. At most a handful exist at once (one per node
   /// currently inside a maintenance round), so linear scan beats a map.
   std::vector<PendingBatch> batches_;

@@ -21,7 +21,7 @@ RpcEndpoint::RpcEndpoint(Network& network, NodeAddr self)
     : net_(network),
       self_(self),
       stream_(network.next_rpc_stream()),
-      rng_(network.fork_rng()) {}
+      rng_(network.fork_rng_for(self)) {}
 
 RpcEndpoint::~RpcEndpoint() { cancel_all(); }
 

@@ -6,8 +6,7 @@
 
 namespace pgrid::sim {
 
-void parallel_for_cells(std::size_t cells, std::size_t threads,
-                        const std::function<void(std::size_t)>& fn) {
+void parallel_for_cells(std::size_t cells, std::size_t threads, CellFn fn) {
   PGRID_EXPECTS(fn != nullptr);
   if (cells == 0) return;
   if (threads == 0) {

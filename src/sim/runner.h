@@ -9,19 +9,24 @@
 
 #include <atomic>
 #include <cstddef>
-#include <functional>
 #include <thread>
 #include <vector>
 
 #include "common/expects.h"
+#include "common/small_fn.h"
 
 namespace pgrid::sim {
 
+/// Move-only cell callable: SmallFn instead of std::function, so sweep
+/// lambdas may own move-only state (workload traces, open files) and small
+/// captures stay off the heap.
+using CellFn = SmallFn<void(std::size_t)>;
+
 /// Run `fn(cell_index)` for every cell in [0, cells) on up to `threads`
-/// workers (0 = hardware concurrency). `fn` must not touch shared mutable
-/// state; results should be written to a pre-sized per-cell slot.
-void parallel_for_cells(std::size_t cells, std::size_t threads,
-                        const std::function<void(std::size_t)>& fn);
+/// workers (0 = hardware concurrency). `fn` is invoked concurrently, so it
+/// must not touch shared mutable state; results should be written to a
+/// pre-sized per-cell slot.
+void parallel_for_cells(std::size_t cells, std::size_t threads, CellFn fn);
 
 /// Convenience: run a sweep producing one result per cell.
 template <typename Result, typename Fn>

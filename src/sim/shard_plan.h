@@ -1,0 +1,64 @@
+#pragma once
+// Shard partitioner: contiguous balanced arcs over a traversal order.
+//
+// The sharded engine (sharded.h, DESIGN.md §17) assigns every entity (grid
+// node, client) to exactly one shard. Assignment is by *contiguous arcs of a
+// sort order* — for grid nodes, Guid order — mirroring `correlated_victims`:
+// overlay neighbours (Chord successors, CAN zone neighbours) are adjacent in
+// that order, so most protocol traffic stays shard-local and only arc-boundary
+// links cross shards.
+//
+// The plan is a pure function of (order, shards): fixed seed → fixed Guids →
+// fixed order → fixed assignment, part of the sharded determinism contract.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expects.h"
+
+namespace pgrid::sim {
+
+struct ShardPlan {
+  std::uint32_t shards = 1;
+  /// Entity index -> owning shard. Covers every entity exactly once.
+  std::vector<std::uint32_t> shard_of;
+  /// Arc s spans order[arc_begin[s]] .. order[arc_begin[s + 1]) — the
+  /// contiguous run of the traversal order owned by shard s. Offsets are
+  /// non-decreasing; trailing arcs are empty when shards > entities.
+  std::vector<std::size_t> arc_begin;
+
+  [[nodiscard]] std::size_t arc_size(std::uint32_t s) const noexcept {
+    return arc_begin[s + 1] - arc_begin[s];
+  }
+};
+
+/// Partition the entities listed in `order` (a permutation of 0..n-1, e.g.
+/// node indices sorted by Guid) into `shards` contiguous arcs. The first
+/// n % shards arcs take one extra entity, so arc sizes differ by at most one.
+inline ShardPlan plan_shards(const std::vector<std::size_t>& order,
+                             std::uint32_t shards) {
+  PGRID_EXPECTS(shards >= 1);
+  const std::size_t n = order.size();
+  ShardPlan plan;
+  plan.shards = shards;
+  plan.shard_of.resize(n, 0);
+  plan.arc_begin.resize(static_cast<std::size_t>(shards) + 1, 0);
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;
+  std::size_t at = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    plan.arc_begin[s] = at;
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::size_t entity = order[at + i];
+      PGRID_EXPECTS(entity < n);
+      plan.shard_of[entity] = s;
+    }
+    at += len;
+  }
+  plan.arc_begin[shards] = at;
+  PGRID_ENSURES(at == n);
+  return plan;
+}
+
+}  // namespace pgrid::sim

@@ -1,0 +1,89 @@
+#pragma once
+// Conservative-lookahead sharded execution of the discrete-event core
+// (DESIGN.md §17).
+//
+// The engine owns one Simulator per shard and advances all of them in
+// barrier-synchronized windows. Window length is the *lookahead* L — the
+// minimum cross-shard link latency (LatencyModel has a positive floor). The
+// conservative argument: with the window starting at the global minimum next
+// event time W, every event executed this window fires at t ∈ [W, W + L), so
+// any message it sends arrives at t + latency ≥ W + L — strictly inside a
+// later window. Shards therefore never receive a message "in their past", and
+// no rollback machinery is needed.
+//
+// Per round, every worker s:
+//   1. drains its cross-shard inboxes (messages parked by the previous
+//      round's senders) into its Simulator, then publishes its next event
+//      time;
+//   2. waits on barrier A, whose completion computes the global minimum W and
+//      the window end min(W + L, horizon + 1ns) — or stops the run;
+//   3. executes its queue up to the window end, parking cross-shard sends in
+//      the destination's inbox; waits on barrier B.
+// Empty stretches are skipped for free: W jumps to the next event anywhere in
+// the system, so idle phases cost one barrier round, not horizon/L rounds.
+//
+// The engine is network-agnostic: cross-shard transport is injected as a
+// drain hook (net::ShardBus supplies it in production; tests drive the
+// barrier-window edge cases with synthetic hooks).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/small_fn.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace pgrid::sim {
+
+class ShardedEngine {
+ public:
+  /// Called on worker thread `s` at the start of every round; must move all
+  /// messages parked for shard `s` into shard(s)'s queue (schedule_at_keyed).
+  using DrainHook = SmallFn<void(std::size_t)>;
+  /// Optional per-worker-thread setup (e.g. pointing the logger's
+  /// thread-local time source at the shard's clock).
+  using ThreadInitHook = SmallFn<void(std::size_t)>;
+
+  ShardedEngine(std::size_t shards, SimTime lookahead);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] std::size_t shards() const noexcept { return sims_.size(); }
+  [[nodiscard]] Simulator& shard(std::size_t s) { return *sims_[s]; }
+  [[nodiscard]] SimTime lookahead() const noexcept { return lookahead_; }
+  /// Engine clock: the horizon of the last completed run_until call (the
+  /// per-shard clocks trail it by up to one window).
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  void set_drain(DrainHook fn) { drain_ = std::move(fn); }
+  void set_thread_init(ThreadInitHook fn) { thread_init_ = std::move(fn); }
+
+  /// Advance every shard to `horizon` (events at t <= horizon execute, later
+  /// ones stay queued — same contract as Simulator::run_until). Spawns one
+  /// worker per shard; single-shard engines run inline with no barriers.
+  /// Returns events executed across all shards.
+  std::uint64_t run_until(SimTime horizon);
+
+  // Aggregates across shards (cold; summed on demand).
+  [[nodiscard]] std::uint64_t executed() const noexcept;
+  [[nodiscard]] std::size_t queued() const noexcept;
+  [[nodiscard]] std::size_t queue_high_water() const noexcept;
+  [[nodiscard]] std::size_t tombstone_high_water() const noexcept;
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// Barrier rounds completed — the denominator for per-window overhead in
+  /// the simcore_micro shard benches.
+  [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
+
+ private:
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  SimTime lookahead_;
+  SimTime now_;
+  DrainHook drain_;
+  ThreadInitHook thread_init_;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace pgrid::sim

@@ -83,6 +83,27 @@ EventId Simulator::schedule_at(SimTime at, Callback fn) {
   return static_cast<EventId>(slot.generation) << 32 | index;
 }
 
+EventId Simulator::schedule_at_keyed(SimTime at, std::uint64_t key,
+                                     Callback fn) {
+  PGRID_EXPECTS(at >= now_);
+  PGRID_EXPECTS(fn != nullptr);
+  PGRID_EXPECTS((key >> 63) == 1);  // keyed events order after local seqs
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  heap_.push_back(Entry{at, key, index, slot.generation});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  if (live_ > queue_high_water_) queue_high_water_ = live_;
+  return static_cast<EventId>(slot.generation) << 32 | index;
+}
+
+SimTime Simulator::next_time() noexcept {
+  Lane* src = nullptr;
+  const Entry* next = peek_next(src);
+  return next == nullptr ? SimTime::max() : next->at;
+}
+
 EventId Simulator::schedule_in(SimTime delay, Callback fn) {
   // Route recurring fixed delays to a FIFO lane: for a fixed d, now() + d is
   // non-decreasing across calls and seq is globally increasing, so a lane is

@@ -58,6 +58,19 @@ class Simulator {
   /// enough are routed to an O(1) FIFO timer lane instead of the heap.
   EventId schedule_in(SimTime delay, Callback fn);
 
+  /// Schedule with an explicit tie-break key in place of the internal
+  /// sequence counter (sharded engine, DESIGN.md §17). Keys must have the
+  /// top bit set — they live in the upper half of the (at, seq) order, so a
+  /// keyed delivery at time t fires after every locally-scheduled event at t
+  /// regardless of which shard count produced it — and must be unique per
+  /// (at, key) pair. Always takes the heap path: keyed events would break
+  /// the lanes' sorted-by-construction invariant.
+  EventId schedule_at_keyed(SimTime at, std::uint64_t key, Callback fn);
+
+  /// Fire time of the earliest pending event, or SimTime::max() when idle.
+  /// Non-const: encountered tombstones are dropped, as in step().
+  [[nodiscard]] SimTime next_time() noexcept;
+
   /// Cancel a pending event. Idempotent; cancelling a fired or invalid id is
   /// a no-op. Returns true iff the event was pending.
   bool cancel(EventId id);

@@ -11,9 +11,11 @@
 
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "grid/job.h"
 #include "sim/chaos.h"
+#include "sim/runner.h"
 
 namespace pgrid {
 namespace {
@@ -129,6 +131,67 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name + "_seed" + std::to_string(std::get<1>(info.param));
     });
+
+// The full standard matrix (24 cells: 3 kinds x seeds 1..8) plus the
+// extended self-healing matrix (12 cells: 3 kinds x seeds 1..4), run through
+// parallel_for_cells and again serially: chaos runs are confined to their
+// worker thread (thread-local logger clock and message pool), so verdicts
+// and stats must be identical however cells map onto threads. Closes the
+// roadmap item on running the chaos matrices through the parallel runner.
+TEST(Chaos, ParallelMatrixVerdictsMatchSerial) {
+  struct Cell {
+    MatchmakerKind kind;
+    std::uint64_t seed;
+    bool extended;
+  };
+  std::vector<Cell> cells;
+  for (const MatchmakerKind kind :
+       {MatchmakerKind::kRnTree, MatchmakerKind::kCanBasic,
+        MatchmakerKind::kCanPush}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      cells.push_back({kind, seed, false});
+    }
+  }
+  for (const MatchmakerKind kind :
+       {MatchmakerKind::kRnTree, MatchmakerKind::kCanBasic,
+        MatchmakerKind::kCanPush}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      cells.push_back({kind, seed, true});
+    }
+  }
+  const auto run_cell = [&cells](std::size_t i) {
+    sim::ChaosConfig cfg;
+    cfg.kind = cells[i].kind;
+    cfg.seed = cells[i].seed;
+    if (cells[i].extended) {
+      cfg.enable_correlated = true;
+      cfg.enable_flapping = true;
+      cfg.self_healing = true;
+    }
+    return sim::run_chaos(cfg);
+  };
+
+  std::vector<sim::ChaosReport> parallel(cells.size());
+  // Explicit thread count: single-core CI hosts would otherwise degenerate
+  // to one worker and compare serial against serial.
+  sim::parallel_for_cells(cells.size(), 4, [&](std::size_t i) {
+    parallel[i] = run_cell(i);
+  });
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const sim::ChaosReport serial = run_cell(i);
+    SCOPED_TRACE(serial.config.replay_command());
+    EXPECT_EQ(serial.ok, parallel[i].ok);
+    EXPECT_EQ(serial.summary(), parallel[i].summary());
+    EXPECT_EQ(serial.stats.completed, parallel[i].stats.completed);
+    EXPECT_EQ(serial.stats.crashes, parallel[i].stats.crashes);
+    EXPECT_EQ(serial.stats.dropped_partition,
+              parallel[i].stats.dropped_partition);
+    EXPECT_EQ(serial.stats.duplicated, parallel[i].stats.duplicated);
+    EXPECT_EQ(serial.stats.reordered, parallel[i].stats.reordered);
+    EXPECT_TRUE(parallel[i].ok) << parallel[i].summary();
+  }
+}
 
 TEST(Chaos, BatchingFlagAppearsInReplayCommand) {
   sim::ChaosConfig cfg;
